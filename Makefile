@@ -1,0 +1,37 @@
+# cWSP reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test test-short bench repro repro-quick examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the full-scale shape experiments (minutes faster).
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's full evaluation (tens of minutes, single core).
+repro:
+	$(GO) run ./cmd/cwspbench -all -scale full -per-app
+
+repro-quick:
+	$(GO) run ./cmd/cwspbench -all -scale quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/crashconsistency
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/minic
+	$(GO) run ./examples/sweep
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,149 @@
+package cwsp
+
+// One testing.B benchmark per paper table/figure: each regenerates the
+// experiment through the harness and reports its headline metric(s) as
+// custom benchmark outputs. `go test -bench=. -benchmem` therefore walks
+// the paper's whole evaluation section. Benchmarks run at smoke scale so
+// the suite completes in minutes; `cmd/cwspbench -scale full` regenerates
+// publication-scale numbers (EXPERIMENTS.md records those).
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"cwsp/internal/bench"
+	"cwsp/internal/progen"
+	"cwsp/internal/recovery"
+	"cwsp/internal/sim"
+	"cwsp/internal/workloads"
+)
+
+// benchH is shared across benchmarks so baseline runs are reused.
+var benchH = bench.NewHarness(bench.Options{Scale: workloads.Smoke})
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *bench.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = e.Run(benchH)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	keys := make([]string, 0, len(rep.Summary))
+	for k := range rep.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.ReportMetric(rep.Summary[k], k)
+	}
+}
+
+func BenchmarkFig01CacheLevels(b *testing.B)      { runExperiment(b, "fig01") }
+func BenchmarkFig06WBOccupancy(b *testing.B)      { runExperiment(b, "fig06") }
+func BenchmarkFig08WPQHits(b *testing.B)          { runExperiment(b, "fig08") }
+func BenchmarkFig13Overhead(b *testing.B)         { runExperiment(b, "fig13") }
+func BenchmarkFig14PriorWork(b *testing.B)        { runExperiment(b, "fig14") }
+func BenchmarkFig15Breakdown(b *testing.B)        { runExperiment(b, "fig15") }
+func BenchmarkFig17CXLDevices(b *testing.B)       { runExperiment(b, "fig17") }
+func BenchmarkFig18VsPSP(b *testing.B)            { runExperiment(b, "fig18") }
+func BenchmarkFig19RegionSize(b *testing.B)       { runExperiment(b, "fig19") }
+func BenchmarkFig20DeeperHierarchy(b *testing.B)  { runExperiment(b, "fig20") }
+func BenchmarkFig21PersistBandwidth(b *testing.B) { runExperiment(b, "fig21") }
+func BenchmarkFig22RBTSize(b *testing.B)          { runExperiment(b, "fig22") }
+func BenchmarkFig23PersistLatency(b *testing.B)   { runExperiment(b, "fig23") }
+func BenchmarkFig24WBSize(b *testing.B)           { runExperiment(b, "fig24") }
+func BenchmarkFig25PBSize(b *testing.B)           { runExperiment(b, "fig25") }
+func BenchmarkFig26WPQSize(b *testing.B)          { runExperiment(b, "fig26") }
+func BenchmarkFig27NVMTech(b *testing.B)          { runExperiment(b, "fig27") }
+func BenchmarkTabHWCost(b *testing.B)             { runExperiment(b, "hwcost") }
+func BenchmarkTabCompilerStats(b *testing.B)      { runExperiment(b, "compiler") }
+func BenchmarkAblCheckpointLadder(b *testing.B)   { runExperiment(b, "abl-ckpt") }
+func BenchmarkAblGranularity(b *testing.B)        { runExperiment(b, "abl-gran") }
+func BenchmarkAblUndoLogging(b *testing.B)        { runExperiment(b, "abl-log") }
+func BenchmarkMTScaling(b *testing.B)             { runExperiment(b, "mt") }
+
+// BenchmarkCompiler measures raw compiler throughput (regions + pruning +
+// slices) over the full workload suite.
+func BenchmarkCompiler(b *testing.B) {
+	progs := make([]*Program, 0, 37)
+	for _, w := range Workloads() {
+		progs = append(progs, w.Build(workloads.Smoke))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, _, err := Compile(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorMIPS measures machine-model throughput in simulated
+// instructions per second.
+func BenchmarkSimulatorMIPS(b *testing.B) {
+	w, err := WorkloadByName("lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build(workloads.Quick)
+	q, _, err := Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(q, DefaultConfig(), SchemeCWSP())
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Stats.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Msim-instr/s")
+}
+
+// BenchmarkCrashRecovery measures the full crash+recover+verify cycle.
+func BenchmarkCrashRecovery(b *testing.B) {
+	p := progen.Generate(5, progen.DefaultConfig())
+	q, _, err := Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	specs := []sim.ThreadSpec{{Fn: q.Entry}}
+	g, err := recovery.Golden(q, cfg, sim.CWSP(), specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		crash := 1 + int64(i)%g.Stats.Cycles
+		r, err := recovery.Check(q, cfg, sim.CWSP(), specs, crash, g.NVM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Match {
+			b.Fatalf("crash at %d not recovered", crash)
+		}
+	}
+}
+
+// Example of the facade in documentation form.
+func Example() {
+	p := progen.Generate(1, progen.DefaultConfig())
+	compiled, rep, _ := Compile(p)
+	fmt.Println(rep.TotalRegions() > 0)
+	res, _ := Run(compiled, DefaultConfig(), SchemeCWSP())
+	fmt.Println(res.Stats.Instrs > 0)
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,93 @@
+// Command cwspbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	cwspbench -list                # show every experiment
+//	cwspbench -exp fig13           # reproduce Figure 13 (quick scale)
+//	cwspbench -exp fig14 -scale full
+//	cwspbench -all -scale quick    # the whole evaluation section
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cwsp/internal/bench"
+	"cwsp/internal/workloads"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id(s), comma separated (fig01..fig27, hwcost, compiler, abl-*)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.String("scale", "quick", "workload scale: smoke, quick, full")
+		perApp  = flag.Bool("per-app", false, "per-application rows where the paper aggregates")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
+		verbose = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := bench.Options{Scale: scaleOf(*scale), PerApp: *perApp}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+	h := bench.NewHarness(opt)
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case *expID != "":
+		ids = strings.Split(*expID, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "cwspbench: need -exp <id> or -all (see -list)")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		e, err := bench.ByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		rep, err := e.Run(h)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Print(rep.Table())
+			fmt.Printf("(%s in %v at %s scale)\n\n", id, time.Since(start).Round(time.Millisecond), opt.Scale.Name)
+		}
+	}
+}
+
+func scaleOf(s string) workloads.Scale {
+	switch s {
+	case "full":
+		return workloads.Full
+	case "smoke":
+		return workloads.Smoke
+	default:
+		return workloads.Quick
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cwspbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,163 @@
+// A persistent key-value store on whole-system persistence: an
+// open-addressing hash table written in the IR, exercised with an
+// insert/update/lookup mix, run under the baseline, cWSP, and the prior
+// schemes, and crash-tested. Under WSP no persistence-aware programming is
+// needed — the table is ordinary code; cWSP makes it crash consistent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cwsp"
+	"cwsp/internal/ir"
+	"cwsp/internal/recovery"
+	"cwsp/internal/sim"
+)
+
+const (
+	tableBase  = int64(0x3000_0000)
+	tableSlots = 4096 // power of two; slot = [0]=key [8]=value (16 bytes)
+	ops        = 3000
+)
+
+// buildKV: for each op, derive (key, value) from an LCG; probe linearly
+// from hash(key) until the key or an empty slot is found; insert or update;
+// every 16th op does a lookup-sum instead. Emits table checksum.
+func buildKV() *cwsp.Program {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	k := struct{ fb *ir.FuncBuilder }{fb}
+	_ = k
+
+	rng := fb.Reg()
+	acc := fb.Reg()
+	fb.ConstInto(rng, 0x9E3779B97F4A7C15>>1)
+	fb.ConstInto(acc, 0)
+
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.Jmp(head)
+
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.Imm(ops))
+	fb.Br(ir.R(c), body, exit)
+
+	fb.SetBlock(body)
+	// key = (lcg >> 18) | 1 (never zero); value = lcg >> 7
+	m := fb.Mul(ir.R(rng), ir.Imm(6364136223846793005))
+	fb.BinInto(ir.OpAdd, rng, ir.R(m), ir.Imm(1442695040888963407))
+	k1 := fb.Bin(ir.OpShr, ir.R(rng), ir.Imm(18))
+	k2 := fb.Bin(ir.OpAnd, ir.R(k1), ir.Imm(1<<20-1))
+	key := fb.Bin(ir.OpOr, ir.R(k2), ir.Imm(1))
+	val := fb.Bin(ir.OpShr, ir.R(rng), ir.Imm(7))
+
+	// probe: idx = key*phi mod slots; while slot.key not in {0, key}: idx++
+	h1 := fb.Mul(ir.R(key), ir.Imm(2654435761))
+	idx := fb.Reg()
+	fb.BinInto(ir.OpAnd, idx, ir.R(h1), ir.Imm(tableSlots-1))
+
+	probe := fb.AddBlock("probe")
+	insert := fb.AddBlock("insert")
+	next := fb.AddBlock("next")
+	fb.Jmp(probe)
+
+	fb.SetBlock(probe)
+	off := fb.Bin(ir.OpShl, ir.R(idx), ir.Imm(4)) // *16 bytes
+	slot := fb.Add(ir.Imm(tableBase), ir.R(off))
+	sk := fb.Load(ir.R(slot), 0)
+	empty := fb.Bin(ir.OpCmpEQ, ir.R(sk), ir.Imm(0))
+	same := fb.Bin(ir.OpCmpEQ, ir.R(sk), ir.R(key))
+	hit := fb.Bin(ir.OpOr, ir.R(empty), ir.R(same))
+	fb.Br(ir.R(hit), insert, next)
+
+	fb.SetBlock(next)
+	n1 := fb.Add(ir.R(idx), ir.Imm(1))
+	fb.BinInto(ir.OpAnd, idx, ir.R(n1), ir.Imm(tableSlots-1))
+	fb.Jmp(probe)
+
+	fb.SetBlock(insert)
+	// Write key then value (two stores the table must never tear).
+	off2 := fb.Bin(ir.OpShl, ir.R(idx), ir.Imm(4))
+	slot2 := fb.Add(ir.Imm(tableBase), ir.R(off2))
+	fb.Store(ir.R(key), ir.R(slot2), 0)
+	fb.Store(ir.R(val), ir.R(slot2), 8)
+	ov := fb.Load(ir.R(slot2), 8)
+	fb.BinInto(ir.OpAdd, acc, ir.R(acc), ir.R(ov))
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+
+	fb.SetBlock(exit)
+	// Table checksum.
+	j := fb.Reg()
+	sum := fb.Reg()
+	fb.ConstInto(j, 0)
+	fb.ConstInto(sum, 0)
+	ch := fb.AddBlock("ch")
+	cb := fb.AddBlock("cb")
+	done := fb.AddBlock("done")
+	fb.Jmp(ch)
+	fb.SetBlock(ch)
+	cc := fb.Bin(ir.OpCmpLT, ir.R(j), ir.Imm(tableSlots))
+	fb.Br(ir.R(cc), cb, done)
+	fb.SetBlock(cb)
+	o := fb.Bin(ir.OpShl, ir.R(j), ir.Imm(4))
+	s := fb.Add(ir.Imm(tableBase), ir.R(o))
+	kk := fb.Load(ir.R(s), 0)
+	vv := fb.Load(ir.R(s), 8)
+	x := fb.Mul(ir.R(sum), ir.Imm(31))
+	y := fb.Add(ir.R(x), ir.R(kk))
+	fb.BinInto(ir.OpXor, sum, ir.R(y), ir.R(vv))
+	fb.BinInto(ir.OpAdd, j, ir.R(j), ir.Imm(1))
+	fb.Jmp(ch)
+	fb.SetBlock(done)
+	fb.Emit(ir.R(sum))
+	fb.Ret(ir.R(sum))
+
+	p := ir.NewProgram("kvstore")
+	p.Add(fb.MustDone())
+	p.Entry = "main"
+	return p
+}
+
+func main() {
+	prog := buildKV()
+	compiled, rep, err := cwsp.Compile(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kvstore: %d ops over %d slots; %d regions, %d checkpoints (%d pruned)\n\n",
+		ops, tableSlots, rep.TotalRegions(), rep.TotalCheckpoints(), rep.PrunedCheckpoints())
+
+	cfg := cwsp.DefaultConfig()
+	base, err := cwsp.Run(prog, cfg, cwsp.SchemeBaseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %10d cycles  (checksum %d)\n", "baseline", base.Stats.Cycles, base.Ret[0])
+
+	for _, name := range []string{"cwsp", "capri", "ido", "replaycache"} {
+		sch, _ := cwsp.SchemeByName(name)
+		run := compiled
+		res, err := cwsp.Run(run, cfg, sch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10d cycles  (slowdown %.3f)\n", name, res.Stats.Cycles, res.Stats.Slowdown(base.Stats))
+	}
+
+	// Crash-test the store under cWSP.
+	specs := []sim.ThreadSpec{{Fn: "main"}}
+	fail, checked, err := recovery.Sweep(compiled, cfg, sim.CWSP(), specs, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fail != nil {
+		fmt.Printf("\ncrash at cycle %d NOT recovered (diffs %v)\n", fail.CrashCycle, fail.DiffAddrs)
+		return
+	}
+	fmt.Printf("\ncrash-tested: %d power-failure points, all recovered to the exact table state\n", checked)
+}

@@ -1,0 +1,3 @@
+module cwsp
+
+go 1.22

@@ -1,0 +1,230 @@
+package analysis
+
+import "cwsp/internal/ir"
+
+// Alias analysis: a flow-insensitive, allocation-site-based points-to
+// analysis in the spirit of the LLVM basic alias analysis queries cWSP's
+// region formation consumes. Each register is mapped to the set of abstract
+// memory sites it may point to:
+//
+//   - one site per OpAlloc instruction (a heap allocation site),
+//   - one site per 64 KiB constant-address region (globals),
+//   - a distinguished Unknown site that may alias everything (results of
+//     loads, calls, atomics, and incoming parameters).
+//
+// Pointer arithmetic (add/sub with an immediate or a scalar register)
+// preserves sites; register-register adds union the operand sites, which
+// soundly covers base+index addressing.
+
+const siteUnknown = 0
+
+// AliasInfo answers may-alias queries for one function.
+type AliasInfo struct {
+	F *ir.Function
+	// pts[r] is the points-to site set of register r (nil = empty).
+	pts []map[int]bool
+	// constSite maps a 64 KiB constant-address region key (addr>>16) to its
+	// site id.
+	constSite map[int64]int
+	// NumSites is the number of distinct abstract sites assigned.
+	NumSites int
+}
+
+// MemRef identifies a memory instruction by position.
+type MemRef struct {
+	Block int
+	Index int
+}
+
+// ComputeAlias runs the points-to fixpoint for f.
+func ComputeAlias(f *ir.Function) *AliasInfo {
+	ai := &AliasInfo{F: f, pts: make([]map[int]bool, f.NumRegs), constSite: map[int64]int{}}
+	nextSite := 1
+	allocSite := map[ir.InstrRef]int{}
+	constSite := ai.constSite
+
+	siteOfConst := func(v int64) int {
+		k := v >> 16
+		if s, ok := constSite[k]; ok {
+			return s
+		}
+		s := nextSite
+		nextSite++
+		constSite[k] = s
+		return s
+	}
+
+	add := func(r ir.Reg, site int) bool {
+		if ai.pts[r] == nil {
+			ai.pts[r] = map[int]bool{}
+		}
+		if ai.pts[r][site] {
+			return false
+		}
+		ai.pts[r][site] = true
+		return true
+	}
+	union := func(dst ir.Reg, src ir.Operand) bool {
+		changed := false
+		switch src.Kind {
+		case ir.OperandReg:
+			for s := range ai.pts[src.Reg] {
+				if add(dst, s) {
+					changed = true
+				}
+			}
+		case ir.OperandImm:
+			if add(dst, siteOfConst(src.Imm)) {
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// Parameters may point anywhere.
+	for i := 0; i < f.NParams; i++ {
+		add(ir.Reg(i), siteUnknown)
+	}
+	// Pre-assign allocation sites so the fixpoint is deterministic.
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == ir.OpAlloc {
+				allocSite[ir.InstrRef{Block: bi, Index: ii}] = nextSite
+				nextSite++
+			}
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				d := in.Def()
+				if d == ir.NoReg {
+					continue
+				}
+				switch in.Op {
+				case ir.OpAlloc:
+					if add(d, allocSite[ir.InstrRef{Block: bi, Index: ii}]) {
+						changed = true
+					}
+				case ir.OpConst:
+					if add(d, siteOfConst(in.A.Imm)) {
+						changed = true
+					}
+				case ir.OpMov:
+					if union(d, in.A) {
+						changed = true
+					}
+				case ir.OpAdd, ir.OpSub:
+					if union(d, in.A) {
+						changed = true
+					}
+					if in.Op == ir.OpAdd && union(d, in.B) {
+						changed = true
+					}
+				case ir.OpSelect:
+					if union(d, in.B) {
+						changed = true
+					}
+					if union(d, in.C) {
+						changed = true
+					}
+				case ir.OpLoad, ir.OpCall, ir.OpAtomicCAS, ir.OpAtomicAdd, ir.OpAtomicXchg:
+					if add(d, siteUnknown) {
+						changed = true
+					}
+				default:
+					// Scalar arithmetic: no sites.
+				}
+			}
+		}
+	}
+	ai.NumSites = nextSite
+	return ai
+}
+
+// baseOperand returns the address operand of a memory instruction.
+func baseOperand(in *ir.Instr) (ir.Operand, bool) {
+	switch in.Op {
+	case ir.OpLoad, ir.OpAtomicCAS, ir.OpAtomicAdd, ir.OpAtomicXchg:
+		return in.A, true
+	case ir.OpStore:
+		return in.B, true
+	}
+	return ir.Operand{}, false
+}
+
+// sitesOf returns the site set for an address operand. Register operands
+// with an empty points-to set are treated as Unknown (an address must come
+// from somewhere). A literal address maps to its constant-region site if
+// any register may point there, otherwise to the empty set — nothing else
+// can reach a constant region no register points into, except Unknown,
+// which MayAlias handles first.
+func (ai *AliasInfo) sitesOf(o ir.Operand) map[int]bool {
+	switch o.Kind {
+	case ir.OperandReg:
+		s := ai.pts[o.Reg]
+		if len(s) == 0 {
+			return map[int]bool{siteUnknown: true}
+		}
+		return s
+	case ir.OperandImm:
+		if s, ok := ai.constSite[o.Imm>>16]; ok {
+			return map[int]bool{s: true}
+		}
+		return map[int]bool{}
+	}
+	return map[int]bool{siteUnknown: true}
+}
+
+// MayAlias reports whether the memory instructions at positions a and b may
+// access the same word. Both must be memory operations.
+func (ai *AliasInfo) MayAlias(a, b MemRef) bool {
+	ia := &ai.F.Blocks[a.Block].Instrs[a.Index]
+	ib := &ai.F.Blocks[b.Block].Instrs[b.Index]
+	oa, oka := baseOperand(ia)
+	ob, okb := baseOperand(ib)
+	if !oka || !okb {
+		return false
+	}
+
+	// Fully constant addresses: exact disjointness check.
+	if oa.Kind == ir.OperandImm && ob.Kind == ir.OperandImm {
+		return (oa.Imm+ia.Off)&^7 == (ob.Imm+ib.Off)&^7
+	}
+
+	// Same base register, no redefinition in between (same block only),
+	// distinct constant offsets: provably disjoint words.
+	if oa.Kind == ir.OperandReg && ob.Kind == ir.OperandReg && oa.Reg == ob.Reg &&
+		a.Block == b.Block && ia.Off != ib.Off {
+		lo, hi := a.Index, b.Index
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		redefined := false
+		for k := lo; k <= hi; k++ {
+			if ai.F.Blocks[a.Block].Instrs[k].Def() == oa.Reg {
+				redefined = true
+				break
+			}
+		}
+		if !redefined && (ia.Off&^7) != (ib.Off&^7) {
+			return false
+		}
+	}
+
+	sa := ai.sitesOf(oa)
+	sb := ai.sitesOf(ob)
+	if sa[siteUnknown] || sb[siteUnknown] {
+		return true
+	}
+	for s := range sa {
+		if sb[s] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"testing"
+
+	"cwsp/internal/ir"
+)
+
+// diamond builds:
+//
+//	b0 -> b1, b2 ; b1 -> b3 ; b2 -> b3 ; b3 -> ret
+func diamond(t testing.TB) *ir.Function {
+	t.Helper()
+	fb := ir.NewFunc("d", 1)
+	b0 := fb.NewBlock("entry")
+	b1 := fb.NewBlock("then")
+	b2 := fb.NewBlock("else")
+	b3 := fb.NewBlock("join")
+	fb.SetBlock(b0)
+	x := fb.Reg()
+	fb.ConstInto(x, 0)
+	fb.Br(ir.R(fb.Param(0)), b1, b2)
+	fb.SetBlock(b1)
+	fb.ConstInto(x, 1)
+	fb.Jmp(b3)
+	fb.SetBlock(b2)
+	fb.ConstInto(x, 2)
+	fb.Jmp(b3)
+	fb.SetBlock(b3)
+	fb.Ret(ir.R(x))
+	return fb.MustDone()
+}
+
+func TestCFGDiamond(t *testing.T) {
+	f := diamond(t)
+	c := BuildCFG(f)
+	if len(c.Preds[3]) != 2 {
+		t.Errorf("join preds = %v", c.Preds[3])
+	}
+	if c.RPO[0] != 0 {
+		t.Errorf("RPO does not start at entry: %v", c.RPO)
+	}
+	for b := 0; b < 4; b++ {
+		if !c.Reachable(b) {
+			t.Errorf("block %d unreachable", b)
+		}
+	}
+}
+
+func TestCFGUnreachableBlock(t *testing.T) {
+	fb := ir.NewFunc("u", 0)
+	fb.NewBlock("entry")
+	fb.RetVoid()
+	dead := fb.NewBlock("dead")
+	fb.SetBlock(dead)
+	fb.RetVoid()
+	f := fb.MustDone()
+	c := BuildCFG(f)
+	if c.Reachable(1) {
+		t.Error("dead block should be unreachable")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := diamond(t)
+	c := BuildCFG(f)
+	d := Dominators(c)
+	if d.Idom[1] != 0 || d.Idom[2] != 0 || d.Idom[3] != 0 {
+		t.Errorf("idoms = %v", d.Idom)
+	}
+	if !d.Dominates(0, 3) {
+		t.Error("entry should dominate join")
+	}
+	if d.Dominates(1, 3) {
+		t.Error("then should not dominate join")
+	}
+	if !d.Dominates(2, 2) {
+		t.Error("dominance should be reflexive")
+	}
+}
+
+// loopFunc builds a simple counted loop: b0 -> b1(header) -> b2(body) -> b1; b1 -> b3(exit).
+func loopFunc(t testing.TB) *ir.Function {
+	t.Helper()
+	fb := ir.NewFunc("l", 1)
+	b0 := fb.NewBlock("entry")
+	b1 := fb.NewBlock("head")
+	b2 := fb.NewBlock("body")
+	b3 := fb.NewBlock("exit")
+	fb.SetBlock(b0)
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	fb.Jmp(b1)
+	fb.SetBlock(b1)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.R(fb.Param(0)))
+	fb.Br(ir.R(c), b2, b3)
+	fb.SetBlock(b2)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(b1)
+	fb.SetBlock(b3)
+	fb.Ret(ir.R(i))
+	return fb.MustDone()
+}
+
+func TestNaturalLoops(t *testing.T) {
+	f := loopFunc(t)
+	c := BuildCFG(f)
+	d := Dominators(c)
+	loops := NaturalLoops(c, d)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Errorf("header = %d, want 1", l.Header)
+	}
+	if !l.Body[1] || !l.Body[2] {
+		t.Errorf("body = %v", l.Body)
+	}
+	if l.Body[0] || l.Body[3] {
+		t.Errorf("body contains non-loop blocks: %v", l.Body)
+	}
+	hs := LoopHeaders(c, d)
+	if !hs[1] || len(hs) != 1 {
+		t.Errorf("headers = %v", hs)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// b0 -> b1(outer head) -> b2(inner head) -> b3(inner body) -> b2
+	//   b2 -> b4(outer latch) -> b1 ; b1 -> b5 exit
+	fb := ir.NewFunc("n", 1)
+	b0 := fb.NewBlock("entry")
+	b1 := fb.NewBlock("oh")
+	b2 := fb.NewBlock("ih")
+	b3 := fb.NewBlock("ib")
+	b4 := fb.NewBlock("ol")
+	b5 := fb.NewBlock("exit")
+	fb.SetBlock(b0)
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	fb.Jmp(b1)
+	fb.SetBlock(b1)
+	c1 := fb.Bin(ir.OpCmpLT, ir.R(i), ir.R(fb.Param(0)))
+	fb.Br(ir.R(c1), b2, b5)
+	fb.SetBlock(b2)
+	c2 := fb.Bin(ir.OpCmpLT, ir.R(i), ir.Imm(3))
+	fb.Br(ir.R(c2), b3, b4)
+	fb.SetBlock(b3)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(b2)
+	fb.SetBlock(b4)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(b1)
+	fb.SetBlock(b5)
+	fb.Ret(ir.R(i))
+	f := fb.MustDone()
+
+	c := BuildCFG(f)
+	d := Dominators(c)
+	hs := LoopHeaders(c, d)
+	if !hs[1] || !hs[2] {
+		t.Errorf("expected headers 1 and 2, got %v", hs)
+	}
+	for _, l := range NaturalLoops(c, d) {
+		if l.Header == 2 && (l.Body[1] || l.Body[4]) {
+			t.Errorf("inner loop body leaked outer blocks: %v", l.Body)
+		}
+		if l.Header == 1 && !(l.Body[2] && l.Body[3] && l.Body[4]) {
+			t.Errorf("outer loop body incomplete: %v", l.Body)
+		}
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	f := loopFunc(t)
+	c := BuildCFG(f)
+	lv := ComputeLiveness(f, c)
+	i := ir.Reg(1) // loop counter register
+	if !lv.LiveIn[1].Has(i) {
+		t.Error("counter should be live into loop header")
+	}
+	if !lv.LiveIn[1].Has(ir.Reg(0)) {
+		t.Error("param (loop bound) should be live into loop header")
+	}
+	if !lv.LiveOut[1].Has(i) {
+		t.Error("counter live out of header (used by exit and body)")
+	}
+	// After the ret nothing is live.
+	if lv.LiveOut[3].Count() != 0 {
+		t.Errorf("exit live-out = %v", lv.LiveOut[3].Members())
+	}
+}
+
+func TestLiveBeforeAfter(t *testing.T) {
+	fb := ir.NewFunc("s", 0)
+	fb.NewBlock("entry")
+	a := fb.Const(1)                // idx 0
+	b := fb.Add(ir.R(a), ir.Imm(2)) // idx 1
+	fb.Ret(ir.R(b))                 // idx 2
+	f := fb.MustDone()
+	c := BuildCFG(f)
+	lv := ComputeLiveness(f, c)
+	if !lv.LiveBefore(0, 1).Has(a) {
+		t.Error("a should be live before its use")
+	}
+	if lv.LiveAfter(0, 1).Has(a) {
+		t.Error("a should be dead after its last use")
+	}
+	if !lv.LiveAfter(0, 1).Has(b) {
+		t.Error("b should be live after definition")
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	s := NewRegSet(130)
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if !s.Has(64) || !s.Has(129) || s.Has(1) {
+		t.Error("membership wrong")
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d", s.Count())
+	}
+	m := s.Members()
+	if len(m) != 3 || m[0] != 0 || m[1] != 64 || m[2] != 129 {
+		t.Errorf("members = %v", m)
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Error("remove failed")
+	}
+	o := NewRegSet(130)
+	o.Add(5)
+	if !o.Union(s) {
+		t.Error("union should report change")
+	}
+	if o.Union(s) {
+		t.Error("second union should be a no-op")
+	}
+	if !o.Has(0) || !o.Has(129) || !o.Has(5) {
+		t.Error("union contents wrong")
+	}
+}
+
+func TestAliasDistinctAllocs(t *testing.T) {
+	fb := ir.NewFunc("a", 0)
+	fb.NewBlock("entry")
+	p := fb.Alloc(64)
+	q := fb.Alloc(64)
+	fb.Store(ir.Imm(1), ir.R(p), 0) // idx 2
+	fb.Store(ir.Imm(2), ir.R(q), 0) // idx 3
+	x := fb.Load(ir.R(p), 0)        // idx 4
+	fb.Ret(ir.R(x))
+	f := fb.MustDone()
+	ai := ComputeAlias(f)
+	if ai.MayAlias(MemRef{0, 2}, MemRef{0, 3}) {
+		t.Error("stores to distinct allocations should not alias")
+	}
+	if !ai.MayAlias(MemRef{0, 2}, MemRef{0, 4}) {
+		t.Error("store and load of same allocation must alias")
+	}
+}
+
+func TestAliasSameBaseDifferentOffsets(t *testing.T) {
+	fb := ir.NewFunc("o", 1)
+	fb.NewBlock("entry")
+	base := fb.Param(0)
+	fb.Store(ir.Imm(1), ir.R(base), 0) // idx 0
+	fb.Store(ir.Imm(2), ir.R(base), 8) // idx 1
+	y := fb.Load(ir.R(base), 0)        // idx 2
+	fb.Ret(ir.R(y))
+	f := fb.MustDone()
+	ai := ComputeAlias(f)
+	if ai.MayAlias(MemRef{0, 0}, MemRef{0, 1}) {
+		t.Error("same base, different word offsets, no redefinition: must not alias")
+	}
+	if !ai.MayAlias(MemRef{0, 0}, MemRef{0, 2}) {
+		t.Error("same base same offset must alias")
+	}
+}
+
+func TestAliasUnknownIsConservative(t *testing.T) {
+	fb := ir.NewFunc("u", 2)
+	fb.NewBlock("entry")
+	p := fb.Load(ir.R(fb.Param(0)), 0) // pointer loaded from memory -> unknown
+	fb.Store(ir.Imm(1), ir.R(p), 0)    // idx 1
+	q := fb.Alloc(64)
+	fb.Store(ir.Imm(2), ir.R(q), 0) // idx 3
+	fb.RetVoid()
+	f := fb.MustDone()
+	ai := ComputeAlias(f)
+	if !ai.MayAlias(MemRef{0, 1}, MemRef{0, 3}) {
+		t.Error("unknown pointer must conservatively alias allocations")
+	}
+}
+
+func TestAliasPointerArithKeepsSite(t *testing.T) {
+	fb := ir.NewFunc("pa", 0)
+	fb.NewBlock("entry")
+	p := fb.Alloc(128)              // idx 0
+	q := fb.Add(ir.R(p), ir.Imm(8)) // idx 1: q = p+8 keeps p's site
+	fb.Store(ir.Imm(1), ir.R(q), 0) // idx 2
+	x := fb.Load(ir.R(p), 8)        // idx 3: may be same word
+	r := fb.Alloc(64)               // idx 4
+	fb.Store(ir.Imm(2), ir.R(r), 0) // idx 5
+	fb.Ret(ir.R(x))
+	f := fb.MustDone()
+	ai := ComputeAlias(f)
+	if !ai.MayAlias(MemRef{0, 2}, MemRef{0, 3}) {
+		t.Error("p+8 store must alias load p[8]")
+	}
+	if ai.MayAlias(MemRef{0, 2}, MemRef{0, 5}) {
+		t.Error("derived pointer should not alias distinct allocation")
+	}
+}
+
+func TestAliasConstAddresses(t *testing.T) {
+	fb := ir.NewFunc("c", 0)
+	fb.NewBlock("entry")
+	g1 := fb.Const(0x100000)         // globals region
+	fb.Store(ir.Imm(1), ir.R(g1), 0) // idx 1
+	g2 := fb.Const(0x100008)
+	fb.Store(ir.Imm(2), ir.R(g2), 0)  // idx 3
+	far := fb.Const(0x900000)         // different 64K region
+	fb.Store(ir.Imm(3), ir.R(far), 0) // idx 5
+	fb.RetVoid()
+	f := fb.MustDone()
+	ai := ComputeAlias(f)
+	if !ai.MayAlias(MemRef{0, 1}, MemRef{0, 3}) {
+		t.Error("addresses in the same const region must (conservatively) alias")
+	}
+	if ai.MayAlias(MemRef{0, 1}, MemRef{0, 5}) {
+		t.Error("distinct const regions should not alias")
+	}
+}

@@ -1,0 +1,74 @@
+// Package analysis implements the compiler analyses cWSP's transforms rely
+// on: CFG utilities, dominators, natural-loop detection, backward liveness,
+// and a flow-insensitive may-alias analysis over allocation sites.
+package analysis
+
+import "cwsp/internal/ir"
+
+// CFG caches predecessor/successor structure and orderings of a function's
+// control-flow graph.
+type CFG struct {
+	F     *ir.Function
+	Succs [][]int
+	Preds [][]int
+	// RPO is a reverse postorder over reachable blocks (entry first).
+	RPO []int
+	// RPONum[b] is b's position in RPO, or -1 if unreachable.
+	RPONum []int
+}
+
+// BuildCFG computes the CFG for f.
+func BuildCFG(f *ir.Function) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		F:      f,
+		Succs:  make([][]int, n),
+		Preds:  make([][]int, n),
+		RPONum: make([]int, n),
+	}
+	for i, b := range f.Blocks {
+		c.Succs[i] = b.Succs()
+	}
+	for i, ss := range c.Succs {
+		for _, s := range ss {
+			c.Preds[s] = append(c.Preds[s], i)
+		}
+	}
+	// Iterative DFS postorder from entry.
+	visited := make([]bool, n)
+	var post []int
+	type fr struct {
+		b  int
+		si int
+	}
+	stack := []fr{{0, 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.si < len(c.Succs[top.b]) {
+			s := c.Succs[top.b][top.si]
+			top.si++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, fr{s, 0})
+			}
+			continue
+		}
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	c.RPO = make([]int, len(post))
+	for i := range post {
+		c.RPO[i] = post[len(post)-1-i]
+	}
+	for i := range c.RPONum {
+		c.RPONum[i] = -1
+	}
+	for i, b := range c.RPO {
+		c.RPONum[b] = i
+	}
+	return c
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (c *CFG) Reachable(b int) bool { return c.RPONum[b] >= 0 }

@@ -1,0 +1,74 @@
+package analysis
+
+// DomTree holds immediate-dominator information computed with the
+// Cooper-Harvey-Kennedy iterative algorithm.
+type DomTree struct {
+	cfg *CFG
+	// Idom[b] is the immediate dominator of b (Idom[entry] = entry);
+	// -1 for unreachable blocks.
+	Idom []int
+}
+
+// Dominators computes the dominator tree of c.
+func Dominators(c *CFG) *DomTree {
+	n := len(c.Succs)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for c.RPONum[a] > c.RPONum[b] {
+				a = idom[a]
+			}
+			for c.RPONum[b] > c.RPONum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &DomTree{cfg: c, Idom: idom}
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (d *DomTree) Dominates(a, b int) bool {
+	if d.Idom[b] == -1 || d.Idom[a] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return a == 0
+		}
+		b = d.Idom[b]
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import "cwsp/internal/ir"
+
+// RegSet is a dense bitset over a function's virtual registers.
+type RegSet []uint64
+
+// NewRegSet returns a set sized for n registers.
+func NewRegSet(n int) RegSet { return make(RegSet, (n+63)/64) }
+
+// Add inserts r.
+func (s RegSet) Add(r ir.Reg) { s[int(r)/64] |= 1 << (uint(r) % 64) }
+
+// Remove deletes r.
+func (s RegSet) Remove(r ir.Reg) { s[int(r)/64] &^= 1 << (uint(r) % 64) }
+
+// Has reports membership.
+func (s RegSet) Has(r ir.Reg) bool { return s[int(r)/64]&(1<<(uint(r)%64)) != 0 }
+
+// Union ors o into s and reports whether s changed.
+func (s RegSet) Union(o RegSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy returns a fresh copy of s.
+func (s RegSet) Copy() RegSet {
+	c := make(RegSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// Members lists the registers in s in ascending order.
+func (s RegSet) Members() []ir.Reg {
+	var out []ir.Reg
+	for i, w := range s {
+		for w != 0 {
+			b := w & (-w)
+			bit := 0
+			for m := b; m > 1; m >>= 1 {
+				bit++
+			}
+			out = append(out, ir.Reg(i*64+bit))
+			w &^= b
+		}
+	}
+	return out
+}
+
+// Count returns the cardinality of s.
+func (s RegSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for w != 0 {
+			w &= w - 1
+			n++
+		}
+	}
+	return n
+}
+
+// Liveness holds block-level backward-liveness results for one function.
+type Liveness struct {
+	F       *ir.Function
+	LiveIn  []RegSet // at block entry
+	LiveOut []RegSet // at block exit
+}
+
+// ComputeLiveness runs the standard backward may-liveness dataflow.
+func ComputeLiveness(f *ir.Function, c *CFG) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{
+		F:       f,
+		LiveIn:  make([]RegSet, n),
+		LiveOut: make([]RegSet, n),
+	}
+	for i := 0; i < n; i++ {
+		lv.LiveIn[i] = NewRegSet(f.NumRegs)
+		lv.LiveOut[i] = NewRegSet(f.NumRegs)
+	}
+	changed := true
+	var uses []ir.Reg
+	for changed {
+		changed = false
+		// Iterate blocks in reverse RPO for fast convergence.
+		for i := len(c.RPO) - 1; i >= 0; i-- {
+			b := c.RPO[i]
+			out := lv.LiveOut[b]
+			for _, s := range c.Succs[b] {
+				if out.Union(lv.LiveIn[s]) {
+					changed = true
+				}
+			}
+			in := out.Copy()
+			blk := f.Blocks[b]
+			for k := len(blk.Instrs) - 1; k >= 0; k-- {
+				inst := &blk.Instrs[k]
+				if d := inst.Def(); d != ir.NoReg {
+					in.Remove(d)
+				}
+				uses = inst.Uses(uses[:0])
+				for _, u := range uses {
+					in.Add(u)
+				}
+			}
+			for w := range in {
+				if in[w] != lv.LiveIn[b][w] {
+					lv.LiveIn[b] = in
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// LiveBefore returns the live set immediately before f.Blocks[blk].Instrs[idx],
+// reconstructed by walking the block backward from its LiveOut.
+func (lv *Liveness) LiveBefore(blk, idx int) RegSet {
+	cur := lv.LiveOut[blk].Copy()
+	instrs := lv.F.Blocks[blk].Instrs
+	var uses []ir.Reg
+	for k := len(instrs) - 1; k >= idx; k-- {
+		inst := &instrs[k]
+		if d := inst.Def(); d != ir.NoReg {
+			cur.Remove(d)
+		}
+		uses = inst.Uses(uses[:0])
+		for _, u := range uses {
+			cur.Add(u)
+		}
+	}
+	return cur
+}
+
+// LiveAfter returns the live set immediately after f.Blocks[blk].Instrs[idx].
+func (lv *Liveness) LiveAfter(blk, idx int) RegSet {
+	return lv.LiveBefore(blk, idx+1)
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import "sort"
+
+// Loop is one natural loop: the header block plus the body block set
+// (header included).
+type Loop struct {
+	Header int
+	Body   map[int]bool
+}
+
+// NaturalLoops finds the natural loops of the CFG: for every back edge
+// t->h where h dominates t, the loop body is h plus everything that can
+// reach t without passing through h. Loops sharing a header are merged.
+func NaturalLoops(c *CFG, d *DomTree) []Loop {
+	byHeader := map[int]map[int]bool{}
+	for t, succs := range c.Succs {
+		if !c.Reachable(t) {
+			continue
+		}
+		for _, h := range succs {
+			if !d.Dominates(h, t) {
+				continue
+			}
+			body := byHeader[h]
+			if body == nil {
+				body = map[int]bool{h: true}
+				byHeader[h] = body
+			}
+			// Walk predecessors backwards from t, stopping at h.
+			work := []int{t}
+			for len(work) > 0 {
+				b := work[len(work)-1]
+				work = work[:len(work)-1]
+				if body[b] {
+					continue
+				}
+				body[b] = true
+				for _, p := range c.Preds[b] {
+					if c.Reachable(p) {
+						work = append(work, p)
+					}
+				}
+			}
+		}
+	}
+	headers := make([]int, 0, len(byHeader))
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	loops := make([]Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, Loop{Header: h, Body: byHeader[h]})
+	}
+	return loops
+}
+
+// LoopHeaders returns the set of loop-header block indices.
+func LoopHeaders(c *CFG, d *DomTree) map[int]bool {
+	hs := map[int]bool{}
+	for _, l := range NaturalLoops(c, d) {
+		hs[l.Header] = true
+	}
+	return hs
+}

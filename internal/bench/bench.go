@@ -1,0 +1,281 @@
+// Package bench is the experiment harness: one registered experiment per
+// table/figure of the paper's evaluation (Section IX), each regenerating
+// the same rows/series the paper reports. The absolute numbers come from
+// this repo's scaled machine model; what must (and does) match the paper is
+// the *shape* — who wins, by what rough factor, and where the crossovers
+// fall. EXPERIMENTS.md records paper-vs-measured for every experiment.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/schemes"
+	"cwsp/internal/sim"
+	"cwsp/internal/stats"
+	"cwsp/internal/workloads"
+)
+
+// Options configure a harness run.
+type Options struct {
+	Scale  workloads.Scale
+	Log    io.Writer // progress output (nil = silent)
+	PerApp bool      // emit per-app rows where the paper aggregates
+}
+
+// DefaultOptions runs at quick scale, silently.
+func DefaultOptions() Options {
+	return Options{Scale: workloads.Quick}
+}
+
+// Row is one labelled result row.
+type Row struct {
+	Label string
+	Suite string
+	Vals  []float64
+}
+
+// Report is one regenerated table/figure.
+type Report struct {
+	ID      string
+	Title   string
+	Paper   string // the paper's headline numbers, for the write-up
+	Columns []string
+	Rows    []Row
+	Summary map[string]float64
+	Notes   []string
+}
+
+// CSV renders the report as comma-separated values (header row first).
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("app")
+	for _, c := range r.Columns {
+		b.WriteString(",")
+		b.WriteString(c)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		label := row.Label
+		if row.Suite != "" {
+			label = row.Suite + "/" + row.Label
+		}
+		b.WriteString(label)
+		for _, v := range row.Vals {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table renders the report as fixed-width text.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	t := stats.NewTable(append([]string{"app"}, r.Columns...)...)
+	for _, row := range r.Rows {
+		cells := make([]interface{}, 0, len(row.Vals)+1)
+		label := row.Label
+		if row.Suite != "" {
+			label = row.Suite + "/" + row.Label
+		}
+		cells = append(cells, label)
+		for _, v := range row.Vals {
+			cells = append(cells, v)
+		}
+		t.AddF(cells...)
+	}
+	b.WriteString(t.String())
+	if len(r.Summary) > 0 {
+		keys := make([]string, 0, len(r.Summary))
+		for k := range r.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%-28s %.3f\n", k, r.Summary[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(h *Harness) (*Report, error)
+}
+
+var experiments []Experiment
+
+func registerExp(id, title string, run func(h *Harness) (*Report, error)) {
+	experiments = append(experiments, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Experiments lists every registered experiment in registration order.
+func Experiments() []Experiment {
+	return append([]Experiment(nil), experiments...)
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// Harness caches compiled programs and simulation results so experiments
+// sharing runs (every figure needs baselines) stay cheap.
+type Harness struct {
+	Opt      Options
+	programs map[progKey]*ir.Program
+	results  map[runKey]sim.Stats
+}
+
+type progKey struct {
+	app     string
+	scale   string
+	compile string // "", "pruned", "unpruned"
+}
+
+type runKey struct {
+	app     string
+	scale   string
+	compile string
+	scheme  string
+	cfgSig  string
+}
+
+// NewHarness builds a harness.
+func NewHarness(opt Options) *Harness {
+	if opt.Scale.Div == 0 {
+		opt.Scale = workloads.Quick
+	}
+	return &Harness{
+		Opt:      opt,
+		programs: map[progKey]*ir.Program{},
+		results:  map[runKey]sim.Stats{},
+	}
+}
+
+func (h *Harness) logf(format string, args ...interface{}) {
+	if h.Opt.Log != nil {
+		fmt.Fprintf(h.Opt.Log, format, args...)
+	}
+}
+
+// compileModes names the compiler-option variants the harness can build;
+// "" is the original uninstrumented binary.
+var compileModes = map[string]compiler.Options{
+	"pruned":        compiler.DefaultOptions(),
+	"unpruned":      {PruneCheckpoints: false, ChainDepth: -1},
+	"prune-nohoist": {PruneCheckpoints: true, HoistCheckpoints: false, ChainDepth: -1},
+	"prune-chain0":  {PruneCheckpoints: true, HoistCheckpoints: true, ChainDepth: 0},
+	"prune-chain1":  {PruneCheckpoints: true, HoistCheckpoints: true, ChainDepth: 1},
+}
+
+// program builds (and caches) the workload program in the given compile
+// mode: "" = original binary, otherwise a compileModes entry.
+func (h *Harness) program(w workloads.Workload, compile string) (*ir.Program, error) {
+	key := progKey{w.Name, h.Opt.Scale.Name, compile}
+	if p, ok := h.programs[key]; ok {
+		return p, nil
+	}
+	p := w.Build(h.Opt.Scale)
+	if compile != "" {
+		co, ok := compileModes[compile]
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown compile mode %q", compile)
+		}
+		var err error
+		p, _, err = compiler.Compile(p, co)
+		if err != nil {
+			return nil, err
+		}
+	}
+	h.programs[key] = p
+	return p, nil
+}
+
+func cfgSig(c sim.Config) string {
+	return fmt.Sprintf("%+v", c)
+}
+
+// compileModeFor picks the program variant a scheme executes.
+func compileModeFor(s sim.Scheme, pruned bool) string {
+	if !schemes.NeedsCompiledProgram(s) {
+		return ""
+	}
+	if pruned {
+		return "pruned"
+	}
+	return "unpruned"
+}
+
+// RunStats runs (with caching) one workload under a scheme/config.
+func (h *Harness) RunStats(w workloads.Workload, cfg sim.Config, sch sim.Scheme, pruned bool) (sim.Stats, error) {
+	return h.RunStatsMode(w, cfg, sch, compileModeFor(sch, pruned))
+}
+
+// RunStatsMode runs with an explicit compile mode (see compileModes).
+func (h *Harness) RunStatsMode(w workloads.Workload, cfg sim.Config, sch sim.Scheme, mode string) (sim.Stats, error) {
+	cfg = schemes.ConfigFor(sch, cfg)
+	key := runKey{w.Name, h.Opt.Scale.Name, mode, sch.Name, cfgSig(cfg)}
+	if st, ok := h.results[key]; ok {
+		return st, nil
+	}
+	p, err := h.program(w, mode)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	m, err := sim.New(p, cfg, sch)
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, sch.Name, err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, sch.Name, err)
+	}
+	h.results[key] = res.Stats
+	h.logf("  %-10s %-16s %12d cyc\n", w.Name, sch.Name, res.Stats.Cycles)
+	return res.Stats, nil
+}
+
+// Slowdown returns cycles(scheme)/cycles(baseline) for one workload, where
+// the baseline runs the original binary on the same config (or on baseCfg
+// when it differs, e.g. Figure 1's DRAM-main-memory reference).
+func (h *Harness) Slowdown(w workloads.Workload, cfg sim.Config, sch sim.Scheme, pruned bool) (float64, error) {
+	return h.SlowdownVs(w, cfg, sch, pruned, cfg, sim.Baseline())
+}
+
+// SlowdownVs normalizes against an explicit reference config/scheme.
+func (h *Harness) SlowdownVs(w workloads.Workload, cfg sim.Config, sch sim.Scheme, pruned bool, baseCfg sim.Config, baseSch sim.Scheme) (float64, error) {
+	return h.SlowdownVsMode(w, cfg, sch, compileModeFor(sch, pruned), baseCfg, baseSch)
+}
+
+// SlowdownVsMode is SlowdownVs with an explicit compile mode.
+func (h *Harness) SlowdownVsMode(w workloads.Workload, cfg sim.Config, sch sim.Scheme, mode string, baseCfg sim.Config, baseSch sim.Scheme) (float64, error) {
+	st, err := h.RunStatsMode(w, cfg, sch, mode)
+	if err != nil {
+		return 0, err
+	}
+	base, err := h.RunStats(w, baseCfg, baseSch, true)
+	if err != nil {
+		return 0, err
+	}
+	return st.Slowdown(base), nil
+}

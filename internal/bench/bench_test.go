@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cwsp/internal/sim"
+	"cwsp/internal/workloads"
+)
+
+func TestHarnessCachesRuns(t *testing.T) {
+	h := NewHarness(Options{Scale: workloads.Smoke})
+	w, err := workloads.ByName("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	a, err := h.RunStats(w, cfg, sim.Baseline(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.results) != 1 {
+		t.Fatalf("expected 1 cached result, got %d", len(h.results))
+	}
+	b, err := h.RunStats(w, cfg, sim.Baseline(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cached result differs")
+	}
+	if len(h.results) != 1 {
+		t.Errorf("cache grew on a repeat run: %d entries", len(h.results))
+	}
+	// A different config is a different key.
+	cfg2 := cfg
+	cfg2.RBTSize = 8
+	if _, err := h.RunStats(w, cfg2, sim.CWSP(), true); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.results) != 2 {
+		t.Errorf("expected 2 cached results, got %d", len(h.results))
+	}
+}
+
+func TestHarnessCompileModes(t *testing.T) {
+	h := NewHarness(Options{Scale: workloads.Smoke})
+	w, _ := workloads.ByName("gobmk")
+	p1, err := h.program(w, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := h.program(w, "pruned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("compile modes must produce distinct programs")
+	}
+	if p1.Funcs["main"].NumRegions != 0 {
+		t.Error("original binary must have no regions")
+	}
+	if p2.Funcs["main"].NumRegions == 0 {
+		t.Error("compiled binary must have regions")
+	}
+	if _, err := h.program(w, "weird"); err == nil {
+		t.Error("unknown compile mode should fail")
+	}
+}
+
+func TestSlowdownVsBaseline(t *testing.T) {
+	h := NewHarness(Options{Scale: workloads.Smoke})
+	w, _ := workloads.ByName("lu-cg")
+	cfg := sim.DefaultConfig()
+	sd, err := h.Slowdown(w, cfg, sim.CWSP(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd < 0.95 || sd > 3 {
+		t.Errorf("lu-cg cWSP slowdown %.3f implausible", sd)
+	}
+	one, err := h.Slowdown(w, cfg, sim.Baseline(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != 1.0 {
+		t.Errorf("baseline self-slowdown = %v, want exactly 1", one)
+	}
+}
+
+func TestReportTableRendering(t *testing.T) {
+	rep := &Report{
+		ID: "x", Title: "test", Paper: "expected numbers",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "w1", Suite: "S", Vals: []float64{1.5, 2.25}},
+			{Label: "gmean", Suite: "All", Vals: []float64{1.1, 2.0}},
+		},
+		Summary: map[string]float64{"gmean:a": 1.1},
+		Notes:   []string{"a note"},
+	}
+	s := rep.Table()
+	for _, want := range []string{"== x: test ==", "paper: expected numbers",
+		"S/w1", "1.500", "2.250", "All/gmean", "gmean:a", "a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig01HierarchyLevels(t *testing.T) {
+	for lv := 2; lv <= 5; lv++ {
+		c := fig01Hierarchy(lv)
+		if lv < 3 && c.L3Bytes != 0 {
+			t.Errorf("level %d should have no L3", lv)
+		}
+		if lv >= 3 && c.L3Bytes == 0 {
+			t.Errorf("level %d should have an L3", lv)
+		}
+		if lv < 4 && c.DRAMBytes != 0 {
+			t.Errorf("level %d should have no L4/DRAM cache", lv)
+		}
+		if lv >= 4 && c.DRAMBytes == 0 {
+			t.Errorf("level %d should have an L4/DRAM cache", lv)
+		}
+	}
+	if fig01Hierarchy(5).DRAMBytes <= fig01Hierarchy(4).DRAMBytes {
+		t.Error("5-level cache should be larger than 4-level")
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	rep := &Report{
+		ID:      "x",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "w", Suite: "S", Vals: []float64{1.5, 2}},
+		},
+	}
+	got := rep.CSV()
+	want := "app,a,b\nS/w,1.5,2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

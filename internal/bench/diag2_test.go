@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"testing"
+
+	"cwsp/internal/schemes"
+	"cwsp/internal/sim"
+	"cwsp/internal/workloads"
+)
+
+func TestDiagDRAM(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	h := NewHarness(Options{Scale: workloads.Full})
+	cfg := sim.DefaultConfig()
+	for _, name := range []string{"xsbench", "lbm", "astar", "sps", "tatp", "pc"} {
+		w, _ := workloads.ByName(name)
+		sb, err := h.RunStats(w, cfg, sim.Baseline(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := h.RunStats(w, cfg, schemes.PSPIdeal(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dramHR := 1 - float64(sb.DRAMMisses)/float64(sb.DRAMAccs+1)
+		t.Logf("%-8s base cyc %9d l1miss %.3f l2accs %7d l2miss %6d dram accs %7d HR %.2f nvm %7d | psp cyc %9d (%.3f) nvm %7d",
+			name, sb.Cycles, sb.L1DMissRate(), sb.L2Accs, sb.L2Misses, sb.DRAMAccs, dramHR, sb.NVMReads,
+			sp.Cycles, float64(sp.Cycles)/float64(sb.Cycles), sp.NVMReads)
+	}
+}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"testing"
+
+	"cwsp/internal/workloads"
+)
+
+// harness shared by shape tests (smoke scale keeps CI fast; run caching
+// makes the marginal cost of later tests small).
+var shapeH = NewHarness(Options{Scale: workloads.Smoke})
+
+func runExp(t *testing.T, id string) *Report {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(shapeH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatalf("%s: empty report", id)
+	}
+	t.Logf("\n%s", rep.Table())
+	return rep
+}
+
+// col returns the named column's value from the row with the given label
+// (suite-qualified rows use Suite+Label matching).
+func col(t *testing.T, rep *Report, suite, label, column string) float64 {
+	t.Helper()
+	ci := -1
+	for i, c := range rep.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("no column %q in %v", column, rep.Columns)
+	}
+	for _, r := range rep.Rows {
+		if r.Label == label && (suite == "" || r.Suite == suite) {
+			return r.Vals[ci]
+		}
+	}
+	t.Fatalf("no row %s/%s", suite, label)
+	return 0
+}
+
+// TestFig13Shape: the headline result — low average overhead, worst in
+// SPLASH3-like store-heavy code.
+func TestFig13Shape(t *testing.T) {
+	rep := runExp(t, "fig13")
+	g := rep.Summary["gmean:cwsp"]
+	if g < 1.0 || g > 1.15 {
+		t.Errorf("cWSP overall gmean %.3f outside the paper's ballpark (1.00-1.15)", g)
+	}
+	splash := col(t, rep, "SPLASH3", "gmean", "cwsp")
+	cpu06 := col(t, rep, "CPU2006", "gmean", "cwsp")
+	if splash < cpu06 {
+		t.Errorf("SPLASH3 (%.3f) should exceed CPU2006 (%.3f) — the paper's worst suite", splash, cpu06)
+	}
+}
+
+// TestFig14Shape: prior-work ordering — ReplayCache >> Capri-4GB > cWSP;
+// Capri approaches cWSP at 32 GB/s.
+func TestFig14Shape(t *testing.T) {
+	rep := runExp(t, "fig14")
+	rc := rep.Summary["gmean:replaycache"]
+	c4 := rep.Summary["gmean:capri-4GB"]
+	c32 := rep.Summary["gmean:capri-32GB"]
+	w4 := rep.Summary["gmean:cwsp-4GB"]
+	w32 := rep.Summary["gmean:cwsp-32GB"]
+	if !(rc > c4 && c4 > w4) {
+		t.Errorf("ordering broken: replaycache %.3f, capri-4GB %.3f, cwsp-4GB %.3f", rc, c4, w4)
+	}
+	if rc < 1.5 {
+		t.Errorf("ReplayCache %.3f should be dramatically slower (paper: 4.3x)", rc)
+	}
+	if c32-w32 > 0.10 {
+		t.Errorf("Capri at 32GB/s (%.3f) should be near cWSP (%.3f)", c32, w32)
+	}
+}
+
+// fullH runs memory-intensive experiments at full scale, where the DRAM
+// cache warms up (the signal Figures 1/17/18 rely on).
+var fullH = NewHarness(Options{Scale: workloads.Full})
+
+func runExpFull(t *testing.T, id string) *Report {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-scale experiment; skipped with -short")
+	}
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(fullH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Table())
+	return rep
+}
+
+// TestFig18Shape: ideal PSP pays heavily for losing the DRAM cache.
+func TestFig18Shape(t *testing.T) {
+	rep := runExpFull(t, "fig18")
+	cw := rep.Summary["gmean:cwsp"]
+	psp := rep.Summary["gmean:psp-ideal"]
+	if psp < cw+0.10 {
+		t.Errorf("ideal PSP (%.3f) should be far above cWSP (%.3f) — paper: 52%% vs 3%%", psp, cw)
+	}
+}
+
+// TestFig01Shape: slowdown shrinks monotonically-ish with hierarchy depth.
+func TestFig01Shape(t *testing.T) {
+	rep := runExpFull(t, "fig01")
+	l2 := rep.Summary["gmean:2-levels"]
+	l5 := rep.Summary["gmean:5-levels"]
+	if l5 >= l2 {
+		t.Errorf("deeper hierarchy should shrink the NVM penalty: 2-level %.3f vs 5-level %.3f", l2, l5)
+	}
+	if l2 < 1.2 {
+		t.Errorf("2-level NVM penalty %.3f too small to be meaningful", l2)
+	}
+}
+
+// TestFig21Shape: overhead falls as persist bandwidth rises, flat at the top.
+func TestFig21Shape(t *testing.T) {
+	rep := runExp(t, "fig21")
+	b1 := rep.Summary["gmean:1GB"]
+	b4 := rep.Summary["gmean:4GB"]
+	b32 := rep.Summary["gmean:32GB"]
+	if !(b1 >= b4 && b4 >= b32-0.005) {
+		t.Errorf("bandwidth trend broken: 1GB %.3f, 4GB %.3f, 32GB %.3f", b1, b4, b32)
+	}
+}
+
+// TestFig22Shape: small RBT hurts; big RBT helps.
+func TestFig22Shape(t *testing.T) {
+	rep := runExp(t, "fig22")
+	r8 := rep.Summary["gmean:RBT-8"]
+	r32 := rep.Summary["gmean:RBT-32"]
+	if r8 < r32 {
+		t.Errorf("RBT-8 (%.3f) should be no faster than RBT-32 (%.3f)", r8, r32)
+	}
+}
+
+// TestFig26Shape: small WPQ hurts.
+func TestFig26Shape(t *testing.T) {
+	rep := runExp(t, "fig26")
+	w8 := rep.Summary["gmean:WPQ-8"]
+	w24 := rep.Summary["gmean:WPQ-24"]
+	if w8 < w24 {
+		t.Errorf("WPQ-8 (%.3f) should be no faster than WPQ-24 (%.3f)", w8, w24)
+	}
+}
+
+// TestFig15Shape: the ablation ladder is sane — region formation alone is
+// cheap; adding the persist path costs more; pruning recovers.
+func TestFig15Shape(t *testing.T) {
+	rep := runExp(t, "fig15")
+	rf := rep.Summary["gmean:+regions"]
+	pp := rep.Summary["gmean:+persistpath"]
+	pr := rep.Summary["gmean:+pruning"]
+	if rf > pp {
+		t.Errorf("+regions (%.3f) should not exceed +persistpath (%.3f)", rf, pp)
+	}
+	if pr > pp {
+		t.Errorf("+pruning (%.3f) should not exceed unpruned persistence (%.3f)", pr, pp)
+	}
+}
+
+// TestHWCost: the static storage numbers (paper Section IX-N).
+func TestHWCost(t *testing.T) {
+	rep := runExp(t, "hwcost")
+	if v := col(t, rep, "", "cwsp-rbt", "bytes"); v != 176 {
+		t.Errorf("RBT bytes = %v, want 176", v)
+	}
+	if r := rep.Summary["capri/cwsp"]; r < 100 {
+		t.Errorf("Capri/cWSP storage ratio %.0f implausibly low", r)
+	}
+}
+
+// TestAblationShapes: the repo's own ablations must show their designed
+// signals.
+func TestAblationShapes(t *testing.T) {
+	gran := runExp(t, "abl-gran")
+	if g8, g64 := gran.Summary["gmean:8B@4GB"], gran.Summary["gmean:64B@4GB"]; g64 < g8+0.05 {
+		t.Errorf("64B persistence (%.3f) should cost clearly more than 8B (%.3f) at 4GB/s", g64, g8)
+	}
+	lg := runExp(t, "abl-log")
+	if free, line := lg.Summary["gmean:log-free"], lg.Summary["gmean:log-72B"]; line < free {
+		t.Errorf("line-sized logs (%.3f) should not beat free logging (%.3f)", line, free)
+	}
+	ck := runExp(t, "abl-ckpt")
+	if up, full := ck.Summary["gmean:unpruned"], ck.Summary["gmean:full"]; full > up {
+		t.Errorf("full optimizer (%.3f) should not exceed unpruned (%.3f)", full, up)
+	}
+}
+
+// TestMTScalingShape: baseline scales with cores; cWSP's sync drains make
+// lock-heavy code pay more at higher core counts.
+func TestMTScalingShape(t *testing.T) {
+	rep := runExp(t, "mt")
+	s1 := rep.Summary["slowdown:1-cores"]
+	s8 := rep.Summary["slowdown:8-cores"]
+	if s8 < s1 {
+		t.Errorf("8-core slowdown (%.3f) should exceed 1-core (%.3f) under lock contention", s8, s1)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig01", "fig06", "fig08", "fig13", "fig14", "fig15",
+		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+		"fig25", "fig26", "fig27", "hwcost", "compiler", "abl-ckpt", "abl-gran",
+		"abl-log", "mt"} {
+		if !ids[want] {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID should fail for unknown experiments")
+	}
+}

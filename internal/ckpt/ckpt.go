@@ -1,0 +1,677 @@
+// Package ckpt implements cWSP's live-out register checkpointing
+// (Section IV-B), the Penny-style optimal checkpoint pruning
+// (Section IV-C), and recovery-slice (RS) generation.
+//
+// Contract with the machine model:
+//
+//   - Every architectural register r of every call frame has an NVM
+//     checkpoint slot (the simulator addresses slots by (core, frame depth,
+//     register)).
+//   - Executing ir.OpCkpt r stores the current value of r to slot(r). Ckpt
+//     stores always travel the persist path undo-logged, so on recovery the
+//     slots roll back to their state as of the restart region's entry.
+//   - The calling convention checkpoints arguments into the callee frame's
+//     parameter slots as part of executing the call, which is why function
+//     entry boundaries need no compiler-inserted checkpoints.
+//
+// Insertion: immediately before every non-entry boundary, checkpoint every
+// register live at that boundary. Pruning then deletes every checkpoint
+// whose value is already reconstructible at that point — from an immediate,
+// from a still-valid older slot value, or from a one-step ALU expression
+// over a slot value (the paper's shift example) — iterating to a fixpoint
+// because one removal can invalidate downstream reconstructions.
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"cwsp/internal/analysis"
+	"cwsp/internal/ir"
+	"cwsp/internal/regions"
+)
+
+// Stats reports checkpoint insertion/pruning totals for one function.
+type Stats struct {
+	Inserted int // checkpoints before pruning
+	Pruned   int // checkpoints removed
+	Final    int // checkpoints remaining
+	Slices   int // recovery slices generated (== regions)
+}
+
+// Options tune the checkpoint optimizer (ablation knobs; the defaults are
+// the full cWSP design).
+type Options struct {
+	// Prune enables Penny-style checkpoint pruning.
+	Prune bool
+	// Hoist moves loop-invariant checkpoints to the loop's entry edges.
+	Hoist bool
+	// ChainDepth bounds recovery-slice ALU chains (0 = only exact slot or
+	// constant values are reconstructible; max maxChain).
+	ChainDepth int
+}
+
+// DefaultOptions is the full design.
+func DefaultOptions() Options { return Options{Prune: true, Hoist: true, ChainDepth: maxChain} }
+
+// Insert places checkpoints for every region of f (which must already be
+// region-formed), prunes them, and generates recovery slices into f.Slices.
+func Insert(f *ir.Function) (Stats, error) {
+	return InsertOpts(f, DefaultOptions())
+}
+
+// InsertOpts is Insert with explicit optimizer options.
+func InsertOpts(f *ir.Function, opt Options) (Stats, error) {
+	var st Stats
+	if f.NumRegions == 0 {
+		return st, fmt.Errorf("ckpt: function %s has no regions (run regions.Form first)", f.Name)
+	}
+	if opt.ChainDepth < 0 {
+		opt.ChainDepth = 0
+	}
+	if opt.ChainDepth > maxChain {
+		opt.ChainDepth = maxChain
+	}
+	chainLimit = opt.ChainDepth
+
+	st.Inserted = insertAll(f)
+	if !opt.Prune {
+		st.Final = st.Inserted
+		if err := buildSlices(f); err != nil {
+			return st, err
+		}
+		st.Slices = len(f.Slices)
+		return st, nil
+	}
+
+	// Prune to fixpoint.
+	for {
+		removed := pruneOnce(f)
+		if removed == 0 {
+			break
+		}
+	}
+
+	// Batch pruning can strand a register: a removal that was justified by
+	// a constant or expression can leave a later checkpoint's support stale
+	// once both go. Repair re-inserts checkpoints wherever the final
+	// abstraction leaves a live register unrecoverable; each insertion can
+	// invalidate at most finitely many expression reconstructions, so the
+	// loop terminates.
+	for {
+		added := repair(f)
+		if added == 0 {
+			break
+		}
+	}
+
+	// Hoist loop-invariant checkpoints out of loop headers: a register not
+	// redefined inside the loop needs its slot written once, on loop entry,
+	// not once per iteration. Hoisted checkpoints are not re-pruned (their
+	// job is to make the recovery recipe uniform across the header's entry
+	// and back edges); a final repair covers anything hoisting exposed.
+	if opt.Hoist && hoistInvariants(f) > 0 {
+		for {
+			added := repair(f)
+			if added == 0 {
+				break
+			}
+		}
+	}
+	st.Final = countCkpts(f)
+	st.Pruned = st.Inserted - st.Final
+
+	if err := buildSlices(f); err != nil {
+		return st, err
+	}
+	st.Slices = len(f.Slices)
+	return st, nil
+}
+
+// InsertUnpruned places checkpoints and builds slices without running the
+// pruning pass — the "-Pruning" ablation of the paper's Figure 15.
+func InsertUnpruned(f *ir.Function) (Stats, error) {
+	return InsertOpts(f, Options{Prune: false, ChainDepth: maxChain})
+}
+
+// insertAll inserts ckpt instructions for all live registers before every
+// non-entry boundary and returns the count.
+func insertAll(f *ir.Function) int {
+	cfg := analysis.BuildCFG(f)
+	lv := analysis.ComputeLiveness(f, cfg)
+	inserted := 0
+	for _, b := range f.Blocks {
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		for ii := range b.Instrs {
+			in := b.Instrs[ii]
+			if in.Op == ir.OpBoundary && !(b.Index == 0 && ii == 0) {
+				live := lv.LiveBefore(b.Index, ii)
+				regs := live.Members()
+				sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+				for _, r := range regs {
+					out = append(out, ir.Instr{Op: ir.OpCkpt, A: ir.R(r)})
+					inserted++
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return inserted
+}
+
+// --- Recovery-value abstraction ------------------------------------------
+//
+// Product lattice: a register value may simultaneously be (a) a known
+// immediate and (b) reconstructible by replaying a short ALU chain over an
+// NVM checkpoint slot. Join intersects the capabilities, and every transfer
+// is monotone w.r.t. capability inclusion, so the optimistic fixpoint
+// converges to the true greatest solution — a flat lattice cannot express
+// "constant on the entry edge, slot-valid on the back edge", which is
+// exactly the state a pruned loop-invariant checkpoint leaves behind.
+
+// maxChain bounds how many ALU steps a recovery slice may replay to
+// reconstruct one register (Penny's multi-instruction reconstruction).
+const maxChain = 8
+
+// chainLimit is the active bound (<= maxChain), set per InsertOpts call —
+// the compiler is single-threaded per function, so a package variable is
+// adequate here.
+var chainLimit = maxChain
+
+type chainStep struct {
+	op  ir.Op
+	imm int64
+}
+
+type absVal struct {
+	top bool // unvisited (optimistic initial value; join identity)
+
+	hasConst bool
+	c        int64
+
+	hasSlot  bool
+	srcReg   ir.Reg // slot the chain is rooted at
+	chainLen int8
+	chain    [maxChain]chainStep
+}
+
+func bottomVal() absVal { return absVal{} }
+
+func constVal(c int64) absVal { return absVal{hasConst: true, c: c} }
+
+func slotVal(r ir.Reg) absVal { return absVal{hasSlot: true, srcReg: r} }
+
+func (a absVal) recoverable() bool { return !a.top && (a.hasConst || a.hasSlot) }
+
+func (a absVal) sameSlotRecipe(b absVal) bool {
+	if a.srcReg != b.srcReg || a.chainLen != b.chainLen {
+		return false
+	}
+	for i := int8(0); i < a.chainLen; i++ {
+		if a.chain[i] != b.chain[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func join(a, b absVal) absVal {
+	if a.top {
+		return b
+	}
+	if b.top {
+		return a
+	}
+	var out absVal
+	if a.hasConst && b.hasConst && a.c == b.c {
+		out.hasConst = true
+		out.c = a.c
+	}
+	if a.hasSlot && b.hasSlot && a.sameSlotRecipe(b) {
+		out.hasSlot = true
+		out.srcReg = a.srcReg
+		out.chainLen = a.chainLen
+		out.chain = a.chain
+	}
+	return out
+}
+
+type absState []absVal // per register
+
+func (s absState) clone() absState {
+	c := make(absState, len(s))
+	copy(c, s)
+	return c
+}
+
+func (s absState) joinWith(o absState) bool {
+	changed := false
+	for i := range s {
+		n := join(s[i], o[i])
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// transfer applies one instruction to the state. The register index in s is
+// the register number; the instruction's own position is irrelevant.
+func transfer(s absState, in *ir.Instr) {
+	bottomDef := func() {
+		if d := in.Def(); d != ir.NoReg {
+			s[d] = bottomVal()
+		}
+	}
+	get := func(o ir.Operand) absVal {
+		switch o.Kind {
+		case ir.OperandImm:
+			return constVal(o.Imm)
+		case ir.OperandReg:
+			return s[o.Reg]
+		}
+		return bottomVal()
+	}
+	extend := func(a absVal, op ir.Op, imm int64) absVal {
+		// Append one ALU step to a slot chain (drops the capability when
+		// the chain is full).
+		if !a.hasSlot || int(a.chainLen) >= chainLimit {
+			a.hasSlot = false
+			a.chainLen = 0
+			a.chain = [maxChain]chainStep{}
+			a.srcReg = 0
+			return a
+		}
+		a.chain[a.chainLen] = chainStep{op: op, imm: imm}
+		a.chainLen++
+		return a
+	}
+	switch in.Op {
+	case ir.OpConst:
+		s[in.Dst] = constVal(in.A.Imm)
+	case ir.OpMov:
+		s[in.Dst] = get(in.A)
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		a, b := get(in.A), get(in.B)
+		// Compute the result's capabilities independently (the product
+		// lattice keeps the transfer monotone only if no capability is
+		// dropped when inputs gain capabilities). Top inputs (only possible
+		// before a block's first visit) map to Top.
+		var out absVal
+		if a.top || b.top {
+			if d := in.Def(); d != ir.NoReg {
+				s[d] = absVal{top: true}
+			}
+			return
+		}
+		if a.hasConst && b.hasConst {
+			out.hasConst = true
+			out.c = foldConst(in.Op, a.c, b.c)
+		}
+		var ext absVal
+		switch {
+		case a.hasSlot && b.hasConst:
+			ext = extend(a, in.Op, b.c)
+		case b.hasSlot && a.hasConst && commutative(in.Op):
+			ext = extend(b, in.Op, a.c)
+		}
+		if ext.hasSlot {
+			out.hasSlot = true
+			out.srcReg = ext.srcReg
+			out.chainLen = ext.chainLen
+			out.chain = ext.chain
+		}
+		if d := in.Def(); d != ir.NoReg {
+			s[d] = out
+		}
+	case ir.OpCkpt:
+		r := in.A.Reg
+		if s[r].top {
+			// Unvisited state: leave Top (monotone completion).
+			return
+		}
+		// If the slot already holds r's current value, rewriting it is a
+		// no-op and every chain snapshotting it stays valid. Otherwise the
+		// write replaces the snapshot other chains rely on.
+		noop := s[r].hasSlot && s[r].srcReg == r && s[r].chainLen == 0
+		if !noop {
+			for i := range s {
+				if ir.Reg(i) != r && s[i].hasSlot && s[i].srcReg == r {
+					s[i].hasSlot = false
+					s[i].chainLen = 0
+					s[i].chain = [maxChain]chainStep{}
+					s[i].srcReg = 0
+				}
+			}
+		}
+		// The register gains the fresh-slot capability and keeps any
+		// constant capability it already had.
+		nv := s[r]
+		nv.top = false
+		nv.hasSlot = true
+		nv.srcReg = r
+		nv.chainLen = 0
+		nv.chain = [maxChain]chainStep{}
+		s[r] = nv
+	case ir.OpBoundary, ir.OpFence, ir.OpEmit, ir.OpStore, ir.OpJmp, ir.OpBr, ir.OpRet:
+		// No register effect.
+	default:
+		// Loads, calls, allocs, atomics, selects: defined registers are not
+		// statically reconstructible.
+		bottomDef()
+	}
+}
+
+func commutative(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+		return true
+	}
+	return false
+}
+
+func foldConst(op ir.Op, a, b int64) int64 {
+	regs := []int64{a, b}
+	in := ir.Instr{Op: op, Dst: 0, A: ir.R(0), B: ir.R(1)}
+	// Reuse the executor for exact semantics (shift masking, div-by-zero).
+	out := make([]int64, 2)
+	copy(out, regs)
+	ir.Exec(&in, out, nopEnv{})
+	return out[0]
+}
+
+type nopEnv struct{}
+
+func (nopEnv) Load(int64) int64   { return 0 }
+func (nopEnv) Store(int64, int64) {}
+func (nopEnv) Alloc(int64) int64  { return 0 }
+func (nopEnv) Emit(int64)         {}
+
+// dataflow computes the abstraction at every program point; it returns the
+// in-state of every block. Each pass recomputes every block's in-state as a
+// fresh join over its predecessors' current out-states (a sticky
+// accumulate-join would let a transient first-pass value poison loop-header
+// joins forever). The transfer functions are not perfectly monotone over the
+// flat lattice (a checkpoint turns Bottom into a fresh slot abstraction), so
+// iteration is capped; on non-convergence the result degrades to the sound
+// pessimistic state (checkpoint everything).
+func dataflow(f *ir.Function, cfg *analysis.CFG) []absState {
+	n := len(f.Blocks)
+	entryIn := make(absState, f.NumRegs)
+	for r := 0; r < f.NumRegs; r++ {
+		if r < f.NParams {
+			// Parameters are checkpointed by the calling convention.
+			entryIn[r] = slotVal(ir.Reg(r))
+		} else {
+			entryIn[r] = bottomVal()
+		}
+	}
+	computeIn := func(bi int, out []absState) absState {
+		if bi == 0 {
+			return entryIn.clone()
+		}
+		in := make(absState, f.NumRegs)
+		for r := range in {
+			in[r].top = true
+		}
+		for _, p := range cfg.Preds[bi] {
+			if out[p] != nil {
+				in.joinWith(out[p])
+			}
+		}
+		return in
+	}
+
+	out := make([]absState, n)
+	for pass := 0; pass < 4096; pass++ {
+		changed := false
+		for _, bi := range cfg.RPO {
+			cur := computeIn(bi, out)
+			for ii := range f.Blocks[bi].Instrs {
+				transfer(cur, &f.Blocks[bi].Instrs[ii])
+			}
+			if out[bi] == nil || !stateEq(cur, out[bi]) {
+				out[bi] = cur
+				changed = true
+			}
+		}
+		if !changed {
+			ins := make([]absState, n)
+			for bi := range ins {
+				ins[bi] = computeIn(bi, out)
+			}
+			return ins
+		}
+	}
+	// Non-convergence: fall back to the pessimistic sound answer.
+	ins := make([]absState, n)
+	for bi := range ins {
+		st := make(absState, f.NumRegs)
+		for r := range st {
+			st[r] = bottomVal()
+		}
+		ins[bi] = st
+	}
+	ins[0] = entryIn.clone()
+	return ins
+}
+
+func stateEq(a, b absState) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pruneOnce removes every checkpoint whose register is already
+// reconstructible just before the checkpoint executes. Returns removals.
+func pruneOnce(f *ir.Function) int {
+	cfg := analysis.BuildCFG(f)
+	in := dataflow(f, cfg)
+	removed := 0
+	for bi, b := range f.Blocks {
+		if !cfg.Reachable(bi) {
+			continue
+		}
+		cur := in[bi].clone()
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		for ii := range b.Instrs {
+			inst := b.Instrs[ii]
+			if inst.Op == ir.OpCkpt {
+				if cur[inst.A.Reg].recoverable() {
+					removed++
+					continue // drop the checkpoint; do not apply transfer
+				}
+			}
+			transfer(cur, &b.Instrs[ii])
+			out = append(out, inst)
+		}
+		b.Instrs = out
+	}
+	return removed
+}
+
+// hoistInvariants moves checkpoints sitting at a natural-loop header whose
+// register is never defined inside the loop to the loop's entering edges:
+// the slot only needs to be (re)written once per loop entry. Returns the
+// number of checkpoints moved.
+func hoistInvariants(f *ir.Function) int {
+	cfg := analysis.BuildCFG(f)
+	dom := analysis.Dominators(cfg)
+	moved := 0
+	for _, loop := range analysis.NaturalLoops(cfg, dom) {
+		h := loop.Header
+		if h == 0 {
+			continue // never hoist across the function entry
+		}
+		// Registers defined anywhere inside the loop.
+		defined := map[ir.Reg]bool{}
+		for b := range loop.Body {
+			for ii := range f.Blocks[b].Instrs {
+				if d := f.Blocks[b].Instrs[ii].Def(); d != ir.NoReg {
+					defined[d] = true
+				}
+			}
+		}
+		// Leading checkpoints of the header block (those before its first
+		// boundary) whose register is loop-invariant.
+		hb := f.Blocks[h]
+		var keep []ir.Instr
+		var hoisted []ir.Instr
+		took := 0
+		for ii := 0; ii < len(hb.Instrs); ii++ {
+			in := hb.Instrs[ii]
+			if in.Op == ir.OpCkpt {
+				if !defined[in.A.Reg] {
+					hoisted = append(hoisted, in)
+					took++
+				} else {
+					keep = append(keep, in)
+				}
+				continue
+			}
+			keep = append(keep, hb.Instrs[ii:]...)
+			break
+		}
+		if took == 0 {
+			continue
+		}
+		// Entering predecessors (outside the loop body).
+		var enter []int
+		ok := true
+		for _, p := range cfg.Preds[h] {
+			if loop.Body[p] {
+				continue
+			}
+			if !cfg.Reachable(p) || f.Blocks[p].Term() == nil {
+				ok = false
+				break
+			}
+			enter = append(enter, p)
+		}
+		if !ok || len(enter) == 0 {
+			continue
+		}
+		hb.Instrs = keep
+		for _, p := range enter {
+			pb := f.Blocks[p]
+			term := pb.Instrs[len(pb.Instrs)-1]
+			body := pb.Instrs[:len(pb.Instrs)-1]
+			body = append(body, hoisted...)
+			pb.Instrs = append(body, term)
+		}
+		moved += took
+	}
+	return moved
+}
+
+// countCkpts counts checkpoint instructions in f.
+func countCkpts(f *ir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpCkpt {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// repair re-inserts a checkpoint before every boundary at which a live
+// register's abstraction is not reconstructible. Returns insertions made.
+func repair(f *ir.Function) int {
+	cfg := analysis.BuildCFG(f)
+	lv := analysis.ComputeLiveness(f, cfg)
+	in := dataflow(f, cfg)
+
+	// need[block][index] = registers requiring a checkpoint before the
+	// boundary at that (final, pre-insertion) position.
+	need := map[ir.InstrRef][]ir.Reg{}
+	for bi, b := range f.Blocks {
+		if !cfg.Reachable(bi) {
+			continue
+		}
+		cur := in[bi].clone()
+		for ii := range b.Instrs {
+			inst := &b.Instrs[ii]
+			if inst.Op == ir.OpBoundary && !(bi == 0 && ii == 0) {
+				for _, r := range lv.LiveBefore(bi, ii).Members() {
+					if !cur[r].recoverable() {
+						need[ir.InstrRef{Block: bi, Index: ii}] = append(need[ir.InstrRef{Block: bi, Index: ii}], r)
+					}
+				}
+			}
+			transfer(cur, inst)
+		}
+	}
+	if len(need) == 0 {
+		return 0
+	}
+	added := 0
+	for bi, b := range f.Blocks {
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		for ii := range b.Instrs {
+			if regsNeeded, ok := need[ir.InstrRef{Block: bi, Index: ii}]; ok {
+				for _, r := range regsNeeded {
+					out = append(out, ir.Instr{Op: ir.OpCkpt, A: ir.R(r)})
+					added++
+				}
+			}
+			out = append(out, b.Instrs[ii])
+		}
+		b.Instrs = out
+	}
+	return added
+}
+
+// buildSlices generates the recovery slice for every region boundary.
+func buildSlices(f *ir.Function) error {
+	cfg := analysis.BuildCFG(f)
+	lv := analysis.ComputeLiveness(f, cfg)
+	in := dataflow(f, cfg)
+	f.Slices = make(map[int]ir.RecoverySlice, f.NumRegions)
+
+	for _, ref := range regions.Boundaries(f) {
+		if !cfg.Reachable(ref.Block) {
+			continue
+		}
+		b := f.Blocks[ref.Block]
+		id := b.Instrs[ref.Index].RegionID
+
+		// Abstraction at the boundary.
+		cur := in[ref.Block].clone()
+		for ii := 0; ii < ref.Index; ii++ {
+			transfer(cur, &b.Instrs[ii])
+		}
+		live := lv.LiveBefore(ref.Block, ref.Index)
+		regsLive := live.Members()
+		sort.Slice(regsLive, func(i, j int) bool { return regsLive[i] < regsLive[j] })
+
+		rs := ir.RecoverySlice{RegionID: id, Entry: ref, LiveIn: regsLive}
+		for _, r := range regsLive {
+			a := cur[r]
+			switch {
+			case a.hasConst:
+				rs.Steps = append(rs.Steps, ir.SliceStep{Op: ir.SliceConst, Dst: r, Imm: a.c})
+			case a.hasSlot:
+				rs.Steps = append(rs.Steps, ir.SliceStep{Op: ir.SliceLoadCkpt, Dst: r, Src: a.srcReg})
+				for k := 0; k < int(a.chainLen); k++ {
+					rs.Steps = append(rs.Steps,
+						ir.SliceStep{Op: ir.SliceUnary, Dst: r, Src: r, Imm: a.chain[k].imm, ALUOp: a.chain[k].op})
+				}
+			default:
+				return fmt.Errorf("ckpt: %s region %d: live register r%d not recoverable",
+					f.Name, id, r)
+			}
+		}
+		f.Slices[id] = rs
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package ckpt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cwsp/internal/ir"
+)
+
+// randAbs draws a random lattice element.
+func randAbs(r *rand.Rand) absVal {
+	var v absVal
+	switch r.Intn(5) {
+	case 0:
+		v.top = true
+	case 1: // bottom: zero value
+	case 2:
+		v.hasConst = true
+		v.c = int64(r.Intn(5))
+	case 3, 4:
+		v.hasSlot = true
+		v.srcReg = ir.Reg(r.Intn(4))
+		v.chainLen = int8(r.Intn(3))
+		for i := int8(0); i < v.chainLen; i++ {
+			v.chain[i] = chainStep{op: ir.OpAdd, imm: int64(r.Intn(3))}
+		}
+		if r.Intn(2) == 0 {
+			v.hasConst = true
+			v.c = int64(r.Intn(5))
+		}
+	}
+	return v
+}
+
+func quickCfg() *quick.Config {
+	r := rand.New(rand.NewSource(99))
+	return &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randAbs(r))
+			}
+		},
+	}
+}
+
+// leq is capability inclusion: a ≤ b iff every capability of a is also a
+// capability of b with the same recipe. Top is the maximum.
+func leq(a, b absVal) bool {
+	if b.top {
+		return true
+	}
+	if a.top {
+		return false
+	}
+	if a.hasConst && (!b.hasConst || a.c != b.c) {
+		return false
+	}
+	if a.hasSlot && (!b.hasSlot || !a.sameSlotRecipe(b)) {
+		return false
+	}
+	// a may not have capabilities b lacks... inclusion means a's are a
+	// subset of b's, checked above; b may have more.
+	return true
+}
+
+func TestJoinCommutative(t *testing.T) {
+	f := func(a, b absVal) bool { return join(a, b) == join(b, a) }
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinAssociative(t *testing.T) {
+	f := func(a, b, c absVal) bool {
+		return join(join(a, b), c) == join(a, join(b, c))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	f := func(a absVal) bool { return join(a, a) == a }
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinTopIdentity(t *testing.T) {
+	top := absVal{top: true}
+	f := func(a absVal) bool { return join(top, a) == a && join(a, top) == a }
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinIsGreatestLowerBound(t *testing.T) {
+	// join(a,b) (capability intersection) must be ≤ both operands, and any
+	// c ≤ both must be ≤ the join.
+	f := func(a, b, c absVal) bool {
+		j := join(a, b)
+		if !leq(j, a) || !leq(j, b) {
+			return false
+		}
+		if leq(c, a) && leq(c, b) && !leq(c, j) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransferMonotone: for every non-memory instruction shape, a ≤ b on
+// inputs implies transfer(a) ≤ transfer(b) — the property the optimistic
+// fixpoint's convergence to a sound answer rests on.
+func TestTransferMonotone(t *testing.T) {
+	shapes := []ir.Instr{
+		{Op: ir.OpConst, Dst: 0, A: ir.Imm(7)},
+		{Op: ir.OpMov, Dst: 0, A: ir.R(1)},
+		{Op: ir.OpAdd, Dst: 0, A: ir.R(1), B: ir.Imm(3)},
+		{Op: ir.OpMul, Dst: 0, A: ir.Imm(3), B: ir.R(1)},
+		{Op: ir.OpShl, Dst: 0, A: ir.R(1), B: ir.R(2)},
+		{Op: ir.OpCmpLT, Dst: 0, A: ir.R(1), B: ir.Imm(5)},
+		{Op: ir.OpCkpt, A: ir.R(1)},
+		{Op: ir.OpCkpt, A: ir.R(0)},
+		{Op: ir.OpLoad, Dst: 0, A: ir.R(1)},
+	}
+	r := rand.New(rand.NewSource(7))
+	const regs = 3
+	for iter := 0; iter < 4000; iter++ {
+		in := shapes[r.Intn(len(shapes))]
+		sa := make(absState, regs)
+		sb := make(absState, regs)
+		for i := 0; i < regs; i++ {
+			// Draw sb, then weaken it into sa so sa[i] ≤ sb[i].
+			sb[i] = randAbs(r)
+			sa[i] = weaken(sb[i], r)
+		}
+		ca := sa.clone()
+		cb := sb.clone()
+		transfer(ca, &in)
+		transfer(cb, &in)
+		for i := 0; i < regs; i++ {
+			if !leq(ca[i], cb[i]) {
+				t.Fatalf("transfer not monotone on %v reg %d:\n in a=%+v b=%+v\nout a=%+v b=%+v",
+					in.Op, i, sa[i], sb[i], ca[i], cb[i])
+			}
+		}
+	}
+}
+
+// weaken returns a value ≤ v by dropping capabilities at random.
+func weaken(v absVal, r *rand.Rand) absVal {
+	if v.top {
+		// Anything is ≤ Top.
+		if r.Intn(2) == 0 {
+			return v
+		}
+		return randAbs(r)
+	}
+	if v.hasConst && r.Intn(2) == 0 {
+		v.hasConst = false
+		v.c = 0
+	}
+	if v.hasSlot && r.Intn(2) == 0 {
+		v.hasSlot = false
+		v.srcReg = 0
+		v.chainLen = 0
+		v.chain = [maxChain]chainStep{}
+	}
+	return v
+}
+
+func TestStateJoinWith(t *testing.T) {
+	a := make(absState, 2)
+	b := make(absState, 2)
+	a[0] = constVal(3)
+	a[1] = slotVal(1)
+	b[0] = constVal(3)
+	b[1] = constVal(9)
+	if !a.joinWith(b) {
+		t.Error("join should report a change (reg 1 loses its slot)")
+	}
+	if a[0] != constVal(3) {
+		t.Error("matching constants must survive the join")
+	}
+	if a[1].recoverable() {
+		t.Error("conflicting capabilities must meet at bottom")
+	}
+	if a.joinWith(b) {
+		t.Error("second join must be a no-op")
+	}
+}

@@ -1,0 +1,147 @@
+// Package compiler is the cWSP compiler driver: it runs idempotent region
+// formation, live-out checkpoint insertion + pruning, recovery-slice
+// generation, and the live-across-call analysis over every function of a
+// program, producing a binary-equivalent program the cycle-level machine can
+// execute with whole-system persistence.
+//
+// The paper builds these passes on Clang/LLVM 13 and applies them to the
+// whole Linux stack; here the same algorithms run over the repo's virtual
+// IR (see DESIGN.md for the substitution argument).
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"cwsp/internal/analysis"
+	"cwsp/internal/ckpt"
+	"cwsp/internal/ir"
+	"cwsp/internal/regions"
+)
+
+// Options select which passes run, mirroring the paper's Figure 15
+// optimization breakdown knobs plus this repo's ablation knobs.
+type Options struct {
+	// PruneCheckpoints enables Penny-style checkpoint pruning (the paper's
+	// "+Pruning"). When false, every live register is checkpointed at every
+	// boundary.
+	PruneCheckpoints bool
+	// HoistCheckpoints moves loop-invariant checkpoints to loop entries
+	// (enabled by default; ablation: abl-ckpt).
+	HoistCheckpoints bool
+	// ChainDepth bounds recovery-slice ALU reconstruction chains
+	// (0 disables expression reconstruction; <0 means the default).
+	ChainDepth int
+}
+
+// DefaultOptions enables everything.
+func DefaultOptions() Options {
+	return Options{PruneCheckpoints: true, HoistCheckpoints: true, ChainDepth: -1}
+}
+
+// FuncReport summarizes compilation of one function.
+type FuncReport struct {
+	Name    string
+	Regions regions.Stats
+	Ckpt    ckpt.Stats
+}
+
+// Report summarizes a whole-program compilation.
+type Report struct {
+	Funcs []FuncReport
+}
+
+// TotalRegions sums static regions over all functions.
+func (r *Report) TotalRegions() int {
+	n := 0
+	for _, f := range r.Funcs {
+		n += f.Regions.Total
+	}
+	return n
+}
+
+// TotalCheckpoints sums surviving checkpoints over all functions.
+func (r *Report) TotalCheckpoints() int {
+	n := 0
+	for _, f := range r.Funcs {
+		n += f.Ckpt.Final
+	}
+	return n
+}
+
+// PrunedCheckpoints sums removed checkpoints over all functions.
+func (r *Report) PrunedCheckpoints() int {
+	n := 0
+	for _, f := range r.Funcs {
+		n += f.Ckpt.Pruned
+	}
+	return n
+}
+
+// Compile clones p and runs the cWSP passes over every function. The input
+// program is left untouched (benchmarks compare compiled and baseline
+// executions of the same source).
+func Compile(p *ir.Program, opt Options) (*ir.Program, *Report, error) {
+	if err := ir.VerifyProgram(p); err != nil {
+		return nil, nil, fmt.Errorf("compiler: input: %w", err)
+	}
+	q := p.Clone()
+	rep := &Report{}
+
+	names := make([]string, 0, len(q.Funcs))
+	for n := range q.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := q.Funcs[name]
+		fr := FuncReport{Name: name}
+		fr.Regions = regions.Form(f)
+
+		co := ckpt.Options{Prune: opt.PruneCheckpoints, Hoist: opt.HoistCheckpoints, ChainDepth: opt.ChainDepth}
+		if opt.ChainDepth < 0 {
+			co.ChainDepth = ckpt.DefaultOptions().ChainDepth
+		}
+		var err error
+		fr.Ckpt, err = ckpt.InsertOpts(f, co)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compiler: %s: %w", name, err)
+		}
+
+		liveAcross(f)
+		rep.Funcs = append(rep.Funcs, fr)
+	}
+
+	if err := ir.VerifyProgram(q); err != nil {
+		return nil, nil, fmt.Errorf("compiler: output: %w", err)
+	}
+	return q, rep, nil
+}
+
+// liveAcross records, for every call-like site, the caller registers that
+// are live after the site minus its destination — the set the calling
+// convention spills to the NVM stack and restores on return.
+func liveAcross(f *ir.Function) {
+	cfg := analysis.BuildCFG(f)
+	lv := analysis.ComputeLiveness(f, cfg)
+	f.LiveAcross = map[ir.InstrRef][]ir.Reg{}
+	for bi, b := range f.Blocks {
+		if !cfg.Reachable(bi) {
+			continue
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op != ir.OpCall {
+				continue
+			}
+			live := lv.LiveAfter(bi, ii)
+			if in.Dst != ir.NoReg {
+				live.Remove(in.Dst)
+			}
+			regs := live.Members()
+			sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+			f.LiveAcross[ir.InstrRef{Block: bi, Index: ii}] = regs
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package compiler
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cwsp/internal/ir"
+	"cwsp/internal/progen"
+)
+
+func TestCompileRejectsInvalidProgram(t *testing.T) {
+	p := ir.NewProgram("bad")
+	p.Entry = "missing"
+	if _, _, err := Compile(p, DefaultOptions()); err == nil {
+		t.Fatal("expected error for missing entry")
+	}
+}
+
+func TestCompileLeavesInputUntouched(t *testing.T) {
+	p := progen.Generate(5, progen.DefaultConfig())
+	before := p.Dump()
+	if _, _, err := Compile(p, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Dump() != before {
+		t.Fatal("Compile mutated its input program")
+	}
+}
+
+func TestCompilePreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		want, err := ir.Interp(p, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opt := range []Options{DefaultOptions(), {PruneCheckpoints: false}} {
+			q, _, err := Compile(p, opt)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			got, err := ir.Interp(q, nil, 0)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if got.RetVal != want.RetVal || fmt.Sprint(got.Output) != fmt.Sprint(want.Output) {
+				t.Errorf("seed %d opts %+v: semantics changed", seed, opt)
+			}
+		}
+	}
+}
+
+func TestReportTotals(t *testing.T) {
+	p := progen.Generate(9, progen.DefaultConfig())
+	_, rep, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRegions() < 1 {
+		t.Error("no regions reported")
+	}
+	if rep.TotalCheckpoints() < 0 || rep.PrunedCheckpoints() < 0 {
+		t.Error("negative checkpoint totals")
+	}
+	_, repU, err := Compile(p, Options{PruneCheckpoints: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repU.TotalCheckpoints() < rep.TotalCheckpoints() {
+		t.Errorf("unpruned build has fewer checkpoints (%d) than pruned (%d)",
+			repU.TotalCheckpoints(), rep.TotalCheckpoints())
+	}
+}
+
+// TestLiveAcrossCoversPostCallReads validates the calling convention's spill
+// set dynamically: after any call returns, the caller may only read
+// registers that were spilled (LiveAcross), the call's destination, or
+// registers redefined since the return.
+func TestLiveAcrossCoversPostCallReads(t *testing.T) {
+	cfg := progen.DefaultConfig()
+	cfg.MaxFuncs = 3
+	for seed := int64(0); seed < 100; seed++ {
+		p := progen.Generate(seed, cfg)
+		q, _, err := Compile(p, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type frameState struct {
+			fn    *ir.Function
+			valid map[ir.Reg]bool // false entries are "lost across a call"
+		}
+		var stack []*frameState
+		cur := &frameState{fn: q.EntryFunc(), valid: map[ir.Reg]bool{}}
+		fail := 0
+
+		hook := func(f *ir.Function, ref ir.InstrRef, in *ir.Instr, regs []int64) {
+			if fail > 3 {
+				return
+			}
+			if f != cur.fn {
+				// The interpreter switched frames (call or return); handled
+				// via the OpCall/OpRet cases below, so a mismatch here means
+				// our model lost sync.
+				fail++
+				t.Errorf("seed %d: frame model out of sync (%s vs %s)", seed, f.Name, cur.fn.Name)
+				return
+			}
+			// Check reads.
+			for _, u := range in.Uses(nil) {
+				if invalid, tracked := cur.valid[u]; tracked && invalid {
+					fail++
+					t.Errorf("seed %d: %s b%d[%d] %s reads r%d which was not spilled across a call",
+						seed, f.Name, ref.Block, ref.Index, in.Op, u)
+				}
+			}
+			switch in.Op {
+			case ir.OpCall:
+				// Invalidate everything not in the spill set; dst stays
+				// valid (return value).
+				spilled := map[ir.Reg]bool{}
+				for _, r := range f.LiveAcross[ref] {
+					spilled[r] = true
+				}
+				for r := 0; r < f.NumRegs; r++ {
+					if !spilled[ir.Reg(r)] && ir.Reg(r) != in.Dst {
+						cur.valid[ir.Reg(r)] = true // mark lost after return
+					}
+				}
+				cur.valid[in.Dst] = false // return value is delivered
+
+				// Push callee frame.
+				callee := q.Funcs[in.Callee]
+				stack = append(stack, cur)
+				cur = &frameState{fn: callee, valid: map[ir.Reg]bool{}}
+			case ir.OpRet:
+				if len(stack) > 0 {
+					cur = stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+				}
+			default:
+				if d := in.Def(); d != ir.NoReg {
+					cur.valid[d] = false // redefinition revalidates
+				}
+			}
+		}
+		if _, err := ir.InterpTraced(q, nil, 5_000_000, ir.NewFlatMem(), hook); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestCompiledProgramsRoundTripText: the text interchange format preserves
+// compiled programs (boundaries, checkpoints, slices, spill sets) exactly.
+func TestCompiledProgramsRoundTripText(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		q, _, err := Compile(p, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := q.MarshalText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		text := buf.String()
+		r, err := ir.UnmarshalText(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var buf2 bytes.Buffer
+		if err := r.MarshalText(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if text != buf2.String() {
+			t.Fatalf("seed %d: unstable round trip", seed)
+		}
+		a, err := ir.Interp(q, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ir.Interp(r, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.RetVal != b.RetVal {
+			t.Fatalf("seed %d: semantics changed through text", seed)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package ir
+
+import "fmt"
+
+// FuncBuilder constructs a Function block by block.
+type FuncBuilder struct {
+	F   *Function
+	cur *Block
+}
+
+// NewFunc starts building a function with the given parameter count.
+// Registers 0..nparams-1 receive the arguments.
+func NewFunc(name string, nparams int) *FuncBuilder {
+	f := &Function{Name: name, NParams: nparams, NumRegs: nparams}
+	return &FuncBuilder{F: f}
+}
+
+// NewBlock appends a new basic block and makes it current.
+func (fb *FuncBuilder) NewBlock(name string) *Block {
+	b := fb.AddBlock(name)
+	fb.cur = b
+	return b
+}
+
+// AddBlock appends a new basic block without switching the current block,
+// for building forward-referenced control flow.
+func (fb *FuncBuilder) AddBlock(name string) *Block {
+	b := &Block{Name: name, Index: len(fb.F.Blocks)}
+	fb.F.Blocks = append(fb.F.Blocks, b)
+	return b
+}
+
+// SetBlock switches the current block.
+func (fb *FuncBuilder) SetBlock(b *Block) { fb.cur = b }
+
+// Cur returns the current block.
+func (fb *FuncBuilder) Cur() *Block { return fb.cur }
+
+// Reg allocates a fresh virtual register.
+func (fb *FuncBuilder) Reg() Reg { return fb.F.NewReg() }
+
+// Param returns the i-th parameter register.
+func (fb *FuncBuilder) Param(i int) Reg {
+	if i < 0 || i >= fb.F.NParams {
+		panic(fmt.Sprintf("ir: param %d out of range for %s", i, fb.F.Name))
+	}
+	return Reg(i)
+}
+
+func (fb *FuncBuilder) emit(in Instr) {
+	if fb.cur == nil {
+		panic("ir: emit with no current block (call NewBlock first)")
+	}
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+}
+
+// Const emits Dst = imm and returns a fresh destination register.
+func (fb *FuncBuilder) Const(v int64) Reg {
+	d := fb.Reg()
+	fb.emit(Instr{Op: OpConst, Dst: d, A: Imm(v)})
+	return d
+}
+
+// ConstInto emits dst = imm into an existing register.
+func (fb *FuncBuilder) ConstInto(dst Reg, v int64) {
+	fb.emit(Instr{Op: OpConst, Dst: dst, A: Imm(v)})
+}
+
+// Mov emits dst = src.
+func (fb *FuncBuilder) Mov(dst Reg, src Operand) {
+	fb.emit(Instr{Op: OpMov, Dst: dst, A: src})
+}
+
+// Bin emits Dst = a <op> b into a fresh register.
+func (fb *FuncBuilder) Bin(op Op, a, b Operand) Reg {
+	d := fb.Reg()
+	fb.emit(Instr{Op: op, Dst: d, A: a, B: b})
+	return d
+}
+
+// BinInto emits dst = a <op> b.
+func (fb *FuncBuilder) BinInto(op Op, dst Reg, a, b Operand) {
+	fb.emit(Instr{Op: op, Dst: dst, A: a, B: b})
+}
+
+// Add is shorthand for Bin(OpAdd, ...).
+func (fb *FuncBuilder) Add(a, b Operand) Reg { return fb.Bin(OpAdd, a, b) }
+
+// Sub is shorthand for Bin(OpSub, ...).
+func (fb *FuncBuilder) Sub(a, b Operand) Reg { return fb.Bin(OpSub, a, b) }
+
+// Mul is shorthand for Bin(OpMul, ...).
+func (fb *FuncBuilder) Mul(a, b Operand) Reg { return fb.Bin(OpMul, a, b) }
+
+// Select emits Dst = cond != 0 ? a : b.
+func (fb *FuncBuilder) Select(cond, a, b Operand) Reg {
+	d := fb.Reg()
+	fb.emit(Instr{Op: OpSelect, Dst: d, A: cond, B: a, C: b})
+	return d
+}
+
+// Load emits Dst = mem[addr+off] into a fresh register.
+func (fb *FuncBuilder) Load(addr Operand, off int64) Reg {
+	d := fb.Reg()
+	fb.emit(Instr{Op: OpLoad, Dst: d, A: addr, Off: off, AliasSet: -1})
+	return d
+}
+
+// LoadInto emits dst = mem[addr+off].
+func (fb *FuncBuilder) LoadInto(dst Reg, addr Operand, off int64) {
+	fb.emit(Instr{Op: OpLoad, Dst: dst, A: addr, Off: off, AliasSet: -1})
+}
+
+// Store emits mem[addr+off] = val.
+func (fb *FuncBuilder) Store(val, addr Operand, off int64) {
+	fb.emit(Instr{Op: OpStore, A: val, B: addr, Off: off, AliasSet: -1})
+}
+
+// Alloc emits Dst = allocate(size bytes).
+func (fb *FuncBuilder) Alloc(size int64) Reg {
+	d := fb.Reg()
+	fb.emit(Instr{Op: OpAlloc, Dst: d, A: Imm(size)})
+	return d
+}
+
+// Jmp terminates the current block with an unconditional jump.
+func (fb *FuncBuilder) Jmp(target *Block) {
+	fb.emit(Instr{Op: OpJmp, Then: target.Index})
+}
+
+// Br terminates the current block with a conditional branch.
+func (fb *FuncBuilder) Br(cond Operand, then, els *Block) {
+	fb.emit(Instr{Op: OpBr, A: cond, Then: then.Index, Else: els.Index})
+}
+
+// Ret terminates the current block returning val.
+func (fb *FuncBuilder) Ret(val Operand) {
+	fb.emit(Instr{Op: OpRet, A: val, HasVal: true})
+}
+
+// RetVoid terminates the current block with no return value.
+func (fb *FuncBuilder) RetVoid() {
+	fb.emit(Instr{Op: OpRet})
+}
+
+// Call emits Dst = callee(args...) into a fresh register.
+func (fb *FuncBuilder) Call(callee string, args ...Operand) Reg {
+	d := fb.Reg()
+	fb.emit(Instr{Op: OpCall, Dst: d, Callee: callee, Args: args})
+	return d
+}
+
+// AtomicCAS emits Dst = old; if old==expect then mem[addr+off]=repl.
+func (fb *FuncBuilder) AtomicCAS(addr Operand, off int64, expect, repl Operand) Reg {
+	d := fb.Reg()
+	fb.emit(Instr{Op: OpAtomicCAS, Dst: d, A: addr, B: expect, C: repl, Off: off, AliasSet: -1})
+	return d
+}
+
+// AtomicAdd emits Dst = fetch-and-add(mem[addr+off], v).
+func (fb *FuncBuilder) AtomicAdd(addr Operand, off int64, v Operand) Reg {
+	d := fb.Reg()
+	fb.emit(Instr{Op: OpAtomicAdd, Dst: d, A: addr, B: v, Off: off, AliasSet: -1})
+	return d
+}
+
+// AtomicXchg emits Dst = exchange(mem[addr+off], v).
+func (fb *FuncBuilder) AtomicXchg(addr Operand, off int64, v Operand) Reg {
+	d := fb.Reg()
+	fb.emit(Instr{Op: OpAtomicXchg, Dst: d, A: addr, B: v, Off: off, AliasSet: -1})
+	return d
+}
+
+// Fence emits a memory fence.
+func (fb *FuncBuilder) Fence() { fb.emit(Instr{Op: OpFence}) }
+
+// Emit appends v to the observable output stream.
+func (fb *FuncBuilder) Emit(v Operand) { fb.emit(Instr{Op: OpEmit, A: v}) }
+
+// Done verifies and returns the finished function.
+func (fb *FuncBuilder) Done() (*Function, error) {
+	if err := VerifyFunc(fb.F); err != nil {
+		return nil, err
+	}
+	return fb.F, nil
+}
+
+// MustDone is Done but panics on verification failure; intended for
+// statically-known-good workload construction.
+func (fb *FuncBuilder) MustDone() *Function {
+	f, err := fb.Done()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,51 @@
+package ir
+
+// Clone deep-copies a function (instructions, blocks, metadata) so compiler
+// transforms can run without mutating the caller's copy.
+func (f *Function) Clone() *Function {
+	nf := &Function{
+		Name:       f.Name,
+		NParams:    f.NParams,
+		NumRegs:    f.NumRegs,
+		NumRegions: f.NumRegions,
+	}
+	nf.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &Block{Name: b.Name, Index: b.Index, Instrs: make([]Instr, len(b.Instrs))}
+		copy(nb.Instrs, b.Instrs)
+		for j := range nb.Instrs {
+			if nb.Instrs[j].Args != nil {
+				args := make([]Operand, len(nb.Instrs[j].Args))
+				copy(args, nb.Instrs[j].Args)
+				nb.Instrs[j].Args = args
+			}
+		}
+		nf.Blocks[i] = nb
+	}
+	if f.Slices != nil {
+		nf.Slices = make(map[int]RecoverySlice, len(f.Slices))
+		for k, v := range f.Slices {
+			cv := v
+			cv.LiveIn = append([]Reg(nil), v.LiveIn...)
+			cv.Steps = append([]SliceStep(nil), v.Steps...)
+			nf.Slices[k] = cv
+		}
+	}
+	if f.LiveAcross != nil {
+		nf.LiveAcross = make(map[InstrRef][]Reg, len(f.LiveAcross))
+		for k, v := range f.LiveAcross {
+			nf.LiveAcross[k] = append([]Reg(nil), v...)
+		}
+	}
+	return nf
+}
+
+// Clone deep-copies a program.
+func (p *Program) Clone() *Program {
+	np := NewProgram(p.Name)
+	np.Entry = p.Entry
+	for n, f := range p.Funcs {
+		np.Funcs[n] = f.Clone()
+	}
+	return np
+}

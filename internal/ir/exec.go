@@ -1,0 +1,170 @@
+package ir
+
+import "fmt"
+
+// Env is the execution environment an executor needs: a word-addressed
+// memory, a heap allocator, and an output sink. The cycle-level simulator
+// and the functional interpreter both implement it.
+type Env interface {
+	Load(addr int64) int64
+	Store(addr int64, val int64)
+	Alloc(size int64) int64
+	Emit(v int64)
+}
+
+// CtrlKind classifies the control effect of one executed instruction.
+type CtrlKind uint8
+
+const (
+	CtrlNext CtrlKind = iota // fall through to the next instruction
+	CtrlJump                 // transfer to block Effect.Target
+	CtrlCall                 // call Effect.Callee with Effect.Args
+	CtrlRet                  // return (Effect.RetVal if Effect.HasRet)
+)
+
+// Effect describes what happened when an instruction executed.
+type Effect struct {
+	Kind   CtrlKind
+	Target int
+	Callee string
+	Args   []int64
+	RetVal int64
+	HasRet bool
+}
+
+func opnd(o Operand, regs []int64) int64 {
+	switch o.Kind {
+	case OperandImm:
+		return o.Imm
+	case OperandReg:
+		return regs[o.Reg]
+	}
+	panic("ir: evaluated absent operand")
+}
+
+// Exec executes one instruction functionally against regs and env and
+// returns its control effect. OpBoundary and OpCkpt are architectural
+// no-ops here; the simulator layers their persistence side effects on top.
+// Division or remainder by zero yields zero; shift counts are masked to
+// 0..63. Memory addresses are truncated to 8-byte alignment.
+func Exec(in *Instr, regs []int64, env Env) Effect {
+	switch in.Op {
+	case OpConst:
+		regs[in.Dst] = in.A.Imm
+	case OpMov:
+		regs[in.Dst] = opnd(in.A, regs)
+	case OpAdd:
+		regs[in.Dst] = opnd(in.A, regs) + opnd(in.B, regs)
+	case OpSub:
+		regs[in.Dst] = opnd(in.A, regs) - opnd(in.B, regs)
+	case OpMul:
+		regs[in.Dst] = opnd(in.A, regs) * opnd(in.B, regs)
+	case OpDiv:
+		b := opnd(in.B, regs)
+		if b == 0 {
+			regs[in.Dst] = 0
+		} else {
+			regs[in.Dst] = opnd(in.A, regs) / b
+		}
+	case OpRem:
+		b := opnd(in.B, regs)
+		if b == 0 {
+			regs[in.Dst] = 0
+		} else {
+			regs[in.Dst] = opnd(in.A, regs) % b
+		}
+	case OpAnd:
+		regs[in.Dst] = opnd(in.A, regs) & opnd(in.B, regs)
+	case OpOr:
+		regs[in.Dst] = opnd(in.A, regs) | opnd(in.B, regs)
+	case OpXor:
+		regs[in.Dst] = opnd(in.A, regs) ^ opnd(in.B, regs)
+	case OpShl:
+		regs[in.Dst] = opnd(in.A, regs) << (uint64(opnd(in.B, regs)) & 63)
+	case OpShr:
+		regs[in.Dst] = int64(uint64(opnd(in.A, regs)) >> (uint64(opnd(in.B, regs)) & 63))
+	case OpCmpEQ:
+		regs[in.Dst] = b2i(opnd(in.A, regs) == opnd(in.B, regs))
+	case OpCmpNE:
+		regs[in.Dst] = b2i(opnd(in.A, regs) != opnd(in.B, regs))
+	case OpCmpLT:
+		regs[in.Dst] = b2i(opnd(in.A, regs) < opnd(in.B, regs))
+	case OpCmpLE:
+		regs[in.Dst] = b2i(opnd(in.A, regs) <= opnd(in.B, regs))
+	case OpCmpGT:
+		regs[in.Dst] = b2i(opnd(in.A, regs) > opnd(in.B, regs))
+	case OpCmpGE:
+		regs[in.Dst] = b2i(opnd(in.A, regs) >= opnd(in.B, regs))
+	case OpSelect:
+		if opnd(in.A, regs) != 0 {
+			regs[in.Dst] = opnd(in.B, regs)
+		} else {
+			regs[in.Dst] = opnd(in.C, regs)
+		}
+	case OpLoad:
+		regs[in.Dst] = env.Load(EffAddr(in, regs))
+	case OpStore:
+		env.Store(EffAddr(in, regs), opnd(in.A, regs))
+	case OpAlloc:
+		regs[in.Dst] = env.Alloc(opnd(in.A, regs))
+	case OpJmp:
+		return Effect{Kind: CtrlJump, Target: in.Then}
+	case OpBr:
+		if opnd(in.A, regs) != 0 {
+			return Effect{Kind: CtrlJump, Target: in.Then}
+		}
+		return Effect{Kind: CtrlJump, Target: in.Else}
+	case OpRet:
+		if in.HasVal {
+			return Effect{Kind: CtrlRet, RetVal: opnd(in.A, regs), HasRet: true}
+		}
+		return Effect{Kind: CtrlRet}
+	case OpCall:
+		args := make([]int64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = opnd(a, regs)
+		}
+		return Effect{Kind: CtrlCall, Callee: in.Callee, Args: args}
+	case OpAtomicCAS:
+		addr := EffAddr(in, regs)
+		old := env.Load(addr)
+		if old == opnd(in.B, regs) {
+			env.Store(addr, opnd(in.C, regs))
+		}
+		regs[in.Dst] = old
+	case OpAtomicAdd:
+		addr := EffAddr(in, regs)
+		old := env.Load(addr)
+		env.Store(addr, old+opnd(in.B, regs))
+		regs[in.Dst] = old
+	case OpAtomicXchg:
+		addr := EffAddr(in, regs)
+		old := env.Load(addr)
+		env.Store(addr, opnd(in.B, regs))
+		regs[in.Dst] = old
+	case OpFence, OpBoundary, OpCkpt:
+		// Architecturally empty; persistence semantics live in the simulator.
+	case OpEmit:
+		env.Emit(opnd(in.A, regs))
+	default:
+		panic(fmt.Sprintf("ir: Exec: unhandled op %v", in.Op))
+	}
+	return Effect{Kind: CtrlNext}
+}
+
+// EffAddr computes the word-aligned effective address of a memory
+// instruction.
+func EffAddr(in *Instr, regs []int64) int64 {
+	base := opnd(in.A, regs)
+	if in.Op == OpStore {
+		base = opnd(in.B, regs)
+	}
+	return (base + in.Off) &^ 7
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,199 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FlatMem is a sparse word-granularity memory for functional execution.
+type FlatMem struct {
+	Words map[int64]int64
+	brk   int64 // heap bump pointer
+}
+
+// HeapBase is where functional and simulated heaps begin.
+const HeapBase int64 = 0x1000_0000
+
+// NewFlatMem returns an empty functional memory.
+func NewFlatMem() *FlatMem {
+	return &FlatMem{Words: map[int64]int64{}, brk: HeapBase}
+}
+
+// Load reads the aligned word at addr (zero if never written).
+func (m *FlatMem) Load(addr int64) int64 { return m.Words[addr&^7] }
+
+// Store writes the aligned word at addr.
+func (m *FlatMem) Store(addr, val int64) { m.Words[addr&^7] = val }
+
+// Alloc carves size bytes (rounded up to 64) off the heap.
+func (m *FlatMem) Alloc(size int64) int64 {
+	if size <= 0 {
+		size = 8
+	}
+	size = (size + 63) &^ 63
+	p := m.brk
+	m.brk += size
+	return p
+}
+
+// Brk returns the current heap break.
+func (m *FlatMem) Brk() int64 { return m.brk }
+
+// Snapshot returns a copy of memory contents sorted by address, for
+// state-equality assertions in tests.
+func (m *FlatMem) Snapshot() []WordAt {
+	out := make([]WordAt, 0, len(m.Words))
+	for a, v := range m.Words {
+		if v != 0 {
+			out = append(out, WordAt{Addr: a, Val: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// WordAt is one (address, value) pair of a memory snapshot.
+type WordAt struct {
+	Addr int64
+	Val  int64
+}
+
+// InterpResult carries the outcome of a functional run.
+type InterpResult struct {
+	Output  []int64
+	RetVal  int64
+	Steps   int64
+	Mem     *FlatMem
+	Dynamic DynCounts
+}
+
+// DynCounts tallies dynamic instruction classes.
+type DynCounts struct {
+	Total      int64
+	Loads      int64
+	Stores     int64
+	Branches   int64
+	Calls      int64
+	Atomics    int64
+	Boundaries int64
+	Ckpts      int64
+}
+
+type interpEnv struct {
+	mem *FlatMem
+	out []int64
+}
+
+func (e *interpEnv) Load(a int64) int64  { return e.mem.Load(a) }
+func (e *interpEnv) Store(a, v int64)    { e.mem.Store(a, v) }
+func (e *interpEnv) Alloc(s int64) int64 { return e.mem.Alloc(s) }
+func (e *interpEnv) Emit(v int64)        { e.out = append(e.out, v) }
+
+type frame struct {
+	fn   *Function
+	regs []int64
+	blk  int
+	pc   int
+	dst  Reg // caller register receiving our return value
+}
+
+// Interp functionally executes a program's entry function with the given
+// arguments against a fresh memory, up to maxSteps dynamic instructions
+// (0 means a generous default). It returns the observable output, the
+// entry's return value, and final memory. Compiler transformations must
+// preserve all three — the compiler test suite asserts exactly that.
+func Interp(p *Program, args []int64, maxSteps int64) (*InterpResult, error) {
+	return InterpOn(p, args, maxSteps, NewFlatMem())
+}
+
+// TraceFn observes each dynamic instruction just before it executes: the
+// containing function, its static position, the instruction, and the current
+// register file (read-only view).
+type TraceFn func(f *Function, ref InstrRef, in *Instr, regs []int64)
+
+// InterpOn is Interp against a caller-provided memory image.
+func InterpOn(p *Program, args []int64, maxSteps int64, mem *FlatMem) (*InterpResult, error) {
+	return InterpTraced(p, args, maxSteps, mem, nil)
+}
+
+// InterpTraced is InterpOn with a per-instruction trace hook (may be nil).
+func InterpTraced(p *Program, args []int64, maxSteps int64, mem *FlatMem, hook TraceFn) (*InterpResult, error) {
+	if err := VerifyProgram(p); err != nil {
+		return nil, err
+	}
+	if maxSteps <= 0 {
+		maxSteps = 200_000_000
+	}
+	env := &interpEnv{mem: mem}
+	entry := p.EntryFunc()
+	if len(args) != entry.NParams {
+		return nil, fmt.Errorf("ir: entry %s wants %d args, got %d", entry.Name, entry.NParams, len(args))
+	}
+	res := &InterpResult{Mem: env.mem}
+
+	cur := newFrame(entry, args)
+	stack := []*frame{}
+	for {
+		if res.Dynamic.Total >= maxSteps {
+			return nil, fmt.Errorf("ir: interp exceeded %d steps in %s", maxSteps, p.Name)
+		}
+		b := cur.fn.Blocks[cur.blk]
+		in := &b.Instrs[cur.pc]
+		if hook != nil {
+			hook(cur.fn, InstrRef{Block: cur.blk, Index: cur.pc}, in, cur.regs)
+		}
+		res.Dynamic.Total++
+		switch {
+		case in.Op == OpLoad:
+			res.Dynamic.Loads++
+		case in.Op == OpStore:
+			res.Dynamic.Stores++
+		case in.Op == OpBr || in.Op == OpJmp:
+			res.Dynamic.Branches++
+		case in.Op == OpCall || in.Op == OpAlloc:
+			res.Dynamic.Calls++
+		case in.Op == OpAtomicCAS || in.Op == OpAtomicAdd || in.Op == OpAtomicXchg || in.Op == OpFence:
+			res.Dynamic.Atomics++
+		case in.Op == OpBoundary:
+			res.Dynamic.Boundaries++
+		case in.Op == OpCkpt:
+			res.Dynamic.Ckpts++
+		}
+
+		eff := Exec(in, cur.regs, env)
+		switch eff.Kind {
+		case CtrlNext:
+			cur.pc++
+		case CtrlJump:
+			cur.blk, cur.pc = eff.Target, 0
+		case CtrlCall:
+			callee := p.Funcs[eff.Callee]
+			nf := newFrame(callee, eff.Args)
+			nf.dst = in.Dst
+			cur.pc++ // resume after the call on return
+			stack = append(stack, cur)
+			cur = nf
+		case CtrlRet:
+			if len(stack) == 0 {
+				if eff.HasRet {
+					res.RetVal = eff.RetVal
+				}
+				res.Output = env.out
+				res.Steps = res.Dynamic.Total
+				return res, nil
+			}
+			parent := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if eff.HasRet && cur.dst != NoReg {
+				parent.regs[cur.dst] = eff.RetVal
+			}
+			cur = parent
+		}
+	}
+}
+
+func newFrame(fn *Function, args []int64) *frame {
+	regs := make([]int64, fn.NumRegs)
+	copy(regs, args)
+	return &frame{fn: fn, regs: regs, dst: NoReg}
+}

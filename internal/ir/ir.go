@@ -1,0 +1,357 @@
+// Package ir defines the virtual-register intermediate representation that
+// the cWSP compiler operates on and the simulator executes.
+//
+// The IR is deliberately machine-flavoured rather than SSA: registers are
+// mutable virtual registers (the paper's compiler passes run after LLVM's
+// register-pressure-aware lowering, where liveness and antidependence are
+// questions about mutable state). Each function has its own register space;
+// the calling convention (spill live-across-call registers to the simulated
+// NVM stack) is applied by the executor so that whole-system recovery can
+// rebuild call frames from persisted memory.
+//
+// All values are 64-bit words. Memory is byte-addressed; loads and stores
+// transfer one aligned 8-byte word, matching cWSP's 8-byte persist
+// granularity.
+package ir
+
+import "fmt"
+
+// Reg identifies a virtual register within one function. Registers
+// 0..NParams-1 hold the incoming arguments.
+type Reg int
+
+// NoReg marks an unused register field.
+const NoReg Reg = -1
+
+// Op enumerates IR opcodes.
+type Op uint8
+
+// Opcodes. Arithmetic ops take two operands (register or immediate) and
+// write Dst. Memory ops address mem[Addr+Off] where Addr is an operand.
+const (
+	OpInvalid Op = iota
+
+	// Data movement.
+	OpConst // Dst = A.Imm
+	OpMov   // Dst = A
+
+	// Integer arithmetic and logic: Dst = A <op> B.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed; divide by zero yields 0 (workloads avoid it)
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // logical shift right
+
+	// Comparisons produce 0 or 1: Dst = A <cmp> B (signed).
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+
+	// Select: Dst = A != 0 ? B : C. Keeps hot loops branch-free.
+	OpSelect
+
+	// Memory. OpLoad: Dst = mem[A+Off]. OpStore: mem[B+Off] = A.
+	OpLoad
+	OpStore
+
+	// OpAlloc: Dst = base of a fresh Imm(A)-byte heap block (the runtime
+	// allocator; a call-like region boundary per the paper's treatment of
+	// malloc/sbrk).
+	OpAlloc
+
+	// Control flow (terminators).
+	OpJmp // goto Then
+	OpBr  // if A != 0 goto Then else Else
+	OpRet // return A (if HasVal)
+
+	// OpCall: Dst = Callee(Args...). A call site is a region boundary.
+	OpCall
+
+	// Atomics (synchronization points; region boundaries, and the core
+	// drains its persistence state before committing them).
+	// OpAtomicCAS: Dst = old value; if old == B then mem[A+Off] = C.
+	// OpAtomicAdd: Dst = old; mem[A+Off] = old + B.
+	// OpAtomicXchg: Dst = old; mem[A+Off] = B.
+	OpAtomicCAS
+	OpAtomicAdd
+	OpAtomicXchg
+	OpFence
+
+	// OpEmit appends A to the program's observable output stream (used by
+	// tests to detect wrong-execution). Treated as an irrevocable call-like
+	// boundary.
+	OpEmit
+
+	// Compiler-inserted (never written by front ends).
+	OpBoundary // region boundary; RegionID/RS filled by the compiler
+	OpCkpt     // checkpoint register A.Reg to the NVM checkpoint area
+
+	opMax
+)
+
+// OperandKind distinguishes absent, register, and immediate operands. The
+// zero value is "absent", so unused operand fields of an Instr are inert.
+type OperandKind uint8
+
+const (
+	OperandNone OperandKind = iota
+	OperandReg
+	OperandImm
+)
+
+// Operand is a register or an immediate (or absent).
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Imm  int64
+}
+
+// IsImm reports whether the operand is an immediate.
+func (o Operand) IsImm() bool { return o.Kind == OperandImm }
+
+// IsReg reports whether the operand is a register.
+func (o Operand) IsReg() bool { return o.Kind == OperandReg }
+
+// R returns a register operand.
+func R(r Reg) Operand { return Operand{Kind: OperandReg, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: OperandImm, Imm: v} }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperandImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case OperandReg:
+		return fmt.Sprintf("r%d", o.Reg)
+	}
+	return "_"
+}
+
+// Instr is one IR instruction. Field use depends on Op; see the opcode
+// comments above.
+type Instr struct {
+	Op      Op
+	Dst     Reg
+	A, B, C Operand
+	Off     int64 // byte offset for memory ops
+	HasVal  bool  // OpRet: returns A
+
+	Callee string    // OpCall
+	Args   []Operand // OpCall
+
+	Then, Else int // successor block indices for OpJmp/OpBr
+
+	// Compiler-assigned metadata.
+	RegionID int // OpBoundary: static region id within the function
+	AliasSet int // memory ops: may-alias class from alias analysis (-1 unknown)
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpJmp, OpBr, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsBoundaryOp reports whether the instruction is an inherent region
+// boundary in cWSP's region formation (call sites, synchronization points,
+// allocation, emit).
+func (in *Instr) IsBoundaryOp() bool {
+	switch in.Op {
+	case OpCall, OpAlloc, OpAtomicCAS, OpAtomicAdd, OpAtomicXchg, OpFence, OpEmit, OpBoundary:
+		return true
+	}
+	return false
+}
+
+// ReadsMem reports whether the instruction reads program memory.
+func (in *Instr) ReadsMem() bool {
+	switch in.Op {
+	case OpLoad, OpAtomicCAS, OpAtomicAdd, OpAtomicXchg:
+		return true
+	}
+	return false
+}
+
+// WritesMem reports whether the instruction may write program memory.
+func (in *Instr) WritesMem() bool {
+	switch in.Op {
+	case OpStore, OpAtomicCAS, OpAtomicAdd, OpAtomicXchg:
+		return true
+	}
+	return false
+}
+
+// Uses appends the registers read by the instruction to dst and returns it.
+func (in *Instr) Uses(dst []Reg) []Reg {
+	add := func(o Operand) {
+		if o.Kind == OperandReg && o.Reg != NoReg {
+			dst = append(dst, o.Reg)
+		}
+	}
+	switch in.Op {
+	case OpConst:
+	case OpRet:
+		if in.HasVal {
+			add(in.A)
+		}
+	case OpCall:
+		for _, a := range in.Args {
+			add(a)
+		}
+	case OpJmp:
+	default:
+		add(in.A)
+		add(in.B)
+		add(in.C)
+	}
+	return dst
+}
+
+// Def returns the register written by the instruction, or NoReg.
+func (in *Instr) Def() Reg {
+	switch in.Op {
+	case OpStore, OpJmp, OpBr, OpRet, OpFence, OpEmit, OpBoundary, OpCkpt:
+		return NoReg
+	}
+	return in.Dst
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator.
+type Block struct {
+	Name   string
+	Index  int
+	Instrs []Instr
+}
+
+// Term returns the block terminator.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the successor block indices.
+func (b *Block) Succs() []int {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpJmp:
+		return []int{t.Then}
+	case OpBr:
+		if t.Then == t.Else {
+			return []int{t.Then}
+		}
+		return []int{t.Then, t.Else}
+	}
+	return nil
+}
+
+// Function is a single IR function. Blocks[0] is the entry block.
+type Function struct {
+	Name    string
+	NParams int
+	NumRegs int
+	Blocks  []*Block
+
+	// Compiler-populated metadata.
+	NumRegions int                   // static regions after formation
+	Slices     map[int]RecoverySlice // region id -> recovery slice
+	LiveAcross map[InstrRef][]Reg    // call site -> caller regs spilled across it
+}
+
+// InstrRef names one static instruction position within a function.
+type InstrRef struct {
+	Block int
+	Index int
+}
+
+func (r InstrRef) Less(o InstrRef) bool {
+	if r.Block != o.Block {
+		return r.Block < o.Block
+	}
+	return r.Index < o.Index
+}
+
+// RecoverySlice is the compiler-generated code that reconstructs a region's
+// live-in registers at recovery time (Section IV-C of the paper). Steps run
+// in order against a fresh register file.
+type RecoverySlice struct {
+	RegionID int
+	Entry    InstrRef // first instruction of the region
+	LiveIn   []Reg
+	Steps    []SliceStep
+}
+
+// SliceOp enumerates recovery-slice step kinds.
+type SliceOp uint8
+
+const (
+	SliceConst    SliceOp = iota // Dst = Imm
+	SliceLoadCkpt                // Dst = checkpoint slot of register Src
+	SliceUnary                   // Dst = <ALUOp> applied to (Dst? no: Src, Imm) — see SliceStep
+	SliceBinary                  // Dst = Src <ALUOp> Src2 (register-register)
+)
+
+// SliceStep is one recovery-slice instruction.
+type SliceStep struct {
+	Op    SliceOp
+	Dst   Reg
+	Src   Reg // register operand (for LoadCkpt: the architectural slot id)
+	Src2  Reg
+	Imm   int64
+	ALUOp Op // OpAdd etc. for SliceUnary (Src op Imm) / SliceBinary (Src op Src2)
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Function) NewReg() Reg {
+	r := Reg(f.NumRegs)
+	f.NumRegs++
+	return r
+}
+
+// Block returns the block with the given index.
+func (f *Function) Block(i int) *Block { return f.Blocks[i] }
+
+// Program is a set of functions with a designated entry point.
+type Program struct {
+	Name  string
+	Funcs map[string]*Function
+	Entry string
+}
+
+// NewProgram creates an empty program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Funcs: map[string]*Function{}}
+}
+
+// Func returns the named function, or nil.
+func (p *Program) Func(name string) *Function { return p.Funcs[name] }
+
+// Add registers a function with the program.
+func (p *Program) Add(f *Function) *Function {
+	p.Funcs[f.Name] = f
+	return f
+}
+
+// EntryFunc returns the entry function.
+func (p *Program) EntryFunc() *Function { return p.Funcs[p.Entry] }

@@ -1,0 +1,308 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// sumProgram builds: main() { s=0; for i in 0..n { s += i }; emit s; ret s }
+func sumProgram(t testing.TB, n int64) *Program {
+	t.Helper()
+	fb := NewFunc("main", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.NewBlock("head")
+	body := fb.NewBlock("body")
+	exit := fb.NewBlock("exit")
+
+	fb.SetBlock(entry)
+	s := fb.Reg()
+	i := fb.Reg()
+	fb.ConstInto(s, 0)
+	fb.ConstInto(i, 0)
+	fb.Jmp(head)
+
+	fb.SetBlock(head)
+	c := fb.Bin(OpCmpLT, R(i), Imm(n))
+	fb.Br(R(c), body, exit)
+
+	fb.SetBlock(body)
+	fb.BinInto(OpAdd, s, R(s), R(i))
+	fb.BinInto(OpAdd, i, R(i), Imm(1))
+	fb.Jmp(head)
+
+	fb.SetBlock(exit)
+	fb.Emit(R(s))
+	fb.Ret(R(s))
+
+	p := NewProgram("sum")
+	p.Add(fb.MustDone())
+	p.Entry = "main"
+	return p
+}
+
+func TestInterpSumLoop(t *testing.T) {
+	p := sumProgram(t, 100)
+	res, err := Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 4950 {
+		t.Errorf("RetVal = %d, want 4950", res.RetVal)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 4950 {
+		t.Errorf("Output = %v, want [4950]", res.Output)
+	}
+	if res.Dynamic.Branches == 0 || res.Dynamic.Total < 100 {
+		t.Errorf("dyn counts look wrong: %+v", res.Dynamic)
+	}
+}
+
+func TestInterpCallsAndMemory(t *testing.T) {
+	// store42(p) { mem[p] = 42; ret }
+	cb := NewFunc("store42", 1)
+	cb.NewBlock("entry")
+	cb.Store(Imm(42), R(cb.Param(0)), 0)
+	cb.RetVoid()
+
+	// main() { p = alloc 64; store42(p); x = load p; ret x+1 }
+	fb := NewFunc("main", 0)
+	fb.NewBlock("entry")
+	p := fb.Alloc(64)
+	fb.Call("store42", R(p))
+	x := fb.Load(R(p), 0)
+	y := fb.Add(R(x), Imm(1))
+	fb.Ret(R(y))
+
+	prog := NewProgram("callmem")
+	prog.Add(cb.MustDone())
+	prog.Add(fb.MustDone())
+	prog.Entry = "main"
+
+	res, err := Interp(prog, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 43 {
+		t.Errorf("RetVal = %d, want 43", res.RetVal)
+	}
+	if got := res.Mem.Load(HeapBase); got != 42 {
+		t.Errorf("heap word = %d, want 42", got)
+	}
+}
+
+func TestInterpRecursion(t *testing.T) {
+	// fib(n) { if n < 2 ret n; ret fib(n-1)+fib(n-2) }
+	fb := NewFunc("fib", 1)
+	entry := fb.NewBlock("entry")
+	base := fb.NewBlock("base")
+	rec := fb.NewBlock("rec")
+	fb.SetBlock(entry)
+	c := fb.Bin(OpCmpLT, R(fb.Param(0)), Imm(2))
+	fb.Br(R(c), base, rec)
+	fb.SetBlock(base)
+	fb.Ret(R(fb.Param(0)))
+	fb.SetBlock(rec)
+	n1 := fb.Sub(R(fb.Param(0)), Imm(1))
+	n2 := fb.Sub(R(fb.Param(0)), Imm(2))
+	f1 := fb.Call("fib", R(n1))
+	f2 := fb.Call("fib", R(n2))
+	s := fb.Add(R(f1), R(f2))
+	fb.Ret(R(s))
+
+	prog := NewProgram("fib")
+	prog.Add(fb.MustDone())
+	prog.Entry = "fib"
+	res, err := Interp(prog, []int64{12}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 144 {
+		t.Errorf("fib(12) = %d, want 144", res.RetVal)
+	}
+}
+
+func TestInterpAtomicsAndSelect(t *testing.T) {
+	fb := NewFunc("main", 0)
+	fb.NewBlock("entry")
+	p := fb.Alloc(8)
+	fb.Store(Imm(10), R(p), 0)
+	old := fb.AtomicAdd(R(p), 0, Imm(5))           // old=10, mem=15
+	cas := fb.AtomicCAS(R(p), 0, Imm(15), Imm(99)) // old=15, mem=99
+	x := fb.AtomicXchg(R(p), 0, Imm(7))            // old=99, mem=7
+	sel := fb.Select(R(old), R(cas), R(x))         // old != 0 -> cas = 15
+	fin := fb.Load(R(p), 0)
+	sum := fb.Add(R(sel), R(fin)) // 15 + 7
+	fb.Ret(R(sum))
+	prog := NewProgram("atomics")
+	prog.Add(fb.MustDone())
+	prog.Entry = "main"
+	res, err := Interp(prog, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 22 {
+		t.Errorf("RetVal = %d, want 22", res.RetVal)
+	}
+}
+
+func TestInterpDivRemByZero(t *testing.T) {
+	fb := NewFunc("main", 0)
+	fb.NewBlock("entry")
+	d := fb.Bin(OpDiv, Imm(10), Imm(0))
+	r := fb.Bin(OpRem, Imm(10), Imm(0))
+	s := fb.Add(R(d), R(r))
+	fb.Ret(R(s))
+	prog := NewProgram("divzero")
+	prog.Add(fb.MustDone())
+	prog.Entry = "main"
+	res, err := Interp(prog, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 0 {
+		t.Errorf("div/rem by zero = %d, want 0", res.RetVal)
+	}
+}
+
+func TestVerifyRejectsUndefinedUse(t *testing.T) {
+	f := &Function{Name: "bad", NumRegs: 2}
+	f.Blocks = []*Block{{Name: "entry", Index: 0, Instrs: []Instr{
+		{Op: OpAdd, Dst: 0, A: R(1), B: Imm(1)}, // r1 never defined
+		{Op: OpRet, A: R(0), HasVal: true},
+	}}}
+	if err := VerifyFunc(f); err == nil {
+		t.Fatal("expected verification error for use of undefined register")
+	}
+}
+
+func TestVerifyRejectsMidBlockTerminator(t *testing.T) {
+	f := &Function{Name: "bad", NumRegs: 1}
+	f.Blocks = []*Block{{Name: "entry", Index: 0, Instrs: []Instr{
+		{Op: OpRet},
+		{Op: OpConst, Dst: 0, A: Imm(1)},
+	}}}
+	if err := VerifyFunc(f); err == nil {
+		t.Fatal("expected verification error for mid-block terminator")
+	}
+}
+
+func TestVerifyRejectsMissingTerminator(t *testing.T) {
+	f := &Function{Name: "bad", NumRegs: 1}
+	f.Blocks = []*Block{{Name: "entry", Index: 0, Instrs: []Instr{
+		{Op: OpConst, Dst: 0, A: Imm(1)},
+	}}}
+	if err := VerifyFunc(f); err == nil {
+		t.Fatal("expected verification error for missing terminator")
+	}
+}
+
+func TestVerifyRejectsBadCallArity(t *testing.T) {
+	callee := NewFunc("f", 2)
+	callee.NewBlock("entry")
+	callee.RetVoid()
+	caller := NewFunc("main", 0)
+	caller.NewBlock("entry")
+	caller.Call("f", Imm(1)) // wrong arity
+	caller.RetVoid()
+	p := NewProgram("arity")
+	p.Add(callee.MustDone())
+	p.Add(caller.MustDone())
+	p.Entry = "main"
+	if err := VerifyProgram(p); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestVerifyRejectsUnknownCallee(t *testing.T) {
+	caller := NewFunc("main", 0)
+	caller.NewBlock("entry")
+	caller.Call("nope")
+	caller.RetVoid()
+	p := NewProgram("unknown")
+	p.Add(caller.MustDone())
+	p.Entry = "main"
+	if err := VerifyProgram(p); err == nil {
+		t.Fatal("expected unknown-callee error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := sumProgram(t, 10)
+	q := p.Clone()
+	q.Funcs["main"].Blocks[0].Instrs[0].A = Imm(999)
+	if p.Funcs["main"].Blocks[0].Instrs[0].A.Imm == 999 {
+		t.Fatal("clone shares instruction storage with original")
+	}
+	r1, err := Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RetVal != 45 {
+		t.Errorf("original damaged by clone mutation: ret=%d", r1.RetVal)
+	}
+}
+
+func TestUsesAndDef(t *testing.T) {
+	in := Instr{Op: OpStore, A: R(3), B: R(4)}
+	uses := in.Uses(nil)
+	if len(uses) != 2 || uses[0] != 3 || uses[1] != 4 {
+		t.Errorf("store uses = %v, want [3 4]", uses)
+	}
+	if in.Def() != NoReg {
+		t.Errorf("store def = %v, want NoReg", in.Def())
+	}
+	call := Instr{Op: OpCall, Dst: 7, Args: []Operand{R(1), Imm(5), R(2)}}
+	uses = call.Uses(nil)
+	if len(uses) != 2 || uses[0] != 1 || uses[1] != 2 {
+		t.Errorf("call uses = %v, want [1 2]", uses)
+	}
+	if call.Def() != 7 {
+		t.Errorf("call def = %v, want 7", call.Def())
+	}
+}
+
+func TestEffAddrAlignment(t *testing.T) {
+	regs := []int64{0x1005}
+	ld := Instr{Op: OpLoad, Dst: 0, A: R(0), Off: 4}
+	if got := EffAddr(&ld, regs); got != (0x1005+4)&^7 {
+		t.Errorf("EffAddr = %#x", got)
+	}
+	st := Instr{Op: OpStore, A: Imm(1), B: R(0), Off: 0}
+	if got := EffAddr(&st, regs); got != 0x1000 {
+		t.Errorf("store EffAddr = %#x, want 0x1000", got)
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	p := sumProgram(t, 3)
+	d := p.Dump()
+	for _, want := range []string{"func main", "b0:", "br ", "emit ", "ret "} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestFlatMemSnapshotSorted(t *testing.T) {
+	m := NewFlatMem()
+	m.Store(0x20, 2)
+	m.Store(0x10, 1)
+	m.Store(0x30, 0) // zero values dropped from snapshots
+	s := m.Snapshot()
+	if len(s) != 2 || s[0].Addr != 0x10 || s[1].Addr != 0x20 {
+		t.Errorf("snapshot = %v", s)
+	}
+}
+
+func TestAllocAlignmentAndGrowth(t *testing.T) {
+	m := NewFlatMem()
+	a := m.Alloc(1)
+	b := m.Alloc(65)
+	c := m.Alloc(0)
+	if a%64 != 0 || b%64 != 0 || c%64 != 0 {
+		t.Errorf("allocations not 64B aligned: %x %x %x", a, b, c)
+	}
+	if b != a+64 || c != b+128 {
+		t.Errorf("bump allocator spacing wrong: %x %x %x", a, b, c)
+	}
+}

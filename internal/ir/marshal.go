@@ -1,0 +1,389 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Text serialization of programs: a stable, line-oriented format carrying
+// the full structure — including compiler-produced metadata (region counts,
+// recovery slices, live-across-call sets) — so compiled programs can be
+// written by cwspc and executed later by cwspsim. MarshalText and
+// UnmarshalText round-trip exactly.
+//
+// Format sketch:
+//
+//	program <name> entry=<fn>
+//	func <name> params=<n> regs=<n> regions=<n>
+//	block <name>
+//	  <op> <fields...>        ; positional fields, one instruction per line
+//	slice region=<id> entry=<blk>,<idx> live=<r...>
+//	  <step fields>
+//	liveacross <blk>,<idx> = <r...>
+//	end
+//
+// Operands encode as r<N> (register), #<N> (immediate), or _ (absent).
+
+// MarshalText writes p in the textual interchange format.
+func (p *Program) MarshalText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "program %s entry=%s\n", p.Name, p.Entry)
+
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := p.Funcs[name]
+		fmt.Fprintf(bw, "func %s params=%d regs=%d regions=%d\n", f.Name, f.NParams, f.NumRegs, f.NumRegions)
+		for _, b := range f.Blocks {
+			fmt.Fprintf(bw, "block %s\n", sanitizeName(b.Name))
+			for i := range b.Instrs {
+				bw.WriteString("  ")
+				bw.WriteString(encodeInstr(&b.Instrs[i]))
+				bw.WriteString("\n")
+			}
+		}
+		if len(f.Slices) > 0 {
+			ids := make([]int, 0, len(f.Slices))
+			for id := range f.Slices {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				rs := f.Slices[id]
+				fmt.Fprintf(bw, "slice region=%d entry=%d,%d live=%s\n",
+					rs.RegionID, rs.Entry.Block, rs.Entry.Index, encodeRegs(rs.LiveIn))
+				for _, st := range rs.Steps {
+					fmt.Fprintf(bw, "  step %d %d %d %d %d %d\n",
+						st.Op, st.Dst, st.Src, st.Src2, st.Imm, st.ALUOp)
+				}
+			}
+		}
+		if len(f.LiveAcross) > 0 {
+			refs := make([]InstrRef, 0, len(f.LiveAcross))
+			for r := range f.LiveAcross {
+				refs = append(refs, r)
+			}
+			sort.Slice(refs, func(i, j int) bool { return refs[i].Less(refs[j]) })
+			for _, r := range refs {
+				fmt.Fprintf(bw, "liveacross %d,%d = %s\n", r.Block, r.Index, encodeRegs(f.LiveAcross[r]))
+			}
+		}
+	}
+	bw.WriteString("end\n")
+	return bw.Flush()
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "b"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+func encodeRegs(rs []Reg) string {
+	if len(rs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = strconv.Itoa(int(r))
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeRegs(s string) ([]Reg, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]Reg, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Reg(v)
+	}
+	return out, nil
+}
+
+func encodeOperand(o Operand) string {
+	switch o.Kind {
+	case OperandReg:
+		return "r" + strconv.Itoa(int(o.Reg))
+	case OperandImm:
+		return "#" + strconv.FormatInt(o.Imm, 10)
+	}
+	return "_"
+}
+
+func decodeOperand(s string) (Operand, error) {
+	switch {
+	case s == "_":
+		return Operand{}, nil
+	case strings.HasPrefix(s, "r"):
+		v, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return Operand{}, err
+		}
+		return R(Reg(v)), nil
+	case strings.HasPrefix(s, "#"):
+		v, err := strconv.ParseInt(s[1:], 10, 64)
+		if err != nil {
+			return Operand{}, err
+		}
+		return Imm(v), nil
+	}
+	return Operand{}, fmt.Errorf("ir: bad operand %q", s)
+}
+
+// encodeInstr renders one instruction as positional fields:
+// op dst A B C off hasval then else regionID callee nargs args...
+func encodeInstr(in *Instr) string {
+	fields := []string{
+		strconv.Itoa(int(in.Op)),
+		strconv.Itoa(int(in.Dst)),
+		encodeOperand(in.A),
+		encodeOperand(in.B),
+		encodeOperand(in.C),
+		strconv.FormatInt(in.Off, 10),
+		boolStr(in.HasVal),
+		strconv.Itoa(in.Then),
+		strconv.Itoa(in.Else),
+		strconv.Itoa(in.RegionID),
+	}
+	if in.Op == OpCall {
+		fields = append(fields, in.Callee, strconv.Itoa(len(in.Args)))
+		for _, a := range in.Args {
+			fields = append(fields, encodeOperand(a))
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func decodeInstr(fields []string) (Instr, error) {
+	if len(fields) < 10 {
+		return Instr{}, fmt.Errorf("ir: truncated instruction line")
+	}
+	var in Instr
+	op, err := strconv.Atoi(fields[0])
+	if err != nil || op <= int(OpInvalid) || op >= int(opMax) {
+		return Instr{}, fmt.Errorf("ir: bad opcode %q", fields[0])
+	}
+	in.Op = Op(op)
+	dst, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Instr{}, err
+	}
+	in.Dst = Reg(dst)
+	if in.A, err = decodeOperand(fields[2]); err != nil {
+		return Instr{}, err
+	}
+	if in.B, err = decodeOperand(fields[3]); err != nil {
+		return Instr{}, err
+	}
+	if in.C, err = decodeOperand(fields[4]); err != nil {
+		return Instr{}, err
+	}
+	if in.Off, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
+		return Instr{}, err
+	}
+	in.HasVal = fields[6] == "1"
+	if in.Then, err = strconv.Atoi(fields[7]); err != nil {
+		return Instr{}, err
+	}
+	if in.Else, err = strconv.Atoi(fields[8]); err != nil {
+		return Instr{}, err
+	}
+	if in.RegionID, err = strconv.Atoi(fields[9]); err != nil {
+		return Instr{}, err
+	}
+	in.AliasSet = -1
+	if in.Op == OpCall {
+		if len(fields) < 12 {
+			return Instr{}, fmt.Errorf("ir: truncated call")
+		}
+		in.Callee = fields[10]
+		n, err := strconv.Atoi(fields[11])
+		if err != nil || n < 0 || len(fields) != 12+n {
+			return Instr{}, fmt.Errorf("ir: bad call arity")
+		}
+		for i := 0; i < n; i++ {
+			a, err := decodeOperand(fields[12+i])
+			if err != nil {
+				return Instr{}, err
+			}
+			in.Args = append(in.Args, a)
+		}
+	}
+	return in, nil
+}
+
+// UnmarshalText reads a program in the MarshalText format and verifies it.
+func UnmarshalText(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var p *Program
+	var f *Function
+	var blk *Block
+	var slice *RecoverySlice
+	lineNo := 0
+
+	flushSlice := func() {
+		if slice != nil && f != nil {
+			if f.Slices == nil {
+				f.Slices = map[int]RecoverySlice{}
+			}
+			f.Slices[slice.RegionID] = *slice
+			slice = nil
+		}
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "program":
+			if len(fields) != 3 || !strings.HasPrefix(fields[2], "entry=") {
+				return nil, fmt.Errorf("ir: line %d: bad program header", lineNo)
+			}
+			p = NewProgram(fields[1])
+			p.Entry = strings.TrimPrefix(fields[2], "entry=")
+		case "func":
+			flushSlice()
+			if p == nil {
+				return nil, fmt.Errorf("ir: line %d: func before program", lineNo)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("ir: line %d: bad func header", lineNo)
+			}
+			f = &Function{Name: fields[1]}
+			for _, kv := range fields[2:] {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("ir: line %d: bad func field %q", lineNo, kv)
+				}
+				v, err := strconv.Atoi(parts[1])
+				if err != nil {
+					return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+				}
+				switch parts[0] {
+				case "params":
+					f.NParams = v
+				case "regs":
+					f.NumRegs = v
+				case "regions":
+					f.NumRegions = v
+				}
+			}
+			p.Add(f)
+			blk = nil
+		case "block":
+			flushSlice()
+			if f == nil {
+				return nil, fmt.Errorf("ir: line %d: block before func", lineNo)
+			}
+			blk = &Block{Name: fields[1], Index: len(f.Blocks)}
+			f.Blocks = append(f.Blocks, blk)
+		case "slice":
+			flushSlice()
+			if f == nil || len(fields) != 4 {
+				return nil, fmt.Errorf("ir: line %d: bad slice header", lineNo)
+			}
+			var rs RecoverySlice
+			if _, err := fmt.Sscanf(fields[1], "region=%d", &rs.RegionID); err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+			}
+			if _, err := fmt.Sscanf(fields[2], "entry=%d,%d", &rs.Entry.Block, &rs.Entry.Index); err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+			}
+			live, err := decodeRegs(strings.TrimPrefix(fields[3], "live="))
+			if err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+			}
+			rs.LiveIn = live
+			slice = &rs
+			blk = nil
+		case "step":
+			if slice == nil || len(fields) != 7 {
+				return nil, fmt.Errorf("ir: line %d: step outside slice", lineNo)
+			}
+			var vals [6]int64
+			for i := 0; i < 6; i++ {
+				v, err := strconv.ParseInt(fields[1+i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+				}
+				vals[i] = v
+			}
+			slice.Steps = append(slice.Steps, SliceStep{
+				Op: SliceOp(vals[0]), Dst: Reg(vals[1]), Src: Reg(vals[2]),
+				Src2: Reg(vals[3]), Imm: vals[4], ALUOp: Op(vals[5]),
+			})
+		case "liveacross":
+			flushSlice()
+			if f == nil || len(fields) != 4 || fields[2] != "=" {
+				return nil, fmt.Errorf("ir: line %d: bad liveacross", lineNo)
+			}
+			var ref InstrRef
+			if _, err := fmt.Sscanf(fields[1], "%d,%d", &ref.Block, &ref.Index); err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+			}
+			regs, err := decodeRegs(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+			}
+			if f.LiveAcross == nil {
+				f.LiveAcross = map[InstrRef][]Reg{}
+			}
+			f.LiveAcross[ref] = regs
+		case "end":
+			flushSlice()
+			if p == nil {
+				return nil, fmt.Errorf("ir: line %d: end before program", lineNo)
+			}
+			if err := VerifyProgram(p); err != nil {
+				return nil, err
+			}
+			return p, nil
+		default:
+			// An instruction line inside the current block.
+			if blk == nil {
+				return nil, fmt.Errorf("ir: line %d: instruction outside block", lineNo)
+			}
+			in, err := decodeInstr(fields)
+			if err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+			}
+			blk.Instrs = append(blk.Instrs, in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("ir: missing 'end'")
+}

@@ -1,0 +1,192 @@
+package ir
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, p *Program) *Program {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.MarshalText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := UnmarshalText(&buf)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\n--- text ---\n%s", err, buf.String())
+	}
+	return q
+}
+
+func TestMarshalRoundTripSimple(t *testing.T) {
+	p := sumProgram(t, 20)
+	q := roundTrip(t, p)
+	// Structural equality via a second marshal.
+	var b1, b2 bytes.Buffer
+	if err := p.MarshalText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.MarshalText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("marshal not stable across a round trip")
+	}
+	// Semantic equality.
+	r1, err := Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Interp(q, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RetVal != r2.RetVal || fmt.Sprint(r1.Output) != fmt.Sprint(r2.Output) {
+		t.Error("round trip changed semantics")
+	}
+}
+
+func TestMarshalRoundTripWithCalls(t *testing.T) {
+	cb := NewFunc("store42", 1)
+	cb.NewBlock("entry")
+	cb.Store(Imm(42), R(cb.Param(0)), 0)
+	cb.RetVoid()
+	fb := NewFunc("main", 0)
+	fb.NewBlock("entry")
+	a := fb.Alloc(64)
+	fb.Call("store42", R(a))
+	v := fb.Load(R(a), 0)
+	fb.Ret(R(v))
+	p := NewProgram("calls")
+	p.Add(cb.MustDone())
+	p.Add(fb.MustDone())
+	p.Entry = "main"
+
+	q := roundTrip(t, p)
+	res, err := Interp(q, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 42 {
+		t.Errorf("ret = %d, want 42", res.RetVal)
+	}
+}
+
+func TestMarshalCarriesMetadata(t *testing.T) {
+	p := sumProgram(t, 5)
+	f := p.Funcs["main"]
+	f.NumRegions = 3
+	f.Slices = map[int]RecoverySlice{
+		1: {
+			RegionID: 1,
+			Entry:    InstrRef{Block: 1, Index: 0},
+			LiveIn:   []Reg{0, 2},
+			Steps: []SliceStep{
+				{Op: SliceConst, Dst: 0, Imm: 7},
+				{Op: SliceLoadCkpt, Dst: 2, Src: 2},
+				{Op: SliceUnary, Dst: 2, Src: 2, Imm: 3, ALUOp: OpShl},
+			},
+		},
+	}
+	f.LiveAcross = map[InstrRef][]Reg{
+		{Block: 0, Index: 2}: {0, 1},
+		{Block: 1, Index: 1}: nil,
+	}
+	q := roundTrip(t, p)
+	g := q.Funcs["main"]
+	if g.NumRegions != 3 {
+		t.Errorf("regions = %d", g.NumRegions)
+	}
+	rs, ok := g.Slices[1]
+	if !ok || len(rs.Steps) != 3 || rs.Steps[2].ALUOp != OpShl || rs.Entry.Block != 1 {
+		t.Errorf("slice lost: %+v", rs)
+	}
+	if len(rs.LiveIn) != 2 || rs.LiveIn[1] != 2 {
+		t.Errorf("live-in lost: %v", rs.LiveIn)
+	}
+	la := g.LiveAcross[InstrRef{Block: 0, Index: 2}]
+	if len(la) != 2 || la[0] != 0 || la[1] != 1 {
+		t.Errorf("liveacross lost: %v", la)
+	}
+	if got := g.LiveAcross[InstrRef{Block: 1, Index: 1}]; got != nil {
+		t.Errorf("empty liveacross should round-trip to nil, got %v", got)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"program x entry=main\n", // no end
+		"block b\n",              // block before program
+		"program x entry=main\nfunc f params=0 regs=0 regions=0\nblock b\n  999 0 _ _ _ 0 0 0 0 0\nend\n", // bad opcode
+		"program x entry=main\nend\n", // missing entry function
+		"program x entry=main\nfunc main params=0 regs=1 regions=0\nblock b\n  bogus\nend\n",
+	}
+	for _, src := range cases {
+		if _, err := UnmarshalText(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestUnmarshalVerifies(t *testing.T) {
+	// Structurally parseable but semantically invalid (use of undefined reg).
+	src := `program x entry=main
+func main params=0 regs=2 regions=0
+block entry
+  ` + encodeInstr(&Instr{Op: OpAdd, Dst: 0, A: R(1), B: Imm(1)}) + `
+  ` + encodeInstr(&Instr{Op: OpRet, A: R(0), HasVal: true}) + `
+end
+`
+	if _, err := UnmarshalText(strings.NewReader(src)); err == nil {
+		t.Error("verifier should reject use of undefined register")
+	}
+}
+
+// TestMarshalRoundTripCompiledPrograms is in the compiler tests (to avoid
+// an import cycle); here we round-trip the raw generator output at scale.
+func TestMarshalRoundTripGenerated(t *testing.T) {
+	// Local import cycle prevents using progen here; hand-roll a variety of
+	// shapes via the builder covering every opcode.
+	fb := NewFunc("main", 0)
+	fb.NewBlock("entry")
+	p0 := fb.Alloc(128)
+	fb.Store(Imm(5), R(p0), 0)
+	v := fb.Load(R(p0), 0)
+	w := fb.Bin(OpShl, R(v), Imm(2))
+	x := fb.AtomicAdd(R(p0), 8, R(w))
+	y := fb.AtomicCAS(R(p0), 8, R(x), Imm(9))
+	z := fb.AtomicXchg(R(p0), 16, R(y))
+	fb.Fence()
+	s := fb.Select(R(z), R(w), Imm(3))
+	fb.Emit(R(s))
+	loop := fb.AddBlock("loop")
+	exit := fb.AddBlock("exit")
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	fb.Jmp(loop)
+	fb.SetBlock(loop)
+	c := fb.Bin(OpCmpLT, R(i), Imm(4))
+	fb.BinInto(OpAdd, i, R(i), Imm(1))
+	fb.Br(R(c), loop, exit)
+	fb.SetBlock(exit)
+	fb.Ret(R(s))
+	p := NewProgram("all-ops")
+	p.Add(fb.MustDone())
+	p.Entry = "main"
+
+	q := roundTrip(t, p)
+	r1, err := Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Interp(q, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RetVal != r2.RetVal || fmt.Sprint(r1.Mem.Snapshot()) != fmt.Sprint(r2.Mem.Snapshot()) {
+		t.Error("all-ops round trip changed behaviour")
+	}
+}

@@ -1,0 +1,145 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt", OpCmpLE: "cmple",
+	OpCmpGT: "cmpgt", OpCmpGE: "cmpge", OpSelect: "select",
+	OpLoad: "load", OpStore: "store", OpAlloc: "alloc",
+	OpJmp: "jmp", OpBr: "br", OpRet: "ret", OpCall: "call",
+	OpAtomicCAS: "cas", OpAtomicAdd: "xadd", OpAtomicXchg: "xchg",
+	OpFence: "fence", OpEmit: "emit",
+	OpBoundary: "boundary", OpCkpt: "ckpt",
+}
+
+// String returns the opcode mnemonic.
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+// String renders one instruction in assembly-like form.
+func (in *Instr) String() string {
+	var b strings.Builder
+	switch in.Op {
+	case OpConst:
+		fmt.Fprintf(&b, "r%d = const %d", in.Dst, in.A.Imm)
+	case OpMov:
+		fmt.Fprintf(&b, "r%d = mov %s", in.Dst, in.A)
+	case OpSelect:
+		fmt.Fprintf(&b, "r%d = select %s, %s, %s", in.Dst, in.A, in.B, in.C)
+	case OpLoad:
+		fmt.Fprintf(&b, "r%d = load [%s+%d]", in.Dst, in.A, in.Off)
+	case OpStore:
+		fmt.Fprintf(&b, "store %s, [%s+%d]", in.A, in.B, in.Off)
+	case OpAlloc:
+		fmt.Fprintf(&b, "r%d = alloc %s", in.Dst, in.A)
+	case OpJmp:
+		fmt.Fprintf(&b, "jmp b%d", in.Then)
+	case OpBr:
+		fmt.Fprintf(&b, "br %s, b%d, b%d", in.A, in.Then, in.Else)
+	case OpRet:
+		if in.HasVal {
+			fmt.Fprintf(&b, "ret %s", in.A)
+		} else {
+			b.WriteString("ret")
+		}
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		fmt.Fprintf(&b, "r%d = call %s(%s)", in.Dst, in.Callee, strings.Join(args, ", "))
+	case OpAtomicCAS:
+		fmt.Fprintf(&b, "r%d = cas [%s+%d], %s -> %s", in.Dst, in.A, in.Off, in.B, in.C)
+	case OpAtomicAdd:
+		fmt.Fprintf(&b, "r%d = xadd [%s+%d], %s", in.Dst, in.A, in.Off, in.B)
+	case OpAtomicXchg:
+		fmt.Fprintf(&b, "r%d = xchg [%s+%d], %s", in.Dst, in.A, in.Off, in.B)
+	case OpFence:
+		b.WriteString("fence")
+	case OpEmit:
+		fmt.Fprintf(&b, "emit %s", in.A)
+	case OpBoundary:
+		fmt.Fprintf(&b, "--- boundary region=%d ---", in.RegionID)
+	case OpCkpt:
+		fmt.Fprintf(&b, "ckpt r%d", in.A.Reg)
+	default:
+		fmt.Fprintf(&b, "r%d = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+	return b.String()
+}
+
+// Dump renders the whole function, including region and recovery-slice
+// metadata when present.
+func (f *Function) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(%d params, %d regs", f.Name, f.NParams, f.NumRegs)
+	if f.NumRegions > 0 {
+		fmt.Fprintf(&b, ", %d regions", f.NumRegions)
+	}
+	b.WriteString(")\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d: ; %s\n", blk.Index, blk.Name)
+		for i := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", blk.Instrs[i].String())
+		}
+	}
+	if len(f.Slices) > 0 {
+		ids := make([]int, 0, len(f.Slices))
+		for id := range f.Slices {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			rs := f.Slices[id]
+			fmt.Fprintf(&b, "slice region=%d entry=b%d[%d] live-in=%v\n", id, rs.Entry.Block, rs.Entry.Index, rs.LiveIn)
+			for _, st := range rs.Steps {
+				fmt.Fprintf(&b, "  %s\n", st.String())
+			}
+		}
+	}
+	return b.String()
+}
+
+// String renders one recovery-slice step.
+func (s SliceStep) String() string {
+	switch s.Op {
+	case SliceConst:
+		return fmt.Sprintf("r%d = const %d", s.Dst, s.Imm)
+	case SliceLoadCkpt:
+		return fmt.Sprintf("r%d = ckptload slot(r%d)", s.Dst, s.Src)
+	case SliceUnary:
+		return fmt.Sprintf("r%d = %s r%d, %d", s.Dst, s.ALUOp, s.Src, s.Imm)
+	case SliceBinary:
+		return fmt.Sprintf("r%d = %s r%d, r%d", s.Dst, s.ALUOp, s.Src, s.Src2)
+	}
+	return "?"
+}
+
+// Dump renders all functions of a program, entry first then sorted by name.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		if n != p.Entry {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	names = append([]string{p.Entry}, names...)
+	for _, n := range names {
+		b.WriteString(p.Funcs[n].Dump())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package ir
+
+import "fmt"
+
+// VerifyFunc checks the structural invariants of a function:
+//   - at least one block; every block non-empty and ending in exactly one
+//     terminator, with no terminator mid-block;
+//   - all branch targets in range;
+//   - all register references within [0, NumRegs);
+//   - every register read on some path is defined before use on every path
+//     from entry (conservative dataflow check).
+func VerifyFunc(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+	}
+	for bi, b := range f.Blocks {
+		if b.Index != bi {
+			return fmt.Errorf("ir: %s block %q index mismatch (%d != %d)", f.Name, b.Name, b.Index, bi)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("ir: %s block %q is empty", f.Name, b.Name)
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op == OpInvalid || in.Op >= opMax {
+				return fmt.Errorf("ir: %s.%s[%d] invalid opcode %d", f.Name, b.Name, ii, in.Op)
+			}
+			if in.IsTerminator() != (ii == len(b.Instrs)-1) {
+				return fmt.Errorf("ir: %s.%s[%d] terminator placement violation (%v)", f.Name, b.Name, ii, in.Op)
+			}
+			if err := checkRegs(f, b, ii, in); err != nil {
+				return err
+			}
+			switch in.Op {
+			case OpJmp:
+				if in.Then < 0 || in.Then >= len(f.Blocks) {
+					return fmt.Errorf("ir: %s.%s jmp target %d out of range", f.Name, b.Name, in.Then)
+				}
+			case OpBr:
+				if in.Then < 0 || in.Then >= len(f.Blocks) || in.Else < 0 || in.Else >= len(f.Blocks) {
+					return fmt.Errorf("ir: %s.%s br targets (%d,%d) out of range", f.Name, b.Name, in.Then, in.Else)
+				}
+			}
+		}
+		if b.Term() == nil {
+			return fmt.Errorf("ir: %s block %q does not end in a terminator", f.Name, b.Name)
+		}
+	}
+	return verifyDefBeforeUse(f)
+}
+
+func checkRegs(f *Function, b *Block, ii int, in *Instr) error {
+	check := func(r Reg) error {
+		if r == NoReg {
+			return nil
+		}
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("ir: %s.%s[%d] register r%d out of range (NumRegs=%d)", f.Name, b.Name, ii, r, f.NumRegs)
+		}
+		return nil
+	}
+	for _, u := range in.Uses(nil) {
+		if err := check(u); err != nil {
+			return err
+		}
+	}
+	return check(in.Def())
+}
+
+// verifyDefBeforeUse runs a forward "definitely assigned" dataflow and
+// rejects reads of registers that may be undefined. Parameters are defined
+// at entry.
+func verifyDefBeforeUse(f *Function) error {
+	n := len(f.Blocks)
+	// in[b] = set of registers definitely assigned at block entry.
+	in := make([][]bool, n)
+	full := func() []bool {
+		s := make([]bool, f.NumRegs)
+		for i := range s {
+			s[i] = true
+		}
+		return s
+	}
+	for i := range in {
+		in[i] = full() // top = all defined; meet = intersection
+	}
+	entry := make([]bool, f.NumRegs)
+	for i := 0; i < f.NParams; i++ {
+		entry[i] = true
+	}
+	in[0] = entry
+
+	changed := true
+	for changed {
+		changed = false
+		for bi, b := range f.Blocks {
+			cur := append([]bool(nil), in[bi]...)
+			for ii := range b.Instrs {
+				if d := b.Instrs[ii].Def(); d != NoReg {
+					cur[d] = true
+				}
+			}
+			for _, s := range b.Succs() {
+				if s == 0 {
+					continue // entry keeps its param-only set
+				}
+				for r := 0; r < f.NumRegs; r++ {
+					if in[s][r] && !cur[r] {
+						in[s][r] = false
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for bi, b := range f.Blocks {
+		cur := append([]bool(nil), in[bi]...)
+		for ii := range b.Instrs {
+			inst := &b.Instrs[ii]
+			for _, u := range inst.Uses(nil) {
+				if !cur[u] {
+					return fmt.Errorf("ir: %s.%s[%d] reads r%d which may be undefined", f.Name, b.Name, ii, u)
+				}
+			}
+			if d := inst.Def(); d != NoReg {
+				cur[d] = true
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyProgram verifies every function and the cross-function properties:
+// the entry exists and all call targets resolve with matching arity.
+func VerifyProgram(p *Program) error {
+	if p.Entry == "" || p.Funcs[p.Entry] == nil {
+		return fmt.Errorf("ir: program %s has no entry function %q", p.Name, p.Entry)
+	}
+	for _, f := range p.Funcs {
+		if err := VerifyFunc(f); err != nil {
+			return err
+		}
+		for _, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op != OpCall {
+					continue
+				}
+				callee := p.Funcs[in.Callee]
+				if callee == nil {
+					return fmt.Errorf("ir: %s calls unknown function %q", f.Name, in.Callee)
+				}
+				if len(in.Args) != callee.NParams {
+					return fmt.Errorf("ir: %s calls %s with %d args, want %d", f.Name, in.Callee, len(in.Args), callee.NParams)
+				}
+			}
+		}
+	}
+	return nil
+}

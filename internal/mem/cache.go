@@ -1,0 +1,200 @@
+package mem
+
+// Cache is a set-associative cache model with true-LRU replacement and
+// per-line dirty bits. It models tags only (data lives in the functional
+// memory image); the machine uses it purely for hit/miss/eviction
+// decisions.
+type Cache struct {
+	name      string
+	lineShift uint
+	sets      int
+	ways      int
+	// tags[set*ways+way] = line tag (address >> lineShift), -1 empty.
+	tags  []int64
+	dirty []bool
+	// lru[set*ways+way] = recency counter; higher = more recent.
+	lru     []int64
+	lruTick int64
+
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// NewCache builds a cache of sizeBytes with the given associativity and
+// line size (must be powers of two; sizeBytes divisible by ways*lineBytes).
+func NewCache(name string, sizeBytes, ways, lineBytes int) *Cache {
+	lines := sizeBytes / lineBytes
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{
+		name:      name,
+		lineShift: log2(lineBytes),
+		sets:      sets,
+		ways:      ways,
+		tags:      make([]int64, sets*ways),
+		dirty:     make([]bool, sets*ways),
+		lru:       make([]int64, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+func log2(v int) uint {
+	var s uint
+	for (1 << s) < v {
+		s++
+	}
+	return s
+}
+
+// Line returns the line tag of a byte address.
+func (c *Cache) Line(addr int64) int64 { return addr >> c.lineShift }
+
+func (c *Cache) set(line int64) int { return int(uint64(line) % uint64(c.sets)) }
+
+// Lookup probes for addr without modifying replacement state.
+func (c *Cache) Lookup(addr int64) bool {
+	line := c.Line(addr)
+	base := c.set(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Evicted describes a line displaced by a fill.
+type Evicted struct {
+	Valid bool
+	Line  int64 // line tag
+	Dirty bool
+}
+
+// Access performs a load (write=false) or store (write=true) of addr,
+// filling on miss. It returns whether the access hit and any eviction the
+// fill caused.
+func (c *Cache) Access(addr int64, write bool) (hit bool, ev Evicted) {
+	line := c.Line(addr)
+	base := c.set(line) * c.ways
+	c.lruTick++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.lru[base+w] = c.lruTick
+			if write {
+				c.dirty[base+w] = true
+			}
+			c.Hits++
+			return true, Evicted{}
+		}
+	}
+	c.Misses++
+	// Fill: choose an empty way or the LRU victim.
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == -1 {
+			victim = base + w
+			goto fill
+		}
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+	if c.tags[victim] != -1 {
+		ev = Evicted{Valid: true, Line: c.tags[victim], Dirty: c.dirty[victim]}
+		c.Evictions++
+	}
+fill:
+	c.tags[victim] = line
+	c.dirty[victim] = write
+	c.lru[victim] = c.lruTick
+	return false, ev
+}
+
+// InvalidateLine drops a line if present, returning whether it was dirty.
+func (c *Cache) InvalidateLine(line int64) (present, dirty bool) {
+	base := c.set(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			present, dirty = true, c.dirty[base+w]
+			c.tags[base+w] = -1
+			c.dirty[base+w] = false
+			return
+		}
+	}
+	return
+}
+
+// MissRate returns misses/(hits+misses), 0 when unused.
+func (c *Cache) MissRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}
+
+// DRAMCache is the direct-mapped DRAM cache (LLC) used in PMEM memory mode
+// and the CXL configurations: one tag per set, write-back.
+type DRAMCache struct {
+	lineShift uint
+	sets      int
+	tags      []int64
+	dirty     []bool
+
+	Hits   int64
+	Misses int64
+}
+
+// NewDRAMCache builds a direct-mapped cache of sizeBytes.
+func NewDRAMCache(sizeBytes, lineBytes int) *DRAMCache {
+	sets := sizeBytes / lineBytes
+	if sets < 1 {
+		sets = 1
+	}
+	d := &DRAMCache{
+		lineShift: log2(lineBytes),
+		sets:      sets,
+		tags:      make([]int64, sets),
+		dirty:     make([]bool, sets),
+	}
+	for i := range d.tags {
+		d.tags[i] = -1
+	}
+	return d
+}
+
+// Access performs an access, returning hit status and whether a dirty line
+// was displaced (its writeback goes to NVM, but in WSP mode that writeback
+// is silently dropped — the persist path already carried the data).
+func (d *DRAMCache) Access(addr int64, write bool) (hit bool, victimDirty bool, victimLine int64) {
+	line := addr >> d.lineShift
+	set := int(uint64(line) % uint64(d.sets))
+	if d.tags[set] == line {
+		d.Hits++
+		if write {
+			d.dirty[set] = true
+		}
+		return true, false, 0
+	}
+	d.Misses++
+	victimDirty = d.dirty[set] && d.tags[set] != -1
+	victimLine = d.tags[set]
+	d.tags[set] = line
+	d.dirty[set] = write
+	return false, victimDirty, victimLine
+}
+
+// MissRate returns misses/(hits+misses), 0 when unused.
+func (d *DRAMCache) MissRate() float64 {
+	t := d.Hits + d.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(d.Misses) / float64(t)
+}

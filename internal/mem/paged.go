@@ -1,0 +1,142 @@
+// Package mem provides the memory-system substrate of the cWSP machine
+// model: a paged functional memory (the architectural and NVM images), a
+// set-associative LRU cache model, a direct-mapped DRAM cache model, and
+// the L1D write buffer whose drain the cWSP hardware delays to prevent the
+// stale-read race (paper Section V-A1).
+package mem
+
+const (
+	pageShift = 9 // 512 words (4 KiB) per page
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+// PagedMem is a sparse, word-granularity memory image. Addresses are byte
+// addresses; accesses are aligned 8-byte words. Pages are allocated on
+// first write, so multi-megabyte footprints stay cheap.
+type PagedMem struct {
+	pages map[int64]*[pageWords]int64
+}
+
+// NewPagedMem returns an empty image.
+func NewPagedMem() *PagedMem {
+	return &PagedMem{pages: map[int64]*[pageWords]int64{}}
+}
+
+// Load reads the word at addr (0 if the page was never written).
+func (m *PagedMem) Load(addr int64) int64 {
+	w := addr >> 3
+	p := m.pages[w>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[w&pageMask]
+}
+
+// Store writes the word at addr.
+func (m *PagedMem) Store(addr, val int64) {
+	w := addr >> 3
+	key := w >> pageShift
+	p := m.pages[key]
+	if p == nil {
+		p = new([pageWords]int64)
+		m.pages[key] = p
+	}
+	p[w&pageMask] = val
+}
+
+// Clone deep-copies the image.
+func (m *PagedMem) Clone() *PagedMem {
+	c := NewPagedMem()
+	for k, p := range m.pages {
+		np := *p
+		c.pages[k] = &np
+	}
+	return c
+}
+
+// Equal reports whether two images hold identical contents (zero-filled
+// pages compare equal to absent pages).
+func (m *PagedMem) Equal(o *PagedMem) bool {
+	return m.subsetEq(o) && o.subsetEq(m)
+}
+
+func (m *PagedMem) subsetEq(o *PagedMem) bool {
+	for k, p := range m.pages {
+		q := o.pages[k]
+		if q == nil {
+			for _, v := range p {
+				if v != 0 {
+					return false
+				}
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns up to max differing word addresses between m and o.
+func (m *PagedMem) Diff(o *PagedMem, max int) []int64 {
+	var out []int64
+	seen := map[int64]bool{}
+	collect := func(a, b *PagedMem) {
+		for k, p := range a.pages {
+			q := b.pages[k]
+			for i, v := range p {
+				var w int64
+				if q != nil {
+					w = q[i]
+				}
+				if v != w {
+					addr := ((k << pageShift) | int64(i)) << 3
+					if !seen[addr] {
+						seen[addr] = true
+						out = append(out, addr)
+						if len(out) >= max {
+							return
+						}
+					}
+				}
+			}
+			if len(out) >= max {
+				return
+			}
+		}
+	}
+	collect(m, o)
+	if len(out) < max {
+		collect(o, m)
+	}
+	return out
+}
+
+// EqualWhere reports whether the images agree on every word whose address
+// satisfies keep.
+func (m *PagedMem) EqualWhere(o *PagedMem, keep func(addr int64) bool) bool {
+	check := func(a, b *PagedMem) bool {
+		for k, p := range a.pages {
+			q := b.pages[k]
+			for i, v := range p {
+				var w int64
+				if q != nil {
+					w = q[i]
+				}
+				if v != w {
+					addr := ((k << pageShift) | int64(i)) << 3
+					if keep(addr) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	return check(m, o) && check(o, m)
+}
+
+// Pages returns the number of resident pages (for footprint assertions).
+func (m *PagedMem) Pages() int { return len(m.pages) }

@@ -1,0 +1,90 @@
+package mem
+
+// WriteBuffer models the L1 data cache's write(back) buffer: dirty lines
+// evicted from L1D wait here before draining to the shared L2. cWSP checks
+// the persist buffer before releasing the head entry (paper Figure 5); the
+// machine supplies that check as a callback returning the earliest cycle at
+// which the line's persist-path copies are all in NVM.
+type WriteBuffer struct {
+	cap int
+	// drainDone[i] is the cycle entry i (FIFO order) finishes draining.
+	drainDone []int64
+	drainLat  int64
+
+	// Occupancy statistics: integral of entry-residency cycles, divided by
+	// elapsed time at query.
+	lastTime    int64
+	entryCycles float64
+	Delayed     int64 // drains held back by the persist-path check
+	FullStall   int64 // cycles the core stalled on a full WB
+}
+
+// NewWriteBuffer builds a buffer of capacity entries whose entries take
+// drainLat cycles to write to L2 once released.
+func NewWriteBuffer(capacity int, drainLat int64) *WriteBuffer {
+	return &WriteBuffer{cap: capacity, drainLat: drainLat}
+}
+
+func (w *WriteBuffer) gc(now int64) {
+	i := 0
+	for i < len(w.drainDone) && w.drainDone[i] <= now {
+		i++
+	}
+	if i > 0 {
+		w.drainDone = w.drainDone[i:]
+	}
+}
+
+func (w *WriteBuffer) account(now, drainDone int64) {
+	if now > w.lastTime {
+		w.lastTime = now
+	}
+	if drainDone > now {
+		w.entryCycles += float64(drainDone - now)
+	}
+	if drainDone > w.lastTime {
+		w.lastTime = drainDone
+	}
+}
+
+// Insert places a dirty line into the buffer at cycle now. persistReady is
+// the earliest cycle the persist path allows this line to reach L2 (0 when
+// the check is disabled or found no match). It returns the cycle at which
+// the core may proceed (now, unless the buffer was full).
+func (w *WriteBuffer) Insert(now int64, persistReady int64) int64 {
+	w.gc(now)
+	if len(w.drainDone) >= w.cap {
+		// Stall until the head drains.
+		head := w.drainDone[0]
+		w.FullStall += head - now
+		now = head
+		w.gc(now)
+	}
+	start := now
+	if n := len(w.drainDone); n > 0 && w.drainDone[n-1] > start {
+		start = w.drainDone[n-1]
+	}
+	if persistReady > start {
+		w.Delayed++
+		start = persistReady
+	}
+	done := start + w.drainLat
+	w.drainDone = append(w.drainDone, done)
+	w.account(now, done)
+	return now
+}
+
+// AvgOccupancy returns the time-averaged number of resident entries: total
+// entry-residency cycles over elapsed time.
+func (w *WriteBuffer) AvgOccupancy() float64 {
+	if w.lastTime == 0 {
+		return 0
+	}
+	return w.entryCycles / float64(w.lastTime)
+}
+
+// Occupancy returns the current entry count at cycle now.
+func (w *WriteBuffer) Occupancy(now int64) int {
+	w.gc(now)
+	return len(w.drainDone)
+}

@@ -1,0 +1,125 @@
+package minic
+
+// AST node definitions. Positions (line, col) are kept for error messages
+// during code generation (e.g. undefined variables).
+
+type File struct {
+	Funcs []*FuncDecl
+}
+
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Line   int
+}
+
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+type VarStmt struct { // var x = expr;
+	Name string
+	Init Expr
+	Line int
+}
+
+type AssignStmt struct { // x = expr;
+	Name string
+	Val  Expr
+	Line int
+}
+
+type StoreStmt struct { // base[idx] = expr;
+	Base Expr
+	Idx  Expr
+	Val  Expr
+	Line int
+}
+
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil; else-if is a Block with a single IfStmt
+}
+
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+}
+
+type ForStmt struct {
+	Init Stmt // may be nil
+	Cond Expr // may be nil (infinite)
+	Post Stmt // may be nil
+	Body *Block
+}
+
+type ReturnStmt struct {
+	Val  Expr // may be nil
+	Line int
+}
+
+type BreakStmt struct{ Line int }
+type ContinueStmt struct{ Line int }
+
+type ExprStmt struct { // expr; — calls and builtins for effect
+	X Expr
+}
+
+func (*VarStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*StoreStmt) stmt()    {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ expr() }
+
+type NumberExpr struct {
+	Val int64
+}
+
+type VarExpr struct {
+	Name string
+	Line int
+	Col  int
+}
+
+type UnaryExpr struct { // -x, !x
+	Op string
+	X  Expr
+}
+
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+type IndexExpr struct { // base[idx] as an rvalue: load
+	Base Expr
+	Idx  Expr
+}
+
+type CallExpr struct { // name(args...) — user functions and builtins
+	Name string
+	Args []Expr
+	Line int
+	Col  int
+}
+
+func (*NumberExpr) expr() {}
+func (*VarExpr) expr()    {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*IndexExpr) expr()  {}
+func (*CallExpr) expr()   {}

@@ -1,0 +1,458 @@
+package minic
+
+import (
+	"fmt"
+
+	"cwsp/internal/ir"
+)
+
+// Compile compiles minic source text to an IR program. The program's entry
+// point is "main" (which must exist and take no parameters).
+func Compile(src string) (*ir.Program, error) {
+	return CompileNamed(src, "minic")
+}
+
+// CompileNamed is Compile with an explicit program name.
+func CompileNamed(src, name string) (*ir.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog := ir.NewProgram(name)
+	for _, fn := range file.Funcs {
+		if prog.Funcs[fn.Name] != nil {
+			return nil, fmt.Errorf("minic: duplicate function %q", fn.Name)
+		}
+		if builtinArity(fn.Name) >= 0 {
+			return nil, fmt.Errorf("minic: function %q shadows a builtin", fn.Name)
+		}
+		g := &gen{fb: ir.NewFunc(fn.Name, len(fn.Params))}
+		irFn, err := g.genFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		prog.Add(irFn)
+	}
+	main := prog.Funcs["main"]
+	if main == nil {
+		return nil, fmt.Errorf("minic: no main function")
+	}
+	if main.NParams != 0 {
+		return nil, fmt.Errorf("minic: main must take no parameters")
+	}
+	prog.Entry = "main"
+	if err := ir.VerifyProgram(prog); err != nil {
+		return nil, fmt.Errorf("minic: generated IR invalid: %w", err)
+	}
+	return prog, nil
+}
+
+// builtinArity returns the argument count of a builtin, or -1.
+func builtinArity(name string) int {
+	switch name {
+	case "alloc", "emit":
+		return 1
+	case "fence":
+		return 0
+	case "atomic_add", "atomic_xchg":
+		return 2
+	case "atomic_cas":
+		return 3
+	}
+	return -1
+}
+
+type loopCtx struct {
+	brk  *ir.Block
+	cont *ir.Block
+}
+
+type gen struct {
+	fb     *ir.FuncBuilder
+	scopes []map[string]ir.Reg
+	loops  []loopCtx
+}
+
+func (g *gen) push() { g.scopes = append(g.scopes, map[string]ir.Reg{}) }
+func (g *gen) pop()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *gen) declare(name string, r ir.Reg, line int) error {
+	top := g.scopes[len(g.scopes)-1]
+	if _, ok := top[name]; ok {
+		return fmt.Errorf("minic: %d: %q redeclared in this scope", line, name)
+	}
+	top[name] = r
+	return nil
+}
+
+func (g *gen) lookup(name string) (ir.Reg, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if r, ok := g.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func (g *gen) genFunc(fn *FuncDecl) (*ir.Function, error) {
+	g.push()
+	defer g.pop()
+	g.fb.NewBlock("entry")
+	for i, p := range fn.Params {
+		if err := g.declare(p, g.fb.Param(i), fn.Line); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.genBlock(fn.Body); err != nil {
+		return nil, err
+	}
+	g.terminate()
+	return g.fb.Done()
+}
+
+// terminate appends a void return if the current block lacks a terminator.
+func (g *gen) terminate() {
+	b := g.fb.Cur()
+	if b.Term() == nil {
+		g.fb.RetVoid()
+	}
+}
+
+func (g *gen) genBlock(b *Block) error {
+	g.push()
+	defer g.pop()
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) genStmt(s Stmt) error {
+	// Statements after a terminator (return/break/continue) are dead code:
+	// emit them into a fresh unreachable block so every block keeps exactly
+	// one trailing terminator.
+	if g.fb.Cur().Term() != nil {
+		g.fb.SetBlock(g.fb.AddBlock("dead"))
+	}
+	switch st := s.(type) {
+	case *VarStmt:
+		v, err := g.genExpr(st.Init)
+		if err != nil {
+			return err
+		}
+		r := g.fb.Reg()
+		g.fb.Mov(r, v)
+		return g.declare(st.Name, r, st.Line)
+
+	case *AssignStmt:
+		r, ok := g.lookup(st.Name)
+		if !ok {
+			return fmt.Errorf("minic: %d: assignment to undeclared variable %q", st.Line, st.Name)
+		}
+		v, err := g.genExpr(st.Val)
+		if err != nil {
+			return err
+		}
+		g.fb.Mov(r, v)
+		return nil
+
+	case *StoreStmt:
+		addr, off, err := g.genAddr(st.Base, st.Idx)
+		if err != nil {
+			return err
+		}
+		v, err := g.genExpr(st.Val)
+		if err != nil {
+			return err
+		}
+		g.fb.Store(v, addr, off)
+		return nil
+
+	case *IfStmt:
+		cond, err := g.genExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		thenB := g.fb.AddBlock("then")
+		elseB := thenB
+		if st.Else != nil {
+			elseB = g.fb.AddBlock("else")
+		}
+		join := g.fb.AddBlock("join")
+		if st.Else == nil {
+			elseB = join
+		}
+		g.fb.Br(cond, thenB, elseB)
+		g.fb.SetBlock(thenB)
+		if err := g.genBlock(st.Then); err != nil {
+			return err
+		}
+		g.jumpIfOpen(join)
+		if st.Else != nil {
+			g.fb.SetBlock(elseB)
+			if err := g.genBlock(st.Else); err != nil {
+				return err
+			}
+			g.jumpIfOpen(join)
+		}
+		g.fb.SetBlock(join)
+		return nil
+
+	case *WhileStmt:
+		head := g.fb.AddBlock("while.head")
+		body := g.fb.AddBlock("while.body")
+		exit := g.fb.AddBlock("while.exit")
+		g.jumpIfOpen(head)
+		g.fb.SetBlock(head)
+		cond, err := g.genExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		g.fb.Br(cond, body, exit)
+		g.fb.SetBlock(body)
+		g.loops = append(g.loops, loopCtx{brk: exit, cont: head})
+		if err := g.genBlock(st.Body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.jumpIfOpen(head)
+		g.fb.SetBlock(exit)
+		return nil
+
+	case *ForStmt:
+		g.push()
+		defer g.pop()
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		head := g.fb.AddBlock("for.head")
+		body := g.fb.AddBlock("for.body")
+		post := g.fb.AddBlock("for.post")
+		exit := g.fb.AddBlock("for.exit")
+		g.jumpIfOpen(head)
+		g.fb.SetBlock(head)
+		if st.Cond != nil {
+			cond, err := g.genExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+			g.fb.Br(cond, body, exit)
+		} else {
+			g.fb.Jmp(body)
+		}
+		g.fb.SetBlock(body)
+		g.loops = append(g.loops, loopCtx{brk: exit, cont: post})
+		if err := g.genBlock(st.Body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.jumpIfOpen(post)
+		g.fb.SetBlock(post)
+		if st.Post != nil {
+			if err := g.genStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		g.jumpIfOpen(head)
+		g.fb.SetBlock(exit)
+		return nil
+
+	case *ReturnStmt:
+		if st.Val == nil {
+			g.fb.RetVoid()
+			return nil
+		}
+		v, err := g.genExpr(st.Val)
+		if err != nil {
+			return err
+		}
+		g.fb.Ret(v)
+		return nil
+
+	case *BreakStmt:
+		if len(g.loops) == 0 {
+			return fmt.Errorf("minic: %d: break outside a loop", st.Line)
+		}
+		g.jumpIfOpen(g.loops[len(g.loops)-1].brk)
+		g.fb.SetBlock(g.fb.AddBlock("dead"))
+		return nil
+
+	case *ContinueStmt:
+		if len(g.loops) == 0 {
+			return fmt.Errorf("minic: %d: continue outside a loop", st.Line)
+		}
+		g.jumpIfOpen(g.loops[len(g.loops)-1].cont)
+		g.fb.SetBlock(g.fb.AddBlock("dead"))
+		return nil
+
+	case *ExprStmt:
+		_, err := g.genExpr(st.X)
+		return err
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+// jumpIfOpen appends a jump unless the block is already terminated.
+func (g *gen) jumpIfOpen(target *ir.Block) {
+	if g.fb.Cur().Term() == nil {
+		g.fb.Jmp(target)
+	}
+}
+
+// genAddr computes the (address operand, byte offset) for base[idx].
+func (g *gen) genAddr(base, idx Expr) (ir.Operand, int64, error) {
+	b, err := g.genExpr(base)
+	if err != nil {
+		return ir.Operand{}, 0, err
+	}
+	if n, ok := idx.(*NumberExpr); ok {
+		return b, n.Val * 8, nil
+	}
+	i, err := g.genExpr(idx)
+	if err != nil {
+		return ir.Operand{}, 0, err
+	}
+	off := g.fb.Bin(ir.OpShl, i, ir.Imm(3))
+	addr := g.fb.Bin(ir.OpAdd, b, ir.R(off))
+	return ir.R(addr), 0, nil
+}
+
+var binOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpDiv, "%": ir.OpRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpShr,
+	"==": ir.OpCmpEQ, "!=": ir.OpCmpNE, "<": ir.OpCmpLT, "<=": ir.OpCmpLE,
+	">": ir.OpCmpGT, ">=": ir.OpCmpGE,
+}
+
+func (g *gen) genExpr(e Expr) (ir.Operand, error) {
+	switch x := e.(type) {
+	case *NumberExpr:
+		return ir.Imm(x.Val), nil
+
+	case *VarExpr:
+		r, ok := g.lookup(x.Name)
+		if !ok {
+			return ir.Operand{}, fmt.Errorf("minic: %d:%d: undefined variable %q", x.Line, x.Col, x.Name)
+		}
+		return ir.R(r), nil
+
+	case *UnaryExpr:
+		v, err := g.genExpr(x.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		switch x.Op {
+		case "-":
+			return ir.R(g.fb.Bin(ir.OpSub, ir.Imm(0), v)), nil
+		case "!":
+			return ir.R(g.fb.Bin(ir.OpCmpEQ, v, ir.Imm(0))), nil
+		}
+		return ir.Operand{}, fmt.Errorf("minic: unknown unary %q", x.Op)
+
+	case *BinaryExpr:
+		if x.Op == "&&" || x.Op == "||" {
+			return g.genShortCircuit(x)
+		}
+		l, err := g.genExpr(x.L)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		r, err := g.genExpr(x.R)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		op, ok := binOps[x.Op]
+		if !ok {
+			return ir.Operand{}, fmt.Errorf("minic: %d: unknown operator %q", x.Line, x.Op)
+		}
+		return ir.R(g.fb.Bin(op, l, r)), nil
+
+	case *IndexExpr:
+		addr, off, err := g.genAddr(x.Base, x.Idx)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return ir.R(g.fb.Load(addr, off)), nil
+
+	case *CallExpr:
+		return g.genCall(x)
+	}
+	return ir.Operand{}, fmt.Errorf("minic: unknown expression %T", e)
+}
+
+// genShortCircuit lowers && and || to control flow; the result is 0 or 1.
+func (g *gen) genShortCircuit(x *BinaryExpr) (ir.Operand, error) {
+	l, err := g.genExpr(x.L)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	res := g.fb.Reg()
+	evalR := g.fb.AddBlock("sc.rhs")
+	done := g.fb.AddBlock("sc.done")
+	if x.Op == "&&" {
+		g.fb.ConstInto(res, 0)
+		g.fb.Br(l, evalR, done)
+	} else {
+		g.fb.ConstInto(res, 1)
+		g.fb.Br(l, done, evalR)
+	}
+	g.fb.SetBlock(evalR)
+	r, err := g.genExpr(x.R)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	nz := g.fb.Bin(ir.OpCmpNE, r, ir.Imm(0))
+	g.fb.Mov(res, ir.R(nz))
+	g.fb.Jmp(done)
+	g.fb.SetBlock(done)
+	return ir.R(res), nil
+}
+
+func (g *gen) genCall(x *CallExpr) (ir.Operand, error) {
+	args := make([]ir.Operand, 0, len(x.Args))
+	for _, a := range x.Args {
+		v, err := g.genExpr(a)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		args = append(args, v)
+	}
+	if want := builtinArity(x.Name); want >= 0 {
+		if len(args) != want {
+			return ir.Operand{}, fmt.Errorf("minic: %d:%d: %s takes %d arguments, got %d",
+				x.Line, x.Col, x.Name, want, len(args))
+		}
+		switch x.Name {
+		case "alloc":
+			return ir.R(g.allocInto(args[0])), nil
+		case "emit":
+			g.fb.Emit(args[0])
+			return ir.Imm(0), nil
+		case "fence":
+			g.fb.Fence()
+			return ir.Imm(0), nil
+		case "atomic_add":
+			return ir.R(g.fb.AtomicAdd(args[0], 0, args[1])), nil
+		case "atomic_xchg":
+			return ir.R(g.fb.AtomicXchg(args[0], 0, args[1])), nil
+		case "atomic_cas":
+			return ir.R(g.fb.AtomicCAS(args[0], 0, args[1], args[2])), nil
+		}
+	}
+	return ir.R(g.fb.Call(x.Name, args...)), nil
+}
+
+// allocInto emits an alloc whose size is the given operand.
+func (g *gen) allocInto(size ir.Operand) ir.Reg {
+	if size.Kind == ir.OperandImm {
+		return g.fb.Alloc(size.Imm)
+	}
+	// Dynamic size: OpAlloc's A operand may be a register.
+	d := g.fb.Reg()
+	g.fb.Cur().Instrs = append(g.fb.Cur().Instrs, ir.Instr{Op: ir.OpAlloc, Dst: d, A: size})
+	return d
+}

@@ -1,0 +1,212 @@
+// Package minic is a small C-like front end for the cWSP toolchain: it
+// compiles source text to the virtual-register IR, which the cWSP compiler
+// then partitions into idempotent regions. The paper's claim is that any
+// program translatable to compiler IR gains whole-system persistence for
+// free — minic demonstrates the same property end to end: programs are
+// written with no persistence annotations at all.
+//
+// The language: 64-bit integer words only; functions, var declarations,
+// assignment, if/else, while, for, break/continue, return; word-indexed
+// memory (`p[i]` reads mem[p+8i]); builtins alloc, emit, fence, atomic_add,
+// atomic_cas, atomic_xchg; short-circuit && and ||.
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct // operators and delimiters
+	tKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "break": true, "continue": true,
+}
+
+// twoCharOps are the multi-character operators, longest match first.
+var twoCharOps = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *lexer) errf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("minic: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peek2() rune {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+// lex tokenizes the whole input.
+func (lx *lexer) lex() ([]token, error) {
+	var toks []token
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.advance()
+		case r == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peek2() == '*':
+			line, col := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return nil, lx.errf(line, col, "unterminated block comment")
+			}
+		case unicode.IsDigit(r):
+			t, err := lx.lexNumber()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, t)
+		case unicode.IsLetter(r) || r == '_':
+			t := lx.lexIdent()
+			toks = append(toks, t)
+		default:
+			t, err := lx.lexPunct()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, t)
+		}
+	}
+	toks = append(toks, token{kind: tEOF, line: lx.line, col: lx.col})
+	return toks, nil
+}
+
+func (lx *lexer) lexNumber() (token, error) {
+	line, col := lx.line, lx.col
+	start := lx.pos
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.pos < len(lx.src) && (isHex(lx.peek()) || lx.peek() == '_') {
+			lx.advance()
+		}
+	} else {
+		for lx.pos < len(lx.src) && (unicode.IsDigit(lx.peek()) || lx.peek() == '_') {
+			lx.advance()
+		}
+	}
+	text := string(lx.src[start:lx.pos])
+	v, err := strconv.ParseInt(sanitize(text), 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex literals.
+		u, uerr := strconv.ParseUint(sanitize(text), 0, 64)
+		if uerr != nil {
+			return token{}, lx.errf(line, col, "bad number %q", text)
+		}
+		v = int64(u)
+	}
+	return token{kind: tNumber, text: text, val: v, line: line, col: col}, nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r != '_' {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func isHex(r rune) bool {
+	return unicode.IsDigit(r) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}
+
+func (lx *lexer) lexIdent() token {
+	line, col := lx.line, lx.col
+	start := lx.pos
+	for lx.pos < len(lx.src) && (unicode.IsLetter(lx.peek()) || unicode.IsDigit(lx.peek()) || lx.peek() == '_') {
+		lx.advance()
+	}
+	text := string(lx.src[start:lx.pos])
+	k := tIdent
+	if keywords[text] {
+		k = tKeyword
+	}
+	return token{kind: k, text: text, line: line, col: col}
+}
+
+func (lx *lexer) lexPunct() (token, error) {
+	line, col := lx.line, lx.col
+	if lx.pos+1 < len(lx.src) {
+		two := string(lx.src[lx.pos : lx.pos+2])
+		for _, op := range twoCharOps {
+			if two == op {
+				lx.advance()
+				lx.advance()
+				return token{kind: tPunct, text: op, line: line, col: col}, nil
+			}
+		}
+	}
+	r := lx.peek()
+	switch r {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '<', '>', '=', '!',
+		'(', ')', '{', '}', '[', ']', ',', ';':
+		lx.advance()
+		return token{kind: tPunct, text: string(r), line: line, col: col}, nil
+	}
+	return token{}, lx.errf(line, col, "unexpected character %q", string(r))
+}

@@ -1,0 +1,304 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/sim"
+)
+
+// run compiles and interprets a program, returning its result.
+func run(t *testing.T, src string) int64 {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := ir.Interp(p, nil, 10_000_000)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return res.RetVal
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 3", 3},
+		{"10 % 3", 1},
+		{"1 << 4", 16},
+		{"255 >> 4", 15},
+		{"12 & 10", 8},
+		{"12 | 10", 14},
+		{"12 ^ 10", 6},
+		{"-5 + 2", -3},
+		{"!0", 1},
+		{"!7", 0},
+		{"3 < 4", 1},
+		{"4 <= 4", 1},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"0x10", 16},
+		{"1_000", 1000},
+	}
+	for _, c := range cases {
+		got := run(t, fmt.Sprintf("func main() { return %s; }", c.expr))
+		if got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right side of && must not run when the left is false: give it a
+	// side effect through memory.
+	src := `
+func main() {
+	var p = alloc(8);
+	var x = (0 && bump(p)) + (1 && bump(p)) + (1 || bump(p)) + (0 || bump(p));
+	// bump ran exactly twice (second and fourth terms).
+	return x * 100 + p[0];
+}
+func bump(p) {
+	p[0] = p[0] + 1;
+	return 1;
+}`
+	// terms: 0, 1, 1, 1 -> x=3; p[0]=2
+	if got := run(t, src); got != 302 {
+		t.Errorf("short-circuit result = %d, want 302", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		if (i == 9) { break; }
+		s = s + i;   // 1+3+5+7
+	}
+	var j = 0;
+	while (j < 5) { j = j + 1; }
+	if (s == 16) { return j + 100; } else { return 0 - 1; }
+}`
+	if got := run(t, src); got != 105 {
+		t.Errorf("got %d, want 105", got)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+func classify(x) {
+	if (x < 0) { return 0 - 1; }
+	else if (x == 0) { return 0; }
+	else if (x < 10) { return 1; }
+	else { return 2; }
+}
+func main() { return classify(0-5)*1000 + classify(0)*100 + classify(5)*10 + classify(50); }`
+	if got := run(t, src); got != -1000+0+10+2 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestMemoryAndRecursion(t *testing.T) {
+	src := `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() {
+	var a = alloc(80);
+	for (var i = 0; i < 10; i = i + 1) { a[i] = fib(i); }
+	var s = 0;
+	for (var i = 0; i < 10; i = i + 1) { s = s * 10 + a[i] % 10; }
+	return s;
+}`
+	// fib: 0 1 1 2 3 5 8 13 21 34 -> last digits 0112358314
+	if got := run(t, src); got != 112358314 {
+		t.Errorf("got %d, want 112358314", got)
+	}
+}
+
+func TestScoping(t *testing.T) {
+	src := `
+func main() {
+	var x = 1;
+	if (1) { var x = 2; x = x + 1; }
+	return x;
+}`
+	if got := run(t, src); got != 1 {
+		t.Errorf("shadowed variable leaked: got %d, want 1", got)
+	}
+}
+
+func TestAtomicsAndEmit(t *testing.T) {
+	src := `
+func main() {
+	var p = alloc(16);
+	atomic_add(p, 5);
+	atomic_add(p, 7);
+	var old = atomic_xchg(p, 100);
+	var c = atomic_cas(p, 100, 42);
+	emit(p[0]);
+	fence();
+	return old * 1000 + c * 10 + p[0];
+}`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ir.Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 12*1000+100*10+42 {
+		t.Errorf("got %d", res.RetVal)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                             // no functions
+		"func main( { }",                               // bad params
+		"func main() { var 1 = 2; }",                   // bad var name
+		"func main() { x = 1; }",                       // undeclared
+		"func main() { var x = ; }",                    // missing expr
+		"func main() { return 1 }",                     // missing semicolon
+		"func main() { if 1 { } }",                     // missing parens
+		"func main() { break; }",                       // break outside loop
+		"func main() { 1 = 2; }",                       // bad lvalue
+		"func main() { var x = 1; var x = 2; }",        // redeclared
+		"func f(a, a) { return a; }",                   // dup params
+		"func main() { return g(); }",                  // unknown callee
+		"func main() { return alloc(1, 2); }",          // builtin arity
+		"func alloc() { return 0; }",                   // builtin shadowing
+		"func f() { return 0; }",                       // no main
+		"func main(x) { return x; }",                   // main with params
+		"func main() { /* unterminated",                // bad comment
+		"func main() { return 99999999999999999999; }", // overflow
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestDuplicateFunction(t *testing.T) {
+	src := "func main() { return 0; } func main() { return 1; }"
+	if _, err := Compile(src); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("expected duplicate-function error, got %v", err)
+	}
+}
+
+// TestEndToEndCWSP: minic source -> IR -> cWSP compiler -> machine, with
+// crash-consistent execution — the full paper pipeline from C-like source.
+func TestEndToEndCWSP(t *testing.T) {
+	src := `
+// A bank: move money between accounts; total must be conserved.
+func main() {
+	var accounts = alloc(800);
+	for (var i = 0; i < 100; i = i + 1) { accounts[i] = 1000; }
+	var rng = 12345;
+	for (var t = 0; t < 400; t = t + 1) {
+		rng = rng * 1103515245 + 12345;
+		var from = (rng >> 16) % 100; if (from < 0) { from = 0 - from; }
+		rng = rng * 1103515245 + 12345;
+		var to = (rng >> 16) % 100; if (to < 0) { to = 0 - to; }
+		var amt = t % 37;
+		accounts[from] = accounts[from] - amt;
+		accounts[to] = accounts[to] + amt;
+	}
+	var total = 0;
+	for (var i = 0; i < 100; i = i + 1) { total = total + accounts[i]; }
+	emit(total);
+	return total;
+}`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, rep, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRegions() == 0 {
+		t.Fatal("no regions formed from minic output")
+	}
+	m, err := sim.New(q, sim.DefaultConfig(), sim.CWSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret[0] != 100_000 {
+		t.Errorf("money not conserved: total = %d, want 100000", res.Ret[0])
+	}
+}
+
+func TestInfiniteForWithBreak(t *testing.T) {
+	src := `
+func main() {
+	var i = 0;
+	for (;;) {
+		i = i + 1;
+		if (i >= 42) { break; }
+	}
+	return i;
+}`
+	if got := run(t, src); got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	src := `
+func main() {
+	return 7;
+	emit(999);
+}`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ir.Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 7 || len(res.Output) != 0 {
+		t.Errorf("dead code executed: ret=%d out=%v", res.RetVal, res.Output)
+	}
+}
+
+func TestVoidFunctions(t *testing.T) {
+	src := `
+func poke(p, v) { p[0] = v; }
+func main() {
+	var p = alloc(8);
+	poke(p, 9);
+	return p[0];
+}`
+	if got := run(t, src); got != 9 {
+		t.Errorf("got %d, want 9", got)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "// leading\nfunc main() { /* inline */ return 1; } // trailing"
+	if got := run(t, src); got != 1 {
+		t.Errorf("got %d", got)
+	}
+}

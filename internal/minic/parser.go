@@ -1,0 +1,411 @@
+package minic
+
+import "fmt"
+
+// Recursive-descent parser with precedence climbing for expressions.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("minic: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) (token, error) {
+	t := p.cur()
+	if (t.kind == tPunct || t.kind == tKeyword) && t.text == text {
+		p.pos++
+		return t, nil
+	}
+	return t, p.errf(t, "expected %q, found %q", text, t.text)
+}
+
+func (p *parser) is(text string) bool {
+	t := p.cur()
+	return (t.kind == tPunct || t.kind == tKeyword) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// Parse parses a whole source file.
+func Parse(src string) (*File, error) {
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for p.cur().kind != tEOF {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+	if len(f.Funcs) == 0 {
+		return nil, fmt.Errorf("minic: no functions in source")
+	}
+	return f, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw, err := p.expect("func")
+	if err != nil {
+		return nil, err
+	}
+	name := p.cur()
+	if name.kind != tIdent {
+		return nil, p.errf(name, "expected function name")
+	}
+	p.pos++
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	seen := map[string]bool{}
+	for !p.is(")") {
+		t := p.cur()
+		if t.kind != tIdent {
+			return nil, p.errf(t, "expected parameter name")
+		}
+		if seen[t.text] {
+			return nil, p.errf(t, "duplicate parameter %q", t.text)
+		}
+		seen[t.text] = true
+		params = append(params, t.text)
+		p.pos++
+		if !p.accept(",") {
+			break
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.text, Params: params, Body: body, Line: kw.line}, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.is("}") {
+		if p.cur().kind == tEOF {
+			return nil, p.errf(p.cur(), "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.is("var"), p.is("return"), p.is("break"), p.is("continue"):
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(";")
+		return s, err
+	case p.is("if"):
+		return p.ifStmt()
+	case p.is("while"):
+		p.pos++
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.is("for"):
+		return p.forStmt()
+	case p.is("{"):
+		return nil, p.errf(t, "bare blocks are not supported")
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(";")
+		return s, err
+	}
+}
+
+// simpleStmt parses the statements legal in for-clauses (no trailing ';'):
+// var declarations, assignments, stores, calls, return/break/continue.
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.is("var"):
+		p.pos++
+		name := p.cur()
+		if name.kind != tIdent {
+			return nil, p.errf(name, "expected variable name")
+		}
+		p.pos++
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.text, Init: init, Line: name.line}, nil
+	case p.is("return"):
+		p.pos++
+		if p.is(";") {
+			return &ReturnStmt{Line: t.line}, nil
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Val: v, Line: t.line}, nil
+	case p.is("break"):
+		p.pos++
+		return &BreakStmt{Line: t.line}, nil
+	case p.is("continue"):
+		p.pos++
+		return &ContinueStmt{Line: t.line}, nil
+	}
+
+	// Assignment, store, or expression statement: parse an expression and
+	// look for '='.
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		switch l := lhs.(type) {
+		case *VarExpr:
+			return &AssignStmt{Name: l.Name, Val: rhs, Line: l.Line}, nil
+		case *IndexExpr:
+			return &StoreStmt{Base: l.Base, Idx: l.Idx, Val: rhs, Line: t.line}, nil
+		default:
+			return nil, p.errf(t, "left side of assignment must be a variable or index expression")
+		}
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.pos++ // 'if'
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.accept("else") {
+		if p.is("if") {
+			inner, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &Block{Stmts: []Stmt{inner}}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.pos++ // 'for'
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{}
+	var err error
+	if !p.is(";") {
+		st.Init, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.is(";") {
+		st.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.is(")") {
+		st.Post, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	st.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Operator precedence (lowest first).
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tPunct && (t.text == "-" || t.text == "!") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.text, X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("[") {
+		p.pos++
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{Base: x, Idx: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		p.pos++
+		return &NumberExpr{Val: t.val}, nil
+	case t.kind == tIdent:
+		p.pos++
+		if p.is("(") {
+			p.pos++
+			var args []Expr
+			for !p.is(")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.text, Args: args, Line: t.line, Col: t.col}, nil
+		}
+		return &VarExpr{Name: t.text, Line: t.line, Col: t.col}, nil
+	case p.is("("):
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf(t, "unexpected token %q", t.text)
+}

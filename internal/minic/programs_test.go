@@ -1,0 +1,168 @@
+package minic
+
+import (
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/opt"
+	"cwsp/internal/recovery"
+	"cwsp/internal/sim"
+)
+
+// Realistic end-to-end programs: compile from source, optimize, run through
+// the cWSP pipeline, and crash-test. These double as regression tests for
+// the whole toolchain on code nobody hand-tuned for the IR.
+
+const queueSrc = `
+// A ring-buffer queue with producer/consumer phases.
+func push(q, v) {
+	var tail = q[1];
+	q[4 + (tail & 63)] = v;
+	q[1] = tail + 1;
+	return tail;
+}
+func pop(q) {
+	var head = q[0];
+	if (head == q[1]) { return 0 - 1; }
+	var v = q[4 + (head & 63)];
+	q[0] = head + 1;
+	return v;
+}
+func main() {
+	var q = alloc(600);
+	var sum = 0;
+	for (var round = 0; round < 40; round = round + 1) {
+		for (var i = 0; i < 32; i = i + 1) { push(q, round * 100 + i); }
+		for (var i = 0; i < 32; i = i + 1) {
+			var v = pop(q);
+			if (v >= 0) { sum = sum + v; }
+		}
+	}
+	var leftover = pop(q);
+	emit(sum);
+	emit(leftover);
+	return sum;
+}`
+
+const matmulSrc = `
+// 8x8 integer matrix multiply with verification checksum.
+func idx(i, j) { return i * 8 + j; }
+func main() {
+	var a = alloc(512);
+	var b = alloc(512);
+	var c = alloc(512);
+	for (var i = 0; i < 8; i = i + 1) {
+		for (var j = 0; j < 8; j = j + 1) {
+			a[idx(i, j)] = i + 2 * j + 1;
+			b[idx(i, j)] = (i + 1) * (j + 1);
+		}
+	}
+	for (var i = 0; i < 8; i = i + 1) {
+		for (var j = 0; j < 8; j = j + 1) {
+			var s = 0;
+			for (var k = 0; k < 8; k = k + 1) {
+				s = s + a[idx(i, k)] * b[idx(k, j)];
+			}
+			c[idx(i, j)] = s;
+		}
+	}
+	var sum = 0;
+	for (var i = 0; i < 64; i = i + 1) { sum = sum + c[i] * (i + 1); }
+	emit(sum);
+	return sum;
+}`
+
+const sieveSrc = `
+// Sieve of Eratosthenes: count primes below 2000.
+func main() {
+	var n = 2000;
+	var composite = alloc(16000);
+	for (var p = 2; p * p < n; p = p + 1) {
+		if (composite[p] == 0) {
+			for (var m = p * p; m < n; m = m + p) { composite[m] = 1; }
+		}
+	}
+	var count = 0;
+	for (var i = 2; i < n; i = i + 1) {
+		if (composite[i] == 0) { count = count + 1; }
+	}
+	emit(count);
+	return count;
+}`
+
+func runPipeline(t *testing.T, name, src string, want int64, crashPoints int) {
+	t.Helper()
+	prog, err := CompileNamed(src, name)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if _, err := opt.Optimize(prog); err != nil {
+		t.Fatalf("%s: opt: %v", name, err)
+	}
+	q, _, err := compiler.Compile(prog, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatalf("%s: cwsp compile: %v", name, err)
+	}
+	m, err := sim.New(q, sim.DefaultConfig(), sim.CWSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret[0] != want {
+		t.Fatalf("%s: result = %d, want %d", name, res.Ret[0], want)
+	}
+	if crashPoints > 0 {
+		fail, _, err := recovery.Sweep(q, sim.DefaultConfig(), sim.CWSP(),
+			[]sim.ThreadSpec{{Fn: "main"}}, crashPoints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fail != nil {
+			t.Fatalf("%s: crash at %d not recovered (diffs %v)", name, fail.CrashCycle, fail.DiffAddrs)
+		}
+	}
+}
+
+func TestQueueProgram(t *testing.T) {
+	// sum of round*100+i over 40 rounds, 32 items: 40*32 items all popped.
+	var want int64
+	for round := int64(0); round < 40; round++ {
+		for i := int64(0); i < 32; i++ {
+			want += round*100 + i
+		}
+	}
+	runPipeline(t, "queue", queueSrc, want, 8)
+}
+
+func TestMatmulProgram(t *testing.T) {
+	// Reference computation in Go.
+	var a, b, c [8][8]int64
+	for i := int64(0); i < 8; i++ {
+		for j := int64(0); j < 8; j++ {
+			a[i][j] = i + 2*j + 1
+			b[i][j] = (i + 1) * (j + 1)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			var s int64
+			for k := 0; k < 8; k++ {
+				s += a[i][k] * b[k][j]
+			}
+			c[i][j] = s
+		}
+	}
+	var want int64
+	for i := 0; i < 64; i++ {
+		want += c[i/8][i%8] * int64(i+1)
+	}
+	runPipeline(t, "matmul", matmulSrc, want, 6)
+}
+
+func TestSieveProgram(t *testing.T) {
+	// 303 primes below 2000.
+	runPipeline(t, "sieve", sieveSrc, 303, 6)
+}

@@ -1,0 +1,229 @@
+// Package opt implements classical scalar optimizations over the IR:
+// constant folding, copy/constant propagation (block-local), and global
+// dead-code elimination. The paper compiles everything at -O3 before the
+// cWSP passes run; these passes play that role for hand-built and
+// minic-generated programs (cwspc -O). They must run BEFORE region
+// formation — they do not understand boundary/checkpoint instructions.
+package opt
+
+import (
+	"fmt"
+
+	"cwsp/internal/analysis"
+	"cwsp/internal/ir"
+)
+
+// Stats counts the work each pass did.
+type Stats struct {
+	Folded     int // instructions replaced by constants
+	Propagated int // operands rewritten by copy/constant propagation
+	Eliminated int // dead instructions removed
+}
+
+// Optimize runs the pass pipeline to a fixpoint on every function of p
+// (which is mutated). Returns cumulative statistics.
+func Optimize(p *ir.Program) (Stats, error) {
+	var total Stats
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case ir.OpBoundary, ir.OpCkpt:
+					return total, fmt.Errorf("opt: %s contains compiler-inserted instructions; optimize before regions.Form", f.Name)
+				}
+			}
+		}
+		for {
+			st := optimizeFunc(f)
+			total.Folded += st.Folded
+			total.Propagated += st.Propagated
+			total.Eliminated += st.Eliminated
+			if st == (Stats{}) {
+				break
+			}
+		}
+	}
+	if err := ir.VerifyProgram(p); err != nil {
+		return total, fmt.Errorf("opt: broke the program: %w", err)
+	}
+	return total, nil
+}
+
+func optimizeFunc(f *ir.Function) Stats {
+	var st Stats
+	st.Propagated += propagate(f)
+	st.Folded += fold(f)
+	st.Eliminated += eliminate(f)
+	return st
+}
+
+// propagate performs block-local copy and constant propagation: within a
+// block, while a register provably holds a constant or mirrors another
+// register, its uses are rewritten. Conservative: any redefinition kills
+// the fact; facts do not cross block boundaries.
+func propagate(f *ir.Function) int {
+	changed := 0
+	for _, b := range f.Blocks {
+		consts := map[ir.Reg]int64{}
+		copies := map[ir.Reg]ir.Reg{}
+
+		kill := func(r ir.Reg) {
+			delete(consts, r)
+			delete(copies, r)
+			for dst, src := range copies {
+				if src == r {
+					delete(copies, dst)
+				}
+			}
+		}
+		rewrite := func(o *ir.Operand) {
+			if o.Kind != ir.OperandReg {
+				return
+			}
+			if c, ok := consts[o.Reg]; ok {
+				*o = ir.Imm(c)
+				changed++
+				return
+			}
+			if src, ok := copies[o.Reg]; ok {
+				o.Reg = src
+				changed++
+			}
+		}
+
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Rewrite uses first.
+			switch in.Op {
+			case ir.OpConst:
+			case ir.OpCall:
+				for j := range in.Args {
+					rewrite(&in.Args[j])
+				}
+			default:
+				rewrite(&in.A)
+				rewrite(&in.B)
+				rewrite(&in.C)
+			}
+			// Then record the new fact (after killing the old one).
+			if d := in.Def(); d != ir.NoReg {
+				kill(d)
+				switch in.Op {
+				case ir.OpConst:
+					consts[d] = in.A.Imm
+				case ir.OpMov:
+					switch in.A.Kind {
+					case ir.OperandImm:
+						consts[d] = in.A.Imm
+					case ir.OperandReg:
+						if in.A.Reg != d {
+							copies[d] = in.A.Reg
+						}
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// foldable lists the pure ALU opcodes.
+func foldable(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		return true
+	}
+	return false
+}
+
+// fold replaces pure ALU instructions with all-immediate operands by
+// constants, and resolves selects and branches with constant conditions
+// (branch folding rewrites OpBr to OpJmp; unreachable blocks die later via
+// normal reachability-aware passes downstream).
+func fold(f *ir.Function) int {
+	changed := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch {
+			case foldable(in.Op) && in.A.Kind == ir.OperandImm && in.B.Kind == ir.OperandImm:
+				regs := []int64{0}
+				tmp := ir.Instr{Op: in.Op, Dst: 0, A: in.A, B: in.B}
+				ir.Exec(&tmp, regs, nil)
+				*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, A: ir.Imm(regs[0])}
+				changed++
+			case in.Op == ir.OpSelect && in.A.Kind == ir.OperandImm:
+				v := in.B
+				if in.A.Imm == 0 {
+					v = in.C
+				}
+				*in = ir.Instr{Op: ir.OpMov, Dst: in.Dst, A: v}
+				changed++
+			case in.Op == ir.OpBr && in.A.Kind == ir.OperandImm:
+				t := in.Then
+				if in.A.Imm == 0 {
+					t = in.Else
+				}
+				*in = ir.Instr{Op: ir.OpJmp, Then: t}
+				changed++
+			case in.Op == ir.OpMov && in.A.Kind == ir.OperandReg && in.A.Reg == in.Dst:
+				// Self-move: neutralize to a constant-free no-op form that
+				// DCE removes (rewrite as mov from itself is already dead
+				// if unused; leave to eliminate()).
+			}
+		}
+	}
+	return changed
+}
+
+// eliminate removes side-effect-free instructions whose results are dead
+// (backward liveness over the whole CFG).
+func eliminate(f *ir.Function) int {
+	cfg := analysis.BuildCFG(f)
+	lv := analysis.ComputeLiveness(f, cfg)
+	removed := 0
+	for bi, b := range f.Blocks {
+		live := lv.LiveOut[bi].Copy()
+		keep := make([]bool, len(b.Instrs))
+		var uses []ir.Reg
+		for k := len(b.Instrs) - 1; k >= 0; k-- {
+			in := &b.Instrs[k]
+			d := in.Def()
+			dead := d != ir.NoReg && !live.Has(d) && pure(in)
+			keep[k] = !dead
+			if dead {
+				removed++
+				continue
+			}
+			if d != ir.NoReg {
+				live.Remove(d)
+			}
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				live.Add(u)
+			}
+		}
+		if removed > 0 {
+			out := b.Instrs[:0]
+			for k := range b.Instrs {
+				if keep[k] {
+					out = append(out, b.Instrs[k])
+				}
+			}
+			b.Instrs = out
+		}
+	}
+	return removed
+}
+
+// pure reports whether removing the instruction (given a dead result) is
+// safe: no memory writes, I/O, allocation, or control effects.
+func pure(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpConst, ir.OpMov, ir.OpSelect, ir.OpLoad:
+		return true
+	}
+	return foldable(in.Op)
+}

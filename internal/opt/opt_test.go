@@ -1,0 +1,216 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"cwsp/internal/ir"
+	"cwsp/internal/minic"
+	"cwsp/internal/progen"
+	"cwsp/internal/regions"
+)
+
+func countInstrs(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		want, err := ir.Interp(p, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := p.Clone()
+		if _, err := Optimize(q); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := ir.Interp(q, nil, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.RetVal != want.RetVal || fmt.Sprint(got.Output) != fmt.Sprint(want.Output) {
+			t.Errorf("seed %d: semantics changed", seed)
+		}
+		if fmt.Sprint(got.Mem.Snapshot()) != fmt.Sprint(want.Mem.Snapshot()) {
+			t.Errorf("seed %d: memory changed", seed)
+		}
+	}
+}
+
+func TestOptimizeShrinksPrograms(t *testing.T) {
+	shrunk := 0
+	for seed := int64(0); seed < 40; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		before := countInstrs(p)
+		q := p.Clone()
+		st, err := Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := countInstrs(q)
+		if after > before {
+			t.Errorf("seed %d: optimization grew the program %d -> %d", seed, before, after)
+		}
+		if st.Eliminated > 0 || st.Folded > 0 {
+			shrunk++
+		}
+	}
+	if shrunk == 0 {
+		t.Error("optimizer did nothing on 40 random programs")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	a := fb.Bin(ir.OpAdd, ir.Imm(2), ir.Imm(3))
+	b := fb.Bin(ir.OpMul, ir.R(a), ir.Imm(4)) // 20 after propagation+folding
+	fb.Ret(ir.R(b))
+	p := ir.NewProgram("cf")
+	p.Add(fb.MustDone())
+	p.Entry = "main"
+	st, err := Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Folded < 2 {
+		t.Errorf("folded = %d, want >= 2", st.Folded)
+	}
+	res, err := ir.Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 20 {
+		t.Errorf("result = %d, want 20", res.RetVal)
+	}
+}
+
+func TestBranchFolding(t *testing.T) {
+	src := `
+func main() {
+	var x = 0;
+	if (1 < 2) { x = 7; } else { x = 9; }
+	return x;
+}`
+	p, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The comparison folds to 1 and the branch becomes a jump.
+	hasBr := false
+	for _, b := range p.Funcs["main"].Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpBr {
+				hasBr = true
+			}
+		}
+	}
+	if hasBr {
+		t.Error("constant branch survived folding")
+	}
+	if st.Folded == 0 {
+		t.Error("nothing folded")
+	}
+	res, err := ir.Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetVal != 7 {
+		t.Errorf("result = %d, want 7", res.RetVal)
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	fb.Const(111)                               // dead
+	d := fb.Bin(ir.OpMul, ir.Imm(3), ir.Imm(5)) // dead after fold
+	_ = d
+	live := fb.Const(42)
+	fb.Ret(ir.R(live))
+	p := ir.NewProgram("dce")
+	p.Add(fb.MustDone())
+	p.Entry = "main"
+	before := countInstrs(p)
+	st, err := Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Eliminated < 2 {
+		t.Errorf("eliminated = %d, want >= 2", st.Eliminated)
+	}
+	if countInstrs(p) >= before {
+		t.Error("program did not shrink")
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	src := `
+func main() {
+	var p = alloc(8);
+	p[0] = 5;        // store with unused result: must stay
+	atomic_add(p, 1); // result unused but has a side effect
+	emit(p[0]);
+	return 0;
+}`
+	p, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ir.Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 6 {
+		t.Errorf("output = %v, want [6]", res.Output)
+	}
+}
+
+func TestOptimizeRejectsFormedPrograms(t *testing.T) {
+	p := progen.Generate(3, progen.DefaultConfig())
+	for _, f := range p.Funcs {
+		regions.Form(f)
+	}
+	if _, err := Optimize(p); err == nil {
+		t.Error("optimizer must refuse region-formed programs")
+	}
+}
+
+func TestOptimizeThenCompilePipeline(t *testing.T) {
+	// opt -> cwsp compile -> interp must still preserve semantics.
+	for seed := int64(200); seed < 240; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		want, err := ir.Interp(p, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := p.Clone()
+		if _, err := Optimize(q); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range q.Funcs {
+			regions.Form(f)
+		}
+		got, err := ir.Interp(q, nil, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.RetVal != want.RetVal {
+			t.Errorf("seed %d: pipeline changed semantics", seed)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package persist models cWSP's persistence hardware (paper Sections III,
+// V): the per-core persist buffer (PB, a repurposed write-combining
+// buffer) feeding a FIFO persist path, the battery-backed write pending
+// queue (WPQ) of each memory controller, the region boundary table (RBT)
+// that enables memory-controller speculation, and the persist-event journal
+// the recovery runtime replays.
+//
+// All components are deterministic timestamp schedulers: because every
+// queue is FIFO with known service rates, an entry's arrival, admission,
+// and drain times can be computed at enqueue time, which lets the machine
+// advance lazily instead of cycle by cycle.
+package persist
+
+// WPQ is one memory controller's write pending queue. Entries are 8-byte
+// words (cWSP) or 64-byte lines (prior work); arrival order equals drain
+// order. The WPQ is inside the persistence domain: a store is *persisted*
+// the moment it is admitted.
+type WPQ struct {
+	cap           int
+	bytesPerCycle float64
+
+	// drainDone is a ring of the last cap entries' drain-completion times,
+	// monotone non-decreasing.
+	drainDone []int64
+	head      int // ring start
+	count     int
+	lastDrain int64
+
+	// pending maps word address -> drain time, for the load-delay check
+	// (paper Section V-A2).
+	pending map[int64]int64
+
+	Admits       int64
+	FullWait     int64 // total cycles arrivals waited for a free slot
+	BytesDrained int64
+}
+
+// NewWPQ builds a WPQ with the given capacity and NVM write drain rate.
+func NewWPQ(capacity int, bytesPerCycle float64) *WPQ {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if bytesPerCycle <= 0 {
+		bytesPerCycle = 1
+	}
+	return &WPQ{
+		cap:           capacity,
+		bytesPerCycle: bytesPerCycle,
+		drainDone:     make([]int64, capacity),
+		pending:       map[int64]int64{},
+	}
+}
+
+// Admit schedules an entry arriving at the MC at cycle arrival that will
+// write bytes to NVM media (data plus any undo-log bytes). It returns the
+// admission time (the persistence instant) and the media drain-completion
+// time.
+func (w *WPQ) Admit(arrival int64, addr int64, bytes int) (admit, drain int64) {
+	admit = arrival
+	if w.count >= w.cap {
+		// Wait for the oldest in-flight entry to leave the queue.
+		oldest := w.drainDone[w.head]
+		if oldest > admit {
+			w.FullWait += oldest - admit
+			admit = oldest
+		}
+		w.head = (w.head + 1) % w.cap
+		w.count--
+	}
+	start := admit
+	if w.lastDrain > start {
+		start = w.lastDrain
+	}
+	drain = start + int64(float64(bytes)/w.bytesPerCycle)
+	if drain == start {
+		drain = start + 1
+	}
+	w.lastDrain = drain
+	w.drainDone[(w.head+w.count)%w.cap] = drain
+	w.count++
+	w.Admits++
+	w.BytesDrained += int64(bytes)
+
+	if addr != 0 {
+		w.pending[addr&^7] = drain
+	}
+	return admit, drain
+}
+
+// PendingUntil returns the drain time of a pending entry covering addr, or
+// 0 when nothing is pending at cycle now. Stale map entries are collected
+// on query.
+func (w *WPQ) PendingUntil(addr, now int64) int64 {
+	key := addr &^ 7
+	d, ok := w.pending[key]
+	if !ok {
+		return 0
+	}
+	if d <= now {
+		delete(w.pending, key)
+		return 0
+	}
+	return d
+}
+
+// Sweep drops drained pending-address entries (bounds map growth).
+func (w *WPQ) Sweep(now int64) {
+	if len(w.pending) < 4*w.cap {
+		return
+	}
+	for k, d := range w.pending {
+		if d <= now {
+			delete(w.pending, k)
+		}
+	}
+}
+
+// Path is one core's persist buffer plus its FIFO path to the memory
+// controllers.
+type Path struct {
+	pbCap         int
+	bytesPerCycle float64
+	oneWayLat     int64
+
+	lastSend int64
+	// ackFree is a FIFO of entry deallocation times (monotone: the PB
+	// frees entries head-first, so each entry's free time is the running
+	// max of acknowledgment times).
+	ackFree []int64
+	// linePersist maps line address -> latest persist (admit) time of any
+	// entry in that line still potentially in flight, for the WB check.
+	linePersist map[int64]int64
+
+	Sends     int64
+	PBStall   int64 // cycles the core stalled on a full PB
+	BytesSent int64
+}
+
+// NewPath builds a persist path with the given PB capacity, bandwidth
+// (bytes per core cycle) and one-way latency in cycles.
+func NewPath(pbCap int, bytesPerCycle float64, oneWayLat int64) *Path {
+	if pbCap < 1 {
+		pbCap = 1
+	}
+	if bytesPerCycle <= 0 {
+		bytesPerCycle = 0.001
+	}
+	return &Path{
+		pbCap:         pbCap,
+		bytesPerCycle: bytesPerCycle,
+		oneWayLat:     oneWayLat,
+		linePersist:   map[int64]int64{},
+	}
+}
+
+func (p *Path) gc(now int64) {
+	i := 0
+	for i < len(p.ackFree) && p.ackFree[i] <= now {
+		i++
+	}
+	if i > 0 {
+		p.ackFree = p.ackFree[i:]
+	}
+}
+
+// Send schedules one persist of `bytes` at word address addr, committed at
+// cycle commit, destined for WPQ w with extra per-MC latency numaExtra.
+// logBytes adds undo-log media traffic at the MC. It returns the cycle the
+// core may proceed (≥ commit when the PB was full) and the admission
+// (persistence) time of the entry.
+func (p *Path) Send(commit int64, addr int64, bytes int, w *WPQ, numaExtra int64, logBytes int) (proceed, admit int64) {
+	proceed = commit
+	p.gc(proceed)
+	if len(p.ackFree) >= p.pbCap {
+		// Wait until enough head entries deallocate.
+		free := p.ackFree[len(p.ackFree)-p.pbCap]
+		if free > proceed {
+			p.PBStall += free - proceed
+			proceed = free
+		}
+		p.gc(proceed)
+	}
+
+	send := proceed
+	if p.lastSend > 0 {
+		interval := int64(float64(bytes) / p.bytesPerCycle)
+		if interval < 1 {
+			interval = 1
+		}
+		if p.lastSend+interval > send {
+			send = p.lastSend + interval
+		}
+	}
+	p.lastSend = send
+
+	arrival := send + p.oneWayLat + numaExtra
+	admit, _ = w.Admit(arrival, addr, bytes+logBytes)
+
+	ack := admit + p.oneWayLat
+	// FIFO dealloc: the PB frees entries in order, so monotonize.
+	if n := len(p.ackFree); n > 0 && p.ackFree[n-1] > ack {
+		ack = p.ackFree[n-1]
+	}
+	p.ackFree = append(p.ackFree, ack)
+
+	line := addr &^ 63
+	if admit > p.linePersist[line] {
+		p.linePersist[line] = admit
+	}
+	if len(p.linePersist) > 8*p.pbCap {
+		for k, t := range p.linePersist {
+			if t <= commit {
+				delete(p.linePersist, k)
+			}
+		}
+	}
+
+	p.Sends++
+	p.BytesSent += int64(bytes)
+	return proceed, admit
+}
+
+// LinePersistTime returns the latest persistence time of in-flight entries
+// covering the 64-byte line of addr (0 when none) — the PB check the WB
+// performs before releasing a dirty line to L2.
+func (p *Path) LinePersistTime(addr, now int64) int64 {
+	t, ok := p.linePersist[addr&^63]
+	if !ok {
+		return 0
+	}
+	if t <= now {
+		delete(p.linePersist, addr&^63)
+		return 0
+	}
+	return t
+}
+
+// Occupancy returns the current PB entry count at cycle now.
+func (p *Path) Occupancy(now int64) int {
+	p.gc(now)
+	return len(p.ackFree)
+}
+
+// RBT is one core's region boundary table: a FIFO of unretired regions'
+// retire times. Its capacity bounds how many regions may persist
+// concurrently (the speculation depth).
+type RBT struct {
+	cap    int
+	retire []int64 // monotone non-decreasing
+
+	FullStall int64
+	Retired   int64
+}
+
+// NewRBT builds an RBT with the given entry count.
+func NewRBT(capacity int) *RBT {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RBT{cap: capacity}
+}
+
+func (r *RBT) gc(now int64) {
+	i := 0
+	for i < len(r.retire) && r.retire[i] <= now {
+		i++
+	}
+	if i > 0 {
+		r.Retired += int64(i)
+		r.retire = r.retire[i:]
+	}
+}
+
+// Push records a region whose stores all persist by persistDone, committed
+// at cycle now. In-order retirement: the region retires no earlier than its
+// predecessor. Returns the cycle the core may proceed (≥ now if the RBT was
+// full) and the region's retire time.
+func (r *RBT) Push(now, persistDone int64) (proceed, retireTime int64) {
+	proceed = now
+	r.gc(proceed)
+	if len(r.retire) >= r.cap {
+		free := r.retire[len(r.retire)-r.cap]
+		if free > proceed {
+			r.FullStall += free - proceed
+			proceed = free
+		}
+		r.gc(proceed)
+	}
+	retireTime = persistDone
+	if retireTime < proceed {
+		retireTime = proceed
+	}
+	if n := len(r.retire); n > 0 && r.retire[n-1] > retireTime {
+		retireTime = r.retire[n-1]
+	}
+	r.retire = append(r.retire, retireTime)
+	return proceed, retireTime
+}
+
+// DrainTime returns the cycle by which every tracked region has retired.
+func (r *RBT) DrainTime(now int64) int64 {
+	r.gc(now)
+	if len(r.retire) == 0 {
+		return now
+	}
+	return r.retire[len(r.retire)-1]
+}
+
+// Occupancy returns the number of unretired regions at cycle now.
+func (r *RBT) Occupancy(now int64) int {
+	r.gc(now)
+	return len(r.retire)
+}
+
+// Rec is one journaled persist event: the recovery runtime uses the journal
+// to reconstruct the NVM image at an arbitrary crash cycle (entries not yet
+// admitted never reached NVM; logged entries of unretired regions roll
+// back).
+type Rec struct {
+	Addr  int64
+	Old   int64
+	New   int64
+	Admit int64 // persistence instant (WPQ admission); for synchronous
+	// persists this equals the commit cycle
+	Region int64 // global region sequence number
+	Logged bool  // undo-logged at the MC (speculative or checkpoint-area)
+	Core   int
+}

@@ -1,0 +1,289 @@
+// Package progen generates random — but deterministic, terminating, and
+// verifier-clean — IR programs. The compiler, region-formation, checkpoint,
+// and recovery test suites use it to property-test their invariants against
+// program shapes nobody wrote by hand.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cwsp/internal/ir"
+)
+
+// Config bounds the generated program shape.
+type Config struct {
+	MaxFuncs     int // leaf functions callable from main (>=0)
+	MaxStmts     int // statement budget per function body
+	MaxLoopDepth int
+	MaxLoopTrip  int64 // maximum constant trip count
+	Arrays       int   // heap arrays allocated in main
+	ArrayWords   int64 // words per array
+	Atomics      bool  // include atomic ops
+	Emits        bool  // include emit ops
+}
+
+// DefaultConfig returns a moderate shape.
+func DefaultConfig() Config {
+	return Config{
+		MaxFuncs:     2,
+		MaxStmts:     16,
+		MaxLoopDepth: 2,
+		MaxLoopTrip:  6,
+		Arrays:       3,
+		ArrayWords:   16,
+		Atomics:      true,
+		Emits:        true,
+	}
+}
+
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+	p   *ir.Program
+}
+
+// Generate builds a random program from the seed. The entry function is
+// "main" (no params); it allocates cfg.Arrays arrays, runs random
+// statements over them, emits a digest of every array, and returns a
+// checksum, so both memory effects and control decisions feed the
+// observable result.
+func Generate(seed int64, cfg Config) *ir.Program {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	g.p = ir.NewProgram(fmt.Sprintf("gen-%d", seed))
+	g.p.Entry = "main"
+
+	nf := 0
+	if cfg.MaxFuncs > 0 {
+		nf = g.rng.Intn(cfg.MaxFuncs + 1)
+	}
+	leafNames := make([]string, 0, nf)
+	for i := 0; i < nf; i++ {
+		name := fmt.Sprintf("leaf%d", i)
+		g.p.Add(g.leaf(name))
+		leafNames = append(leafNames, name)
+	}
+	g.p.Add(g.mainFunc(leafNames))
+	if err := ir.VerifyProgram(g.p); err != nil {
+		panic(fmt.Sprintf("progen: generated invalid program: %v", err))
+	}
+	return g.p
+}
+
+// bodyCtx carries state while generating one function body.
+type bodyCtx struct {
+	fb     *ir.FuncBuilder
+	arrays []ir.Reg // registers holding array base addresses
+	vals   []ir.Reg // scalar registers definitely assigned at this point
+	leaves []string
+	depth  int
+	budget int
+}
+
+// leaf builds a callable function: leaf(arr, x) operating on one array.
+func (g *gen) leaf(name string) *ir.Function {
+	fb := ir.NewFunc(name, 2)
+	fb.NewBlock("entry")
+	ctx := &bodyCtx{
+		fb:     fb,
+		arrays: []ir.Reg{fb.Param(0)},
+		vals:   []ir.Reg{fb.Param(1)},
+		budget: g.cfg.MaxStmts / 2,
+	}
+	g.stmts(ctx)
+	fb.Ret(ir.R(ctx.vals[g.rng.Intn(len(ctx.vals))]))
+	return fb.MustDone()
+}
+
+func (g *gen) mainFunc(leaves []string) *ir.Function {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	ctx := &bodyCtx{fb: fb, leaves: leaves, budget: g.cfg.MaxStmts}
+
+	for i := 0; i < g.cfg.Arrays; i++ {
+		ctx.arrays = append(ctx.arrays, fb.Alloc(g.cfg.ArrayWords*8))
+	}
+	ctx.vals = append(ctx.vals, fb.Const(int64(g.rng.Intn(100))))
+
+	g.stmts(ctx)
+
+	// Digest every array into a checksum so final memory feeds the result.
+	sum := fb.Const(0)
+	for _, a := range ctx.arrays {
+		for w := int64(0); w < g.cfg.ArrayWords; w += 3 {
+			v := fb.Load(ir.R(a), w*8)
+			x := fb.Mul(ir.R(sum), ir.Imm(31))
+			fb.BinInto(ir.OpAdd, sum, ir.R(x), ir.R(v))
+		}
+	}
+	if g.cfg.Emits {
+		fb.Emit(ir.R(sum))
+	}
+	fb.Ret(ir.R(sum))
+	return fb.MustDone()
+}
+
+// stmts consumes the remaining budget emitting random statements.
+func (g *gen) stmts(ctx *bodyCtx) {
+	for ctx.budget > 0 {
+		ctx.budget--
+		g.stmt(ctx)
+	}
+}
+
+func (g *gen) stmt(ctx *bodyCtx) {
+	fb := ctx.fb
+	switch k := g.rng.Intn(10); {
+	case k <= 2: // arithmetic
+		ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpXor, ir.OpAnd, ir.OpOr}
+		ctx.vals = append(ctx.vals, fb.Bin(ops[g.rng.Intn(len(ops))], g.val(ctx), g.val(ctx)))
+	case k == 3: // store
+		if len(ctx.arrays) == 0 {
+			g.arith(ctx)
+			return
+		}
+		fb.Store(g.val(ctx), ir.R(g.arr(ctx)), g.off())
+	case k == 4: // load
+		if len(ctx.arrays) == 0 {
+			g.arith(ctx)
+			return
+		}
+		ctx.vals = append(ctx.vals, fb.Load(ir.R(g.arr(ctx)), g.off()))
+	case k == 5: // read-modify-write (classic antidependence source)
+		if len(ctx.arrays) == 0 {
+			g.arith(ctx)
+			return
+		}
+		arr := g.arr(ctx)
+		off := g.off()
+		r := fb.Load(ir.R(arr), off)
+		r2 := fb.Add(ir.R(r), g.val(ctx))
+		fb.Store(ir.R(r2), ir.R(arr), off)
+		ctx.vals = append(ctx.vals, r2)
+	case k == 6: // counted loop
+		if ctx.depth >= g.cfg.MaxLoopDepth || ctx.budget < 2 {
+			g.arith(ctx)
+			return
+		}
+		g.loop(ctx)
+	case k == 7: // if/else diamond
+		if ctx.budget < 2 {
+			g.arith(ctx)
+			return
+		}
+		g.diamond(ctx)
+	case k == 8: // call a leaf
+		if len(ctx.leaves) > 0 && len(ctx.arrays) > 0 {
+			leaf := ctx.leaves[g.rng.Intn(len(ctx.leaves))]
+			ctx.vals = append(ctx.vals, fb.Call(leaf, ir.R(g.arr(ctx)), g.val(ctx)))
+			return
+		}
+		fallthrough
+	default: // atomic, emit, or arithmetic
+		if g.cfg.Atomics && len(ctx.arrays) > 0 && g.rng.Intn(2) == 0 {
+			ctx.vals = append(ctx.vals, fb.AtomicAdd(ir.R(g.arr(ctx)), g.off(), g.val(ctx)))
+			return
+		}
+		if g.cfg.Emits && g.rng.Intn(3) == 0 {
+			fb.Emit(g.val(ctx))
+			return
+		}
+		g.arith(ctx)
+	}
+}
+
+func (g *gen) arith(ctx *bodyCtx) {
+	ctx.vals = append(ctx.vals, ctx.fb.Add(g.val(ctx), ir.Imm(int64(g.rng.Intn(7)))))
+}
+
+// loop generates: i = 0; while i < trip { <body stmts>; i++ }.
+// Registers defined inside the body are scoped out afterwards so later code
+// never reads a maybe-unassigned register.
+func (g *gen) loop(ctx *bodyCtx) {
+	fb := ctx.fb
+	trip := 1 + g.rng.Int63n(g.cfg.MaxLoopTrip)
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.Jmp(head)
+
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.Imm(trip))
+	fb.Br(ir.R(c), body, exit)
+
+	fb.SetBlock(body)
+	save := len(ctx.vals)
+	n := 1 + g.rng.Intn(3)
+	ctx.depth++
+	for j := 0; j < n && ctx.budget > 0; j++ {
+		ctx.budget--
+		g.stmt(ctx)
+	}
+	ctx.depth--
+	ctx.vals = ctx.vals[:save]
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+
+	fb.SetBlock(exit)
+	// The loop counter is definitely assigned after the loop.
+	ctx.vals = append(ctx.vals, i)
+}
+
+// diamond generates if cond { stmt } else { stmt }.
+func (g *gen) diamond(ctx *bodyCtx) {
+	fb := ctx.fb
+	cond := g.val(ctx)
+	thenB := fb.AddBlock("then")
+	elseB := fb.AddBlock("else")
+	joinB := fb.AddBlock("join")
+	fb.Br(cond, thenB, elseB)
+
+	// A register assigned in *both* arms is definitely assigned at the
+	// join; write one such merge register to keep joins interesting.
+	merged := fb.Reg()
+
+	fb.SetBlock(thenB)
+	save := len(ctx.vals)
+	if ctx.budget > 0 {
+		ctx.budget--
+		g.stmt(ctx)
+	}
+	fb.Mov(merged, g.val(ctx))
+	ctx.vals = ctx.vals[:save]
+	fb.Jmp(joinB)
+
+	fb.SetBlock(elseB)
+	save = len(ctx.vals)
+	if ctx.budget > 0 {
+		ctx.budget--
+		g.stmt(ctx)
+	}
+	fb.Mov(merged, g.val(ctx))
+	ctx.vals = ctx.vals[:save]
+	fb.Jmp(joinB)
+
+	fb.SetBlock(joinB)
+	ctx.vals = append(ctx.vals, merged)
+}
+
+// off picks a random word-aligned in-bounds array offset.
+func (g *gen) off() int64 {
+	return g.rng.Int63n(g.cfg.ArrayWords) * 8
+}
+
+// arr picks a random array base register.
+func (g *gen) arr(ctx *bodyCtx) ir.Reg {
+	return ctx.arrays[g.rng.Intn(len(ctx.arrays))]
+}
+
+// val picks a random scalar operand: an existing value register or an
+// immediate.
+func (g *gen) val(ctx *bodyCtx) ir.Operand {
+	if len(ctx.vals) > 0 && g.rng.Intn(3) != 0 {
+		return ir.R(ctx.vals[g.rng.Intn(len(ctx.vals))])
+	}
+	return ir.Imm(int64(g.rng.Intn(50)))
+}

@@ -1,0 +1,72 @@
+package progen
+
+import (
+	"testing"
+
+	"cwsp/internal/ir"
+)
+
+func TestGenerateVerifiesAndRuns(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := Generate(seed, DefaultConfig())
+		if err := ir.VerifyProgram(p); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := ir.Interp(p, nil, 5_000_000); err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, DefaultConfig())
+	b := Generate(42, DefaultConfig())
+	if a.Dump() != b.Dump() {
+		t.Fatal("same seed produced different programs")
+	}
+	ra, err := ir.Interp(a, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ir.Interp(b, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.RetVal != rb.RetVal {
+		t.Fatalf("nondeterministic results: %d vs %d", ra.RetVal, rb.RetVal)
+	}
+}
+
+func TestGenerateShapeVariety(t *testing.T) {
+	var sawLoop, sawCall, sawStore, sawAtomic, sawBranch bool
+	for seed := int64(0); seed < 100; seed++ {
+		p := Generate(seed, DefaultConfig())
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					switch b.Instrs[i].Op {
+					case ir.OpCall:
+						sawCall = true
+					case ir.OpStore:
+						sawStore = true
+					case ir.OpAtomicAdd:
+						sawAtomic = true
+					case ir.OpBr:
+						sawBranch = true
+					}
+				}
+			}
+		}
+		c := 0
+		for _, f := range p.Funcs {
+			c += len(f.Blocks)
+		}
+		if c > 3 {
+			sawLoop = true
+		}
+	}
+	if !sawLoop || !sawCall || !sawStore || !sawAtomic || !sawBranch {
+		t.Errorf("missing shapes: loop=%v call=%v store=%v atomic=%v branch=%v",
+			sawLoop, sawCall, sawStore, sawAtomic, sawBranch)
+	}
+}

@@ -1,0 +1,44 @@
+package recovery
+
+import (
+	"os"
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/progen"
+	"cwsp/internal/sim"
+)
+
+// TestBigValidation is the extended confidence sweep; enabled with
+// CWSP_BIGVAL=1 (several minutes).
+func TestBigValidation(t *testing.T) {
+	if os.Getenv("CWSP_BIGVAL") == "" {
+		t.Skip("set CWSP_BIGVAL=1 for the extended 300-program crash sweep")
+	}
+	cfgs := []progen.Config{progen.DefaultConfig()}
+	big := progen.DefaultConfig()
+	big.MaxStmts = 40
+	big.MaxFuncs = 3
+	cfgs = append(cfgs, big)
+	total := 0
+	for ci, gc := range cfgs {
+		for seed := int64(1000); seed < 1150; seed++ {
+			p := progen.Generate(seed, gc)
+			q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fail, checked, err := Sweep(q, sim.DefaultConfig(), sim.CWSP(),
+				[]sim.ThreadSpec{{Fn: q.Entry}}, 12)
+			if err != nil {
+				t.Fatalf("cfg%d seed %d: %v", ci, seed, err)
+			}
+			total += checked
+			if fail != nil {
+				t.Fatalf("cfg%d seed %d: crash at %d not recovered; diffs %v",
+					ci, seed, fail.CrashCycle, fail.DiffAddrs)
+			}
+		}
+	}
+	t.Logf("extended validation: %d crash points, all recovered exactly", total)
+}

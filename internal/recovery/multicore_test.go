@@ -1,0 +1,139 @@
+package recovery
+
+import (
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/sim"
+)
+
+// lockWorker builds worker(tid, iters): each iteration takes a CAS spinlock,
+// increments a shared counter and a shared checksum, releases, then updates
+// thread-private state. The final shared state is interleaving-independent
+// (all critical-section updates commute), so crash recovery must reproduce
+// it exactly even though threads restart independently.
+func lockWorker(t testing.TB) *ir.Program {
+	t.Helper()
+	const (
+		lockAddr = int64(0x2000_0000)
+		cntAddr  = int64(0x2000_0040) // different line than the lock
+		sumAddr  = int64(0x2000_0080)
+		privBase = int64(0x2100_0000)
+	)
+	fb := ir.NewFunc("worker", 2)
+	tid := fb.Param(0)
+	iters := fb.Param(1)
+
+	fb.NewBlock("entry")
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.Jmp(head)
+
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.R(iters))
+	fb.Br(ir.R(c), body, exit)
+
+	fb.SetBlock(body)
+	// acquire: spin on CAS(lock, 0 -> 1)
+	spin := fb.AddBlock("spin")
+	crit := fb.AddBlock("crit")
+	fb.Jmp(spin)
+	fb.SetBlock(spin)
+	old := fb.AtomicCAS(ir.Imm(lockAddr), 0, ir.Imm(0), ir.Imm(1))
+	got := fb.Bin(ir.OpCmpEQ, ir.R(old), ir.Imm(0))
+	fb.Br(ir.R(got), crit, spin)
+
+	fb.SetBlock(crit)
+	// critical section: counter++ and checksum += tid+3 (commutative).
+	cv := fb.Load(ir.Imm(cntAddr), 0)
+	cv2 := fb.Add(ir.R(cv), ir.Imm(1))
+	fb.Store(ir.R(cv2), ir.Imm(cntAddr), 0)
+	sv := fb.Load(ir.Imm(sumAddr), 0)
+	inc := fb.Add(ir.R(tid), ir.Imm(3))
+	sv2 := fb.Add(ir.R(sv), ir.R(inc))
+	fb.Store(ir.R(sv2), ir.Imm(sumAddr), 0)
+	// release: atomic exchange back to 0 (a synchronizing store).
+	fb.AtomicXchg(ir.Imm(lockAddr), 0, ir.Imm(0))
+
+	// thread-private work.
+	pb := fb.Mul(ir.R(tid), ir.Imm(1<<16))
+	po := fb.Mul(ir.R(i), ir.Imm(8))
+	pa0 := fb.Add(ir.Imm(privBase), ir.R(pb))
+	pa := fb.Add(ir.R(pa0), ir.R(po))
+	pv := fb.Mul(ir.R(i), ir.R(inc))
+	fb.Store(ir.R(pv), ir.R(pa), 0)
+
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+
+	fb.SetBlock(exit)
+	fb.Ret(ir.R(i))
+
+	p := ir.NewProgram("lockworker")
+	p.Add(fb.MustDone())
+	p.Entry = "worker"
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestLockedMulticoreRecovery(t *testing.T) {
+	q := lockWorker(t)
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	specs := []sim.ThreadSpec{
+		{Fn: "worker", Args: []int64{0, 25}},
+		{Fn: "worker", Args: []int64{1, 25}},
+	}
+	g, err := Golden(q, cfg, sim.CWSP(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared state sanity: counter = 50, checksum = 25*3 + 25*4.
+	if got := g.NVM.Load(0x2000_0040); got != 50 {
+		t.Fatalf("golden counter = %d, want 50", got)
+	}
+	if got := g.NVM.Load(0x2000_0080); got != 25*3+25*4 {
+		t.Fatalf("golden checksum = %d, want %d", got, 25*3+25*4)
+	}
+
+	fail, checked, err := Sweep(q, cfg, sim.CWSP(), specs, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("locked multicore crash at %d not recovered; diffs %v (restarts %+v)",
+			fail.CrashCycle, fail.DiffAddrs, fail.RestartedAt)
+	}
+	if checked < 24 {
+		t.Errorf("only %d crash points checked", checked)
+	}
+}
+
+func TestFourCoreRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4-core sweep skipped with -short")
+	}
+	q := lockWorker(t)
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 4
+	specs := []sim.ThreadSpec{
+		{Fn: "worker", Args: []int64{0, 12}},
+		{Fn: "worker", Args: []int64{1, 12}},
+		{Fn: "worker", Args: []int64{2, 12}},
+		{Fn: "worker", Args: []int64{3, 12}},
+	}
+	fail, _, err := Sweep(q, cfg, sim.CWSP(), specs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("4-core crash at %d not recovered; diffs %v", fail.CrashCycle, fail.DiffAddrs)
+	}
+}

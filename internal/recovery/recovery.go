@@ -1,0 +1,116 @@
+// Package recovery drives cWSP's power-failure recovery protocol end to
+// end and verifies the paper's central guarantee — something the paper
+// itself leaves as future work ("No Power Failure Recovery Test",
+// Section VIII): for ANY crash cycle, rolling back speculative NVM updates
+// with the MC undo logs, restoring the restart region's live-in registers
+// via its recovery slice, and re-executing from the oldest unpersisted
+// region yields exactly the NVM state of an uninterrupted run.
+package recovery
+
+import (
+	"fmt"
+
+	"cwsp/internal/ir"
+	"cwsp/internal/mem"
+	"cwsp/internal/sim"
+)
+
+// CheckResult reports one crash/recovery experiment.
+type CheckResult struct {
+	CrashCycle   int64
+	GoldenCycles int64
+	Match        bool
+	DiffAddrs    []int64
+	RestartedAt  []sim.RegionInfo // per non-done core
+	ReExecuted   int64            // dynamic instructions executed after resume
+}
+
+// Golden runs the program uninterrupted and returns its final result.
+func Golden(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec) (*sim.Result, error) {
+	m, err := sim.NewThreaded(prog, cfg, sch, specs)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// Check crashes the program at crashCycle, recovers, re-executes to
+// completion, and compares the final NVM image with golden's.
+func Check(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, crashCycle int64, golden *mem.PagedMem) (*CheckResult, error) {
+	cfg.Recoverable = true
+	crashM, err := sim.NewThreaded(prog, cfg, sch, specs)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := crashM.CrashAt(crashCycle)
+	if err != nil {
+		return nil, err
+	}
+
+	resumed, err := sim.NewResumed(prog, cfg, sch, specs, cs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := resumed.Run()
+	if err != nil {
+		return nil, fmt.Errorf("recovery: resumed run: %w", err)
+	}
+
+	// Single-threaded runs are fully deterministic: the recovered NVM must
+	// match the golden image bit for bit, including checkpoint slots and
+	// stack spills. Multi-threaded runs may legally reschedule after
+	// recovery (DRF programs admit any interleaving), so volatile-register
+	// shadow state — checkpoint slots and stack frames, whose contents
+	// depend on spin counts and lock acquisition order — is excluded; all
+	// program data (heap, globals, emit buffer) must still match exactly.
+	match := res.NVM.Equal(golden)
+	if !match && len(specs) > 1 {
+		match = res.NVM.EqualWhere(golden, func(addr int64) bool {
+			if addr >= sim.StackBase && addr < sim.CkptBase+int64(sim.MaxCores)*sim.CkptStride {
+				return false // stacks + checkpoint areas
+			}
+			return true
+		})
+	}
+	out := &CheckResult{
+		CrashCycle: crashCycle,
+		Match:      match,
+		ReExecuted: res.Stats.Instrs,
+	}
+	for _, r := range cs.Restarts {
+		if !r.Done {
+			out.RestartedAt = append(out.RestartedAt, r.Region)
+		}
+	}
+	if !out.Match {
+		out.DiffAddrs = res.NVM.Diff(golden, 8)
+	}
+	return out, nil
+}
+
+// Sweep checks n evenly spaced crash cycles across the golden run's
+// duration (plus the degenerate extremes) and returns the first failure,
+// or nil if every crash recovers.
+func Sweep(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, n int) (*CheckResult, int, error) {
+	g, err := Golden(prog, cfg, sch, specs)
+	if err != nil {
+		return nil, 0, err
+	}
+	total := g.Stats.Cycles
+	checked := 0
+	for i := 0; i <= n; i++ {
+		crash := total * int64(i) / int64(n)
+		if crash == 0 {
+			crash = 1
+		}
+		r, err := Check(prog, cfg, sch, specs, crash, g.NVM)
+		if err != nil {
+			return nil, checked, err
+		}
+		checked++
+		if !r.Match {
+			return r, checked, nil
+		}
+	}
+	return nil, checked, nil
+}

@@ -1,0 +1,279 @@
+package recovery
+
+import (
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/progen"
+	"cwsp/internal/sim"
+)
+
+func compileGen(t testing.TB, seed int64, cfg progen.Config) *ir.Program {
+	t.Helper()
+	p := progen.Generate(seed, cfg)
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func entrySpecs(p *ir.Program) []sim.ThreadSpec {
+	return []sim.ThreadSpec{{Fn: p.Entry}}
+}
+
+// TestCrashRecoverySweep is the headline property: random programs, crashes
+// spread across the whole execution, every recovery must reproduce the
+// uninterrupted NVM state exactly.
+func TestCrashRecoverySweep(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	for seed := int64(0); seed < 40; seed++ {
+		q := compileGen(t, seed, progen.DefaultConfig())
+		fail, checked, err := Sweep(q, cfg, sim.CWSP(), entrySpecs(q), 12)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fail != nil {
+			t.Fatalf("seed %d: crash at cycle %d not recovered; diffs at %v (restarts %+v)",
+				seed, fail.CrashCycle, fail.DiffAddrs, fail.RestartedAt)
+		}
+		if checked == 0 {
+			t.Fatalf("seed %d: no crash points checked", seed)
+		}
+	}
+}
+
+// TestCrashRecoveryDeepCalls stresses frame-stack reconstruction.
+func TestCrashRecoveryDeepCalls(t *testing.T) {
+	cfg := progen.DefaultConfig()
+	cfg.MaxFuncs = 3
+	cfg.MaxStmts = 24
+	simCfg := sim.DefaultConfig()
+	for seed := int64(100); seed < 120; seed++ {
+		q := compileGen(t, seed, cfg)
+		fail, _, err := Sweep(q, simCfg, sim.CWSP(), entrySpecs(q), 10)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fail != nil {
+			t.Fatalf("seed %d: crash at %d not recovered; diffs %v", seed, fail.CrashCycle, fail.DiffAddrs)
+		}
+	}
+}
+
+// TestCrashRecoveryStarvedStructures crashes while the persist structures
+// are congested (deep speculation, many unretired regions).
+func TestCrashRecoveryStarvedStructures(t *testing.T) {
+	simCfg := sim.DefaultConfig()
+	simCfg.PPBytesBPC = 0.05
+	simCfg.WPQSize = 4
+	simCfg.RBTSize = 16
+	for seed := int64(0); seed < 15; seed++ {
+		q := compileGen(t, seed, progen.DefaultConfig())
+		fail, _, err := Sweep(q, simCfg, sim.CWSP(), entrySpecs(q), 10)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fail != nil {
+			t.Fatalf("seed %d: crash at %d not recovered under starved structures; diffs %v",
+				seed, fail.CrashCycle, fail.DiffAddrs)
+		}
+	}
+}
+
+// TestLinkedListInsertCrash reproduces the paper's Section I motivating
+// example: inserting at the head of a doubly-linked list must never leave a
+// dangling pointer across a crash.
+func TestLinkedListInsertCrash(t *testing.T) {
+	q := linkedListProgram(t)
+	cfg := sim.DefaultConfig()
+	g, err := Golden(q, cfg, sim.CWSP(), entrySpecs(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Try every 50-cycle crash point.
+	for crash := int64(1); crash < g.Stats.Cycles; crash += 50 {
+		r, err := Check(q, cfg, sim.CWSP(), entrySpecs(q), crash, g.NVM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Match {
+			t.Fatalf("crash at %d: inconsistent list; diffs %v", crash, r.DiffAddrs)
+		}
+	}
+}
+
+// linkedListProgram builds a doubly-linked list of 20 nodes by inserting at
+// the head, then walks it forward computing a checksum.
+func linkedListProgram(t testing.TB) *ir.Program {
+	t.Helper()
+	fb := ir.NewFunc("main", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	walk := fb.AddBlock("walk")
+	wbody := fb.AddBlock("wbody")
+	exit := fb.AddBlock("exit")
+
+	// node layout: [0]=value [8]=next [16]=prev
+	fb.SetBlock(entry)
+	listHead := fb.Reg() // pointer to first node (0 = empty)
+	i := fb.Reg()
+	fb.ConstInto(listHead, 0)
+	fb.ConstInto(i, 0)
+	fb.Jmp(head)
+
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.Imm(20))
+	fb.Br(ir.R(c), body, walk)
+
+	fb.SetBlock(body)
+	n := fb.Alloc(24)
+	fb.Store(ir.R(i), ir.R(n), 0)        // value = i
+	fb.Store(ir.R(listHead), ir.R(n), 8) // n.next = head
+	fb.Store(ir.Imm(0), ir.R(n), 16)     // n.prev = 0
+	// if head != 0 { head.prev = n }
+	skip := fb.AddBlock("skip")
+	setprev := fb.AddBlock("setprev")
+	nz := fb.Bin(ir.OpCmpNE, ir.R(listHead), ir.Imm(0))
+	fb.Br(ir.R(nz), setprev, skip)
+	fb.SetBlock(setprev)
+	fb.Store(ir.R(n), ir.R(listHead), 16)
+	fb.Jmp(skip)
+	fb.SetBlock(skip)
+	fb.Mov(listHead, ir.R(n))
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+
+	fb.SetBlock(walk)
+	sum := fb.Reg()
+	cur := fb.Reg()
+	fb.ConstInto(sum, 0)
+	fb.Mov(cur, ir.R(listHead))
+	fb.Jmp(wbody)
+
+	fb.SetBlock(wbody)
+	nz2 := fb.Bin(ir.OpCmpNE, ir.R(cur), ir.Imm(0))
+	inner := fb.AddBlock("inner")
+	fb.Br(ir.R(nz2), inner, exit)
+	fb.SetBlock(inner)
+	v := fb.Load(ir.R(cur), 0)
+	x := fb.Mul(ir.R(sum), ir.Imm(3))
+	fb.BinInto(ir.OpAdd, sum, ir.R(x), ir.R(v))
+	fb.LoadInto(cur, ir.R(cur), 8)
+	fb.Jmp(wbody)
+
+	fb.SetBlock(exit)
+	fb.Emit(ir.R(sum))
+	fb.Ret(ir.R(sum))
+
+	p := ir.NewProgram("dll")
+	p.Add(fb.MustDone())
+	p.Entry = "main"
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestMultiCoreDisjointRecovery crashes a two-thread run on disjoint data.
+func TestMultiCoreDisjointRecovery(t *testing.T) {
+	fb := ir.NewFunc("worker", 2)
+	entry := fb.NewBlock("entry")
+	headB := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.SetBlock(entry)
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	fb.Jmp(headB)
+	fb.SetBlock(headB)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.R(fb.Param(1)))
+	fb.Br(ir.R(c), body, exit)
+	fb.SetBlock(body)
+	sh := fb.Mul(ir.R(i), ir.Imm(8))
+	a := fb.Add(ir.R(fb.Param(0)), ir.R(sh))
+	v := fb.Mul(ir.R(i), ir.R(i))
+	fb.Store(ir.R(v), ir.R(a), 0)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(headB)
+	fb.SetBlock(exit)
+	fb.Ret(ir.R(i))
+
+	p := ir.NewProgram("mcr")
+	p.Add(fb.MustDone())
+	p.Entry = "worker"
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	specs := []sim.ThreadSpec{
+		{Fn: "worker", Args: []int64{0x2000_0000, 40}},
+		{Fn: "worker", Args: []int64{0x2200_0000, 40}},
+	}
+	fail, checked, err := Sweep(q, cfg, sim.CWSP(), specs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("multicore crash at %d not recovered; diffs %v", fail.CrashCycle, fail.DiffAddrs)
+	}
+	if checked < 15 {
+		t.Errorf("only %d crash points checked", checked)
+	}
+}
+
+// TestCrashAtExtremes: cycle 1 (nothing persisted) and far beyond the end
+// (everything persisted; recovery is a no-op).
+func TestCrashAtExtremes(t *testing.T) {
+	q := compileGen(t, 5, progen.DefaultConfig())
+	cfg := sim.DefaultConfig()
+	g, err := Golden(q, cfg, sim.CWSP(), entrySpecs(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, crash := range []int64{1, 2, 3, g.Stats.Cycles * 2} {
+		r, err := Check(q, cfg, sim.CWSP(), entrySpecs(q), crash, g.NVM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Match {
+			t.Fatalf("crash at %d not recovered; diffs %v", crash, r.DiffAddrs)
+		}
+	}
+}
+
+// TestEmitNeverDuplicated: the observable output stream in NVM must match
+// the golden run exactly (irrevocable emits re-execute never).
+func TestEmitNeverDuplicated(t *testing.T) {
+	cfgGen := progen.DefaultConfig()
+	cfgGen.Emits = true
+	q := compileGen(t, 21, cfgGen)
+	cfg := sim.DefaultConfig()
+	g, err := Golden(q, cfg, sim.CWSP(), entrySpecs(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCount := g.NVM.Load(sim.EmitBase)
+	if goldenCount == 0 {
+		t.Skip("seed produced no emits")
+	}
+	for frac := int64(1); frac <= 10; frac++ {
+		crash := g.Stats.Cycles * frac / 10
+		if crash == 0 {
+			crash = 1
+		}
+		r, err := Check(q, cfg, sim.CWSP(), entrySpecs(q), crash, g.NVM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Match {
+			t.Fatalf("crash at %d: NVM mismatch (emit region?) diffs %v", crash, r.DiffAddrs)
+		}
+	}
+}

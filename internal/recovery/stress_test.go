@@ -1,0 +1,114 @@
+package recovery
+
+import (
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/opt"
+	"cwsp/internal/progen"
+	"cwsp/internal/sim"
+)
+
+func optOptimize(p *ir.Program) (opt.Stats, error) { return opt.Optimize(p) }
+
+// TestRecoveryUnderAggressiveNUMA: four memory controllers with a large
+// per-MC latency spread maximize cross-region persist reordering — the
+// exact hazard MC speculation exists for (paper Figure 2(c)).
+func TestRecoveryUnderAggressiveNUMA(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.NumMCs = 4
+	cfg.NUMAStep = 120 // 0/120/240/360 extra cycles across MCs
+	for seed := int64(300); seed < 325; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fail, _, err := Sweep(q, cfg, sim.CWSP(), []sim.ThreadSpec{{Fn: q.Entry}}, 10)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fail != nil {
+			t.Fatalf("seed %d: crash at %d not recovered under 4-MC NUMA; diffs %v",
+				seed, fail.CrashCycle, fail.DiffAddrs)
+		}
+	}
+}
+
+// TestRecoveryUnderSingleMC: the degenerate one-controller machine (no
+// cross-MC reordering at all) must also recover.
+func TestRecoveryUnderSingleMC(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.NumMCs = 1
+	for seed := int64(400); seed < 415; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fail, _, err := Sweep(q, cfg, sim.CWSP(), []sim.ThreadSpec{{Fn: q.Entry}}, 10)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fail != nil {
+			t.Fatalf("seed %d: crash at %d not recovered with 1 MC; diffs %v",
+				seed, fail.CrashCycle, fail.DiffAddrs)
+		}
+	}
+}
+
+// TestRecoveryUnderEveryCompileMode: recovery must hold for every
+// checkpoint-optimizer configuration, not just the default — the ablation
+// binaries are still crash-consistent.
+func TestRecoveryUnderEveryCompileMode(t *testing.T) {
+	modes := []compiler.Options{
+		{PruneCheckpoints: false, ChainDepth: -1},                         // unpruned
+		{PruneCheckpoints: true, HoistCheckpoints: false, ChainDepth: -1}, // no hoisting
+		{PruneCheckpoints: true, HoistCheckpoints: true, ChainDepth: 0},   // no ALU chains
+		{PruneCheckpoints: true, HoistCheckpoints: true, ChainDepth: 1},   // depth-1 chains
+		compiler.DefaultOptions(),                                         // full
+	}
+	cfg := sim.DefaultConfig()
+	for mi, mode := range modes {
+		for seed := int64(500); seed < 512; seed++ {
+			p := progen.Generate(seed, progen.DefaultConfig())
+			q, _, err := compiler.Compile(p, mode)
+			if err != nil {
+				t.Fatalf("mode %d seed %d: %v", mi, seed, err)
+			}
+			fail, _, err := Sweep(q, cfg, sim.CWSP(), []sim.ThreadSpec{{Fn: q.Entry}}, 8)
+			if err != nil {
+				t.Fatalf("mode %d seed %d: %v", mi, seed, err)
+			}
+			if fail != nil {
+				t.Fatalf("mode %d seed %d: crash at %d not recovered; diffs %v",
+					mi, seed, fail.CrashCycle, fail.DiffAddrs)
+			}
+		}
+	}
+}
+
+// TestRecoveryAfterOptimizer: classical optimizations before the cWSP
+// passes must not break crash consistency.
+func TestRecoveryAfterOptimizer(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	for seed := int64(600); seed < 620; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		if _, err := optOptimize(p); err != nil {
+			t.Fatal(err)
+		}
+		q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fail, _, err := Sweep(q, cfg, sim.CWSP(), []sim.ThreadSpec{{Fn: q.Entry}}, 8)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fail != nil {
+			t.Fatalf("seed %d: optimized binary crash at %d not recovered; diffs %v",
+				seed, fail.CrashCycle, fail.DiffAddrs)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package recovery
+
+import (
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/sim"
+	"cwsp/internal/workloads"
+)
+
+// TestWorkloadRecovery crash-sweeps a representative slice of the real
+// benchmark suite (one app per behaviour class) at smoke scale: streaming
+// stores, random RMW, pointer chasing, sort scatter, OLTP transactions,
+// and tree updates.
+func TestWorkloadRecovery(t *testing.T) {
+	apps := []string{"lbm", "water-ns", "raytrace", "radix", "tatp", "pc"}
+	if testing.Short() {
+		apps = apps[:2]
+	}
+	cfg := sim.DefaultConfig()
+	for _, name := range apps {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.Build(workloads.Smoke)
+		q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fail, checked, err := Sweep(q, cfg, sim.CWSP(), []sim.ThreadSpec{{Fn: q.Entry}}, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fail != nil {
+			t.Fatalf("%s: crash at %d not recovered; diffs %v", name, fail.CrashCycle, fail.DiffAddrs)
+		}
+		if checked < 8 {
+			t.Errorf("%s: only %d crash points", name, checked)
+		}
+	}
+}
+
+// TestRecoveryReExecutionIsShort: the work re-executed after recovery from
+// a late crash must be bounded by the unpersisted tail, not the whole run
+// (the paper's Section VIII cost estimate).
+func TestRecoveryReExecutionIsShort(t *testing.T) {
+	w, err := workloads.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(workloads.Smoke)
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	specs := []sim.ThreadSpec{{Fn: q.Entry}}
+	g, err := Golden(q, cfg, sim.CWSP(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash in the last 10% of the run.
+	crash := g.Stats.Cycles * 9 / 10
+	r, err := Check(q, cfg, sim.CWSP(), specs, crash, g.NVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match {
+		t.Fatalf("late crash not recovered")
+	}
+	if r.ReExecuted > g.Stats.Instrs/2 {
+		t.Errorf("late crash re-executed %d of %d instructions — restart point too early",
+			r.ReExecuted, g.Stats.Instrs)
+	}
+}

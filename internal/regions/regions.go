@@ -1,0 +1,276 @@
+// Package regions implements cWSP's idempotent region formation
+// (Section IV-A of the paper, following De Kruijf's idempotent code
+// generation): it partitions every function into regions that are free of
+// intra-region memory antidependence (write-after-read), so that any region
+// can be re-executed from its entry after a power failure and produce the
+// same machine state.
+//
+// Boundary placement:
+//
+//   - the function entry (so a dynamic region never spans a call into a
+//     callee body),
+//   - immediately before and after every call site, allocation,
+//     synchronization operation (atomics, fences) and emit — matching the
+//     paper's treatment of call sites and synchronization points,
+//   - at every natural-loop header (one region per iteration),
+//   - before any store that would otherwise complete a may-alias
+//     load-then-store (antidependence) pair inside one region — a greedy
+//     sound approximation of the paper's hitting-set cut selection: cutting
+//     directly before the offending store severs every antidependence ending
+//     at that store at once.
+//
+// The transform rewrites each function in place, inserting ir.OpBoundary
+// instructions with function-unique RegionIDs, and returns placement
+// statistics.
+package regions
+
+import (
+	"sort"
+
+	"cwsp/internal/analysis"
+	"cwsp/internal/ir"
+)
+
+// Stats reports why boundaries were placed.
+type Stats struct {
+	Total        int // all boundaries, including the entry boundary
+	Entry        int
+	CallLike     int // before/after calls, allocs, atomics, fences, emits
+	LoopHeaders  int
+	AntidepCuts  int
+	AntidepPairs int // may-alias load->store pairs observed before cutting
+}
+
+// Form partitions f into idempotent regions, mutating it, and returns
+// placement statistics. Region IDs are assigned in block/instruction order
+// starting at 0 (the entry boundary).
+func Form(f *ir.Function) Stats {
+	var st Stats
+
+	// Strip any boundaries from a previous Form so the transform is
+	// idempotent.
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op != ir.OpBoundary {
+				out = append(out, b.Instrs[ii])
+			}
+		}
+		b.Instrs = out
+	}
+	f.NumRegions = 0
+	f.Slices = nil
+
+	cfg := analysis.BuildCFG(f)
+	dom := analysis.Dominators(cfg)
+	headers := analysis.LoopHeaders(cfg, dom)
+
+	// cuts[block] = set of instruction indices i such that a boundary goes
+	// immediately before Instrs[i] (indices in the *original* function).
+	cuts := make([]map[int]bool, len(f.Blocks))
+	for i := range cuts {
+		cuts[i] = map[int]bool{}
+	}
+	addCut := func(b, i int) bool {
+		if cuts[b][i] {
+			return false
+		}
+		cuts[b][i] = true
+		return true
+	}
+
+	// Entry boundary.
+	addCut(0, 0)
+	st.Entry = 1
+
+	// Loop headers.
+	for h := range headers {
+		if addCut(h, 0) {
+			st.LoopHeaders++
+		}
+	}
+
+	// Call-like boundaries: before and after each inherently-bounding op.
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if !in.IsBoundaryOp() {
+				continue
+			}
+			if addCut(bi, ii) {
+				st.CallLike++
+			}
+			if ii+1 < len(b.Instrs) {
+				if addCut(bi, ii+1) {
+					st.CallLike++
+				}
+			}
+			// A boundary op at block end: its successors begin new regions
+			// only if they have a cut; since the op is second-to-last at
+			// most (terminators are never boundary ops), ii+1 always exists.
+		}
+	}
+
+	// Antidependence cutting. Iterate to fixpoint because each added cut
+	// clears the reaching-load set at that point.
+	alias := analysis.ComputeAlias(f)
+	for {
+		added, pairs := antidepPass(f, cfg, alias, cuts, addCut)
+		st.AntidepPairs += pairs
+		st.AntidepCuts += added
+		if added == 0 {
+			break
+		}
+	}
+
+	// Rewrite the function with boundary instructions inserted.
+	id := 0
+	for bi, b := range f.Blocks {
+		if len(cuts[bi]) == 0 {
+			continue
+		}
+		idxs := make([]int, 0, len(cuts[bi]))
+		for i := range cuts[bi] {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		out := make([]ir.Instr, 0, len(b.Instrs)+len(idxs))
+		k := 0
+		for ii := range b.Instrs {
+			for k < len(idxs) && idxs[k] == ii {
+				out = append(out, ir.Instr{Op: ir.OpBoundary})
+				k++
+			}
+			out = append(out, b.Instrs[ii])
+		}
+		b.Instrs = out
+	}
+	// Assign region ids in final program order (block order, then index).
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == ir.OpBoundary {
+				b.Instrs[ii].RegionID = id
+				id++
+			}
+		}
+	}
+	f.NumRegions = id
+	st.Total = id
+	return st
+}
+
+// antidepPass runs the reaching-loads dataflow once and adds a cut before
+// every store that may alias a load reachable since the last boundary.
+// Returns the number of cuts added and antidependence pairs seen.
+//
+// Domain: set of load positions (as analysis.MemRef) that have executed
+// since the most recent boundary on some path to the current point.
+// Boundary ops and cut points clear the set.
+func antidepPass(
+	f *ir.Function,
+	cfg *analysis.CFG,
+	alias *analysis.AliasInfo,
+	cuts []map[int]bool,
+	addCut func(b, i int) bool,
+) (added, pairs int) {
+	n := len(f.Blocks)
+	in := make([]map[analysis.MemRef]bool, n)
+	out := make([]map[analysis.MemRef]bool, n)
+	for i := 0; i < n; i++ {
+		in[i] = map[analysis.MemRef]bool{}
+		out[i] = map[analysis.MemRef]bool{}
+	}
+
+	transfer := func(bi int, start map[analysis.MemRef]bool, record bool) map[analysis.MemRef]bool {
+		cur := map[analysis.MemRef]bool{}
+		for k := range start {
+			cur[k] = true
+		}
+		b := f.Blocks[bi]
+		for ii := range b.Instrs {
+			if cuts[bi][ii] {
+				cur = map[analysis.MemRef]bool{}
+			}
+			inst := &b.Instrs[ii]
+			if inst.IsBoundaryOp() {
+				// Call-like ops have cuts on both sides already; they also
+				// clear reaching loads themselves (their region is
+				// persisted synchronously by the hardware).
+				cur = map[analysis.MemRef]bool{}
+				continue
+			}
+			if inst.Op == ir.OpStore {
+				ref := analysis.MemRef{Block: bi, Index: ii}
+				hit := false
+				for l := range cur {
+					if alias.MayAlias(l, ref) {
+						hit = true
+						if record {
+							pairs++
+						}
+					}
+				}
+				if hit {
+					if record && addCut(bi, ii) {
+						added++
+					}
+					cur = map[analysis.MemRef]bool{}
+				}
+			}
+			if inst.Op == ir.OpLoad {
+				cur[analysis.MemRef{Block: bi, Index: ii}] = true
+			}
+		}
+		return cur
+	}
+
+	// Fixpoint without recording, then one recording pass.
+	changed := true
+	for changed {
+		changed = false
+		for _, bi := range cfg.RPO {
+			merged := map[analysis.MemRef]bool{}
+			for _, p := range cfg.Preds[bi] {
+				for k := range out[p] {
+					merged[k] = true
+				}
+			}
+			in[bi] = merged
+			nout := transfer(bi, merged, false)
+			if !refSetEq(nout, out[bi]) {
+				out[bi] = nout
+				changed = true
+			}
+		}
+	}
+	for _, bi := range cfg.RPO {
+		transfer(bi, in[bi], true)
+	}
+	return added, pairs
+}
+
+func refSetEq(a, b map[analysis.MemRef]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Boundaries lists the positions of all boundary instructions in f
+// (post-Form), in region-id order.
+func Boundaries(f *ir.Function) []ir.InstrRef {
+	out := make([]ir.InstrRef, f.NumRegions)
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == ir.OpBoundary {
+				out[b.Instrs[ii].RegionID] = ir.InstrRef{Block: bi, Index: ii}
+			}
+		}
+	}
+	return out
+}

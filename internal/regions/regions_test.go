@@ -1,0 +1,292 @@
+package regions
+
+import (
+	"fmt"
+	"testing"
+
+	"cwsp/internal/ir"
+	"cwsp/internal/progen"
+)
+
+// formProgram clones p and forms regions in every function.
+func formProgram(p *ir.Program) (*ir.Program, map[string]Stats) {
+	q := p.Clone()
+	st := map[string]Stats{}
+	for name, f := range q.Funcs {
+		st[name] = Form(f)
+	}
+	return q, st
+}
+
+func TestPaperFig4aCut(t *testing.T) {
+	// r2 = ldr [r0]; ...; str r1, [r0] — the antidependence pair from the
+	// paper's Figure 4(a) must end up in different regions.
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	p0 := fb.Alloc(8)
+	v := fb.Load(ir.R(p0), 0)
+	w := fb.Add(ir.R(v), ir.Imm(1))
+	fb.Store(ir.R(w), ir.R(p0), 0)
+	fb.Ret(ir.R(w))
+	prog := ir.NewProgram("fig4a")
+	prog.Add(fb.MustDone())
+	prog.Entry = "main"
+
+	q, st := formProgram(prog)
+	if st["main"].AntidepCuts < 1 {
+		t.Fatalf("expected at least one antidependence cut, got %+v", st["main"])
+	}
+	// Between the load and the store there must be a boundary.
+	f := q.Funcs["main"]
+	loadSeen, boundaryBetween := false, false
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case ir.OpLoad:
+				loadSeen = true
+			case ir.OpBoundary:
+				if loadSeen {
+					boundaryBetween = true
+				}
+			case ir.OpStore:
+				if loadSeen && !boundaryBetween {
+					t.Fatal("store follows load with no boundary in between")
+				}
+			}
+		}
+	}
+}
+
+func TestLoopHeaderBoundary(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.SetBlock(entry)
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.Imm(10))
+	fb.Br(ir.R(c), body, exit)
+	fb.SetBlock(body)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+	fb.Ret(ir.R(i))
+	prog := ir.NewProgram("loop")
+	prog.Add(fb.MustDone())
+	prog.Entry = "main"
+
+	q, st := formProgram(prog)
+	if st["main"].LoopHeaders != 1 {
+		t.Fatalf("loop header boundaries = %d, want 1", st["main"].LoopHeaders)
+	}
+	if q.Funcs["main"].Blocks[head.Index].Instrs[0].Op != ir.OpBoundary {
+		t.Fatal("loop header does not start with a boundary")
+	}
+}
+
+func TestCallBoundaries(t *testing.T) {
+	leaf := ir.NewFunc("leaf", 0)
+	leaf.NewBlock("entry")
+	leaf.RetVoid()
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	a := fb.Const(1)
+	fb.Call("leaf")
+	b := fb.Add(ir.R(a), ir.Imm(1))
+	fb.Ret(ir.R(b))
+	prog := ir.NewProgram("call")
+	prog.Add(leaf.MustDone())
+	prog.Add(fb.MustDone())
+	prog.Entry = "main"
+
+	q, _ := formProgram(prog)
+	instrs := q.Funcs["main"].Blocks[0].Instrs
+	for i := range instrs {
+		if instrs[i].Op == ir.OpCall {
+			if i == 0 || instrs[i-1].Op != ir.OpBoundary {
+				t.Error("no boundary immediately before call")
+			}
+			if i+1 >= len(instrs) || instrs[i+1].Op != ir.OpBoundary {
+				t.Error("no boundary immediately after call")
+			}
+		}
+	}
+	// Callee gets an entry boundary.
+	if q.Funcs["leaf"].Blocks[0].Instrs[0].Op != ir.OpBoundary {
+		t.Error("callee entry has no boundary")
+	}
+}
+
+func TestEntryBoundaryAndIDs(t *testing.T) {
+	p := progen.Generate(7, progen.DefaultConfig())
+	q, _ := formProgram(p)
+	for name, f := range q.Funcs {
+		if f.Blocks[0].Instrs[0].Op != ir.OpBoundary {
+			t.Errorf("%s: first instruction is not the entry boundary", name)
+		}
+		refs := Boundaries(f)
+		if len(refs) != f.NumRegions {
+			t.Fatalf("%s: %d boundary refs, NumRegions=%d", name, len(refs), f.NumRegions)
+		}
+		for id, ref := range refs {
+			in := f.Blocks[ref.Block].Instrs[ref.Index]
+			if in.Op != ir.OpBoundary || in.RegionID != id {
+				t.Errorf("%s: boundary ref %d mismatched", name, id)
+			}
+		}
+	}
+}
+
+func TestFormPreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		want, err := ir.Interp(p, nil, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, _ := formProgram(p)
+		got, err := ir.Interp(q, nil, 0)
+		if err != nil {
+			t.Fatalf("seed %d (formed): %v", seed, err)
+		}
+		if got.RetVal != want.RetVal {
+			t.Errorf("seed %d: ret %d != %d", seed, got.RetVal, want.RetVal)
+		}
+		if fmt.Sprint(got.Output) != fmt.Sprint(want.Output) {
+			t.Errorf("seed %d: output %v != %v", seed, got.Output, want.Output)
+		}
+		if fmt.Sprint(got.Mem.Snapshot()) != fmt.Sprint(want.Mem.Snapshot()) {
+			t.Errorf("seed %d: final memory differs", seed)
+		}
+	}
+}
+
+// TestDynamicIdempotence is the core soundness property: executing the
+// formed program, within every dynamic window between consecutive region
+// boundaries (call-like synchronizing ops count as boundaries — the
+// hardware persists them synchronously), no store may write a word that an
+// earlier instruction of the same window loaded.
+func TestDynamicIdempotence(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		q, _ := formProgram(p)
+
+		loaded := map[int64]bool{}
+		violations := 0
+		hook := func(f *ir.Function, ref ir.InstrRef, in *ir.Instr, regs []int64) {
+			switch in.Op {
+			case ir.OpBoundary, ir.OpCall, ir.OpAlloc, ir.OpAtomicCAS, ir.OpAtomicAdd,
+				ir.OpAtomicXchg, ir.OpFence, ir.OpEmit:
+				loaded = map[int64]bool{}
+			case ir.OpLoad:
+				loaded[ir.EffAddr(in, regs)] = true
+			case ir.OpStore:
+				if loaded[ir.EffAddr(in, regs)] {
+					violations++
+					t.Errorf("seed %d: store to %#x overwrites word loaded in same region (%s at b%d[%d])",
+						seed, ir.EffAddr(in, regs), f.Name, ref.Block, ref.Index)
+				}
+			}
+		}
+		if _, err := ir.InterpTraced(q, nil, 5_000_000, ir.NewFlatMem(), hook); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if violations > 0 {
+			return // one seed's detail is enough
+		}
+	}
+}
+
+func TestPureFunctionSingleRegion(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	a := fb.Const(2)
+	b := fb.Mul(ir.R(a), ir.Imm(21))
+	fb.Ret(ir.R(b))
+	prog := ir.NewProgram("pure")
+	prog.Add(fb.MustDone())
+	prog.Entry = "main"
+	_, st := formProgram(prog)
+	if st["main"].Total != 1 {
+		t.Errorf("pure straight-line code should have exactly the entry region, got %+v", st["main"])
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		_, stats := formProgram(p)
+		for name, st := range stats {
+			if st.Total < 1 {
+				t.Errorf("seed %d %s: no regions at all", seed, name)
+			}
+			if st.Total < st.Entry {
+				t.Errorf("seed %d %s: inconsistent stats %+v", seed, name, st)
+			}
+		}
+	}
+}
+
+func TestFormIsIdempotentTransform(t *testing.T) {
+	// Forming an already-formed function must not add more boundaries
+	// (existing boundaries clear antidependence windows; boundary ops are
+	// already bracketed).
+	p := progen.Generate(3, progen.DefaultConfig())
+	q, _ := formProgram(p)
+	r, _ := formProgram(q)
+	for name := range q.Funcs {
+		n1 := q.Funcs[name].NumRegions
+		n2 := r.Funcs[name].NumRegions
+		if n2 > n1*2+2 {
+			t.Errorf("%s: reforming exploded regions: %d -> %d", name, n1, n2)
+		}
+	}
+}
+
+// TestSingleCutCoversMultipleAntideps: several loads followed by one store
+// that aliases all of them need only one cut (before the store), not one
+// per pair — the hitting-set intuition.
+func TestSingleCutCoversMultipleAntideps(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	p := fb.Alloc(64)
+	a := fb.Load(ir.R(p), 0)
+	b := fb.Load(ir.R(p), 0)
+	c := fb.Load(ir.R(p), 0)
+	s := fb.Add(ir.R(a), ir.R(b))
+	s2 := fb.Add(ir.R(s), ir.R(c))
+	fb.Store(ir.R(s2), ir.R(p), 0) // antidep with all three loads
+	fb.Ret(ir.R(s2))
+	prog := ir.NewProgram("multi")
+	prog.Add(fb.MustDone())
+	prog.Entry = "main"
+	_, st := formProgram(prog)
+	if st["main"].AntidepCuts != 1 {
+		t.Errorf("cuts = %d, want exactly 1 (one cut severs all three pairs)", st["main"].AntidepCuts)
+	}
+	if st["main"].AntidepPairs < 3 {
+		t.Errorf("pairs = %d, want >= 3", st["main"].AntidepPairs)
+	}
+}
+
+// TestNoCutForDisjointAccess: load and store to provably different words
+// need no cut.
+func TestNoCutForDisjointAccess(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	p := fb.Alloc(64)
+	v := fb.Load(ir.R(p), 0)
+	fb.Store(ir.R(v), ir.R(p), 8) // different word, same base, no redef
+	fb.Ret(ir.R(v))
+	prog := ir.NewProgram("disjoint")
+	prog.Add(fb.MustDone())
+	prog.Entry = "main"
+	_, st := formProgram(prog)
+	if st["main"].AntidepCuts != 0 {
+		t.Errorf("cuts = %d, want 0 for provably disjoint words", st["main"].AntidepCuts)
+	}
+}

@@ -1,0 +1,167 @@
+// Package schemes defines the crash-consistency disciplines the paper
+// evaluates: cWSP itself, its ablations (Figure 15), and the prior-work
+// comparators — Capri (HPDC'22), iDO (MICRO'18), ReplayCache (MICRO'21),
+// and the ideal partial-system-persistence upper bound
+// (BBB/eADR/LightPC-like, Figure 18). Each is expressed as a sim.Scheme
+// plus, where needed, structural overrides on the machine config.
+package schemes
+
+import "cwsp/internal/sim"
+
+// Baseline is the original program with no crash-consistency support.
+func Baseline() sim.Scheme { return sim.Baseline() }
+
+// CWSP is the full design (8-byte persist granularity, MC speculation,
+// WB-delay stale-read fix, WPQ load delaying).
+func CWSP() sim.Scheme { return sim.CWSP() }
+
+// --- Figure 15 ablation ladder ---------------------------------------------
+
+// RegionOnly executes the region-formed, checkpointed binary but persists
+// nothing: isolates the compiler-inserted instruction overhead
+// ("+Region Formation").
+func RegionOnly() sim.Scheme {
+	s := sim.Baseline()
+	s.Name = "region-formation"
+	return s
+}
+
+// PersistPath adds asynchronous 8-byte store persistence over the persist
+// path with RBT tracking, but no MC speculation (no undo logging) —
+// "+Persist Path".
+func PersistPath() sim.Scheme {
+	return sim.Scheme{
+		Name: "persist-path", Persist: true, GranularityBytes: 8,
+		DRAMCache: true, UseRBT: true,
+	}
+}
+
+// MCSpec adds memory-controller speculation (undo logging for speculative
+// stores) — "+MC Speculation".
+func MCSpec() sim.Scheme {
+	s := PersistPath()
+	s.Name = "mc-spec"
+	s.MCSpec = true
+	return s
+}
+
+// WBDelay adds the write-buffer stale-read fix — "+WB Delaying".
+func WBDelay() sim.Scheme {
+	s := MCSpec()
+	s.Name = "wb-delay"
+	s.WBDelay = true
+	return s
+}
+
+// WPQDelay adds load delaying on WPQ hits — "+WPQ Delaying". Combined with
+// checkpoint pruning on the compiler side this is the full cWSP.
+func WPQDelay() sim.Scheme {
+	s := WBDelay()
+	s.Name = "wpq-delay"
+	s.WPQDelay = true
+	return s
+}
+
+// --- prior work --------------------------------------------------------------
+
+// Capri: 64-byte redo-buffer granularity with per-region line coalescing;
+// battery-backed buffers mean no boundary stall, but the persist path
+// carries 8x the traffic. The redo buffer (18KB = 288 lines) replaces the
+// PB.
+func Capri() sim.Scheme {
+	return sim.Scheme{
+		Name: "capri", Persist: true, GranularityBytes: 64,
+		DedupLines: true, DRAMCache: true,
+	}
+}
+
+// CapriConfig adapts a machine config for Capri's structures.
+func CapriConfig(c sim.Config) sim.Config {
+	c.PBSize = 288 // 18 KB redo buffer / 64 B lines
+	return c
+}
+
+// IDO: software failure atomicity with persist barriers at both ends of
+// every region — cacheline flushes (clwb) plus a barrier stall until the
+// region's stores persist.
+func IDO() sim.Scheme {
+	return sim.Scheme{
+		Name: "ido", Persist: true, GranularityBytes: 64,
+		BoundaryStall: true, BoundaryExtraLat: 30,
+		DRAMCache: true,
+	}
+}
+
+// ReplayCache: adapted from its energy-harvesting design — per-store
+// cacheline persistence with region-end waits and only a few line buffers
+// of staging.
+func ReplayCache() sim.Scheme {
+	return sim.Scheme{
+		Name: "replaycache", Persist: true, GranularityBytes: 64,
+		BoundaryStall: true, BoundaryExtraLat: 60,
+		DRAMCache: true,
+	}
+}
+
+// ReplayCacheConfig shrinks the staging buffer to the scheme's 4 entries.
+func ReplayCacheConfig(c sim.Config) sim.Config {
+	c.PBSize = 4
+	return c
+}
+
+// PSPIdeal: the ideal partial-system-persistence bound
+// (BBB/eADR/LightPC-like): persistence is free (battery-backed caches) but
+// DRAM cannot be used as a cache — every LLC miss goes to NVM.
+func PSPIdeal() sim.Scheme {
+	return sim.Scheme{Name: "psp-ideal"}
+}
+
+// ByName returns a scheme constructor by its benchmark-harness name.
+func ByName(name string) (sim.Scheme, bool) {
+	switch name {
+	case "base":
+		return Baseline(), true
+	case "cwsp":
+		return CWSP(), true
+	case "region-formation":
+		return RegionOnly(), true
+	case "persist-path":
+		return PersistPath(), true
+	case "mc-spec":
+		return MCSpec(), true
+	case "wb-delay":
+		return WBDelay(), true
+	case "wpq-delay":
+		return WPQDelay(), true
+	case "capri":
+		return Capri(), true
+	case "ido":
+		return IDO(), true
+	case "replaycache":
+		return ReplayCache(), true
+	case "psp-ideal":
+		return PSPIdeal(), true
+	}
+	return sim.Scheme{}, false
+}
+
+// ConfigFor applies scheme-specific structural overrides.
+func ConfigFor(s sim.Scheme, c sim.Config) sim.Config {
+	switch s.Name {
+	case "capri":
+		return CapriConfig(c)
+	case "replaycache":
+		return ReplayCacheConfig(c)
+	}
+	return c
+}
+
+// NeedsCompiledProgram reports whether the scheme executes the cWSP
+// compiler's output (regions + checkpoints) or the original binary.
+func NeedsCompiledProgram(s sim.Scheme) bool {
+	switch s.Name {
+	case "base", "psp-ideal":
+		return false
+	}
+	return true
+}

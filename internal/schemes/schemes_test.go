@@ -1,0 +1,193 @@
+package schemes
+
+import (
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/progen"
+	"cwsp/internal/sim"
+)
+
+func TestByNameCoversAll(t *testing.T) {
+	names := []string{"base", "cwsp", "region-formation", "persist-path", "mc-spec",
+		"wb-delay", "wpq-delay", "capri", "ido", "replaycache", "psp-ideal"}
+	for _, n := range names {
+		s, ok := ByName(n)
+		if !ok {
+			t.Errorf("scheme %q missing", n)
+			continue
+		}
+		if s.Name != n {
+			t.Errorf("scheme %q reports name %q", n, s.Name)
+		}
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("unknown scheme resolved")
+	}
+}
+
+func TestAblationLadderFlags(t *testing.T) {
+	// Each rung adds exactly its capability.
+	if RegionOnly().Persist {
+		t.Error("region-formation must not persist")
+	}
+	if !PersistPath().Persist || PersistPath().MCSpec {
+		t.Error("persist-path: persistence without speculation")
+	}
+	if !MCSpec().MCSpec || MCSpec().WBDelay {
+		t.Error("mc-spec adds speculation only")
+	}
+	if !WBDelay().WBDelay || WBDelay().WPQDelay {
+		t.Error("wb-delay adds the WB check only")
+	}
+	if !WPQDelay().WPQDelay {
+		t.Error("wpq-delay missing its flag")
+	}
+	full := CWSP()
+	if !(full.Persist && full.MCSpec && full.WBDelay && full.WPQDelay && full.UseRBT) {
+		t.Error("full cWSP missing capabilities")
+	}
+}
+
+func TestPriorWorkGranularity(t *testing.T) {
+	for _, s := range []sim.Scheme{Capri(), IDO(), ReplayCache()} {
+		if s.GranularityBytes != 64 {
+			t.Errorf("%s should persist 64-byte lines, got %d", s.Name, s.GranularityBytes)
+		}
+	}
+	if CWSP().GranularityBytes != 8 {
+		t.Error("cWSP persists 8-byte words")
+	}
+	if !Capri().DedupLines {
+		t.Error("Capri's redo buffer coalesces lines")
+	}
+	if !IDO().BoundaryStall || !ReplayCache().BoundaryStall {
+		t.Error("software schemes stall at region boundaries")
+	}
+}
+
+func TestPSPIdealDisablesDRAMCache(t *testing.T) {
+	if PSPIdeal().DRAMCache {
+		t.Error("ideal PSP cannot use DRAM as a cache")
+	}
+	if PSPIdeal().Persist {
+		t.Error("ideal PSP persistence is free (battery-backed)")
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	base := sim.DefaultConfig()
+	if got := ConfigFor(Capri(), base).PBSize; got != 288 {
+		t.Errorf("Capri redo buffer = %d lines, want 288 (18KB)", got)
+	}
+	if got := ConfigFor(ReplayCache(), base).PBSize; got != 4 {
+		t.Errorf("ReplayCache staging = %d, want 4", got)
+	}
+	if got := ConfigFor(CWSP(), base).PBSize; got != base.PBSize {
+		t.Error("cWSP must not override the PB size")
+	}
+}
+
+func TestNeedsCompiledProgram(t *testing.T) {
+	if NeedsCompiledProgram(Baseline()) || NeedsCompiledProgram(PSPIdeal()) {
+		t.Error("baseline/PSP run the original binary")
+	}
+	for _, s := range []sim.Scheme{CWSP(), Capri(), IDO(), ReplayCache(), RegionOnly()} {
+		if !NeedsCompiledProgram(s) {
+			t.Errorf("%s needs the compiled binary", s.Name)
+		}
+	}
+}
+
+// TestAllSchemesExecuteCorrectly: every scheme computes the same program
+// result; persistence disciplines must never change semantics.
+func TestAllSchemesExecuteCorrectly(t *testing.T) {
+	p := progen.Generate(17, progen.DefaultConfig())
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ir.Interp(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"base", "cwsp", "region-formation", "persist-path",
+		"mc-spec", "wb-delay", "wpq-delay", "capri", "ido", "replaycache", "psp-ideal"} {
+		sch, _ := ByName(name)
+		prog := p
+		if NeedsCompiledProgram(sch) {
+			prog = q
+		}
+		cfg := ConfigFor(sch, sim.DefaultConfig())
+		m, err := sim.New(prog, cfg, sch)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Ret[0] != want.RetVal {
+			t.Errorf("%s: result %d, want %d", name, res.Ret[0], want.RetVal)
+		}
+	}
+}
+
+// TestSchemeOrdering: on a store-heavy kernel the canonical cost ordering
+// holds: base <= cwsp < capri(4GB/s) and software schemes are the worst.
+func TestSchemeOrdering(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.Imm(4000))
+	fb.Br(ir.R(c), body, exit)
+	fb.SetBlock(body)
+	off := fb.Mul(ir.R(i), ir.Imm(8))
+	a := fb.Add(ir.Imm(0x3000_0000), ir.R(off))
+	fb.Store(ir.R(i), ir.R(a), 0)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+	fb.Ret(ir.R(i))
+	p := ir.NewProgram("stores")
+	p.Add(fb.MustDone())
+	p.Entry = "main"
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cycles := map[string]int64{}
+	for _, name := range []string{"base", "cwsp", "capri", "ido", "replaycache"} {
+		sch, _ := ByName(name)
+		prog := p
+		if NeedsCompiledProgram(sch) {
+			prog = q
+		}
+		m, err := sim.New(prog, ConfigFor(sch, sim.DefaultConfig()), sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[name] = res.Stats.Cycles
+	}
+	if !(cycles["base"] <= cycles["cwsp"]) {
+		t.Errorf("base (%d) should not exceed cwsp (%d)", cycles["base"], cycles["cwsp"])
+	}
+	if !(cycles["cwsp"] < cycles["capri"]) {
+		t.Errorf("cwsp (%d) should beat capri (%d) on a store-heavy kernel", cycles["cwsp"], cycles["capri"])
+	}
+	if !(cycles["capri"] < cycles["replaycache"]) {
+		t.Errorf("capri (%d) should beat replaycache (%d)", cycles["capri"], cycles["replaycache"])
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"cwsp/internal/mem"
+)
+
+// CrashState is what survives a power failure at a given cycle: the
+// rolled-back NVM image and, per core, the oldest-unpersisted-region
+// descriptor that recovery restarts from (paper Section VII).
+type CrashState struct {
+	Cycle    int64
+	NVM      *mem.PagedMem
+	Restarts []Restart
+}
+
+// Restart is one core's recovery point.
+type Restart struct {
+	Core   int
+	Done   bool // the core finished and every region persisted: nothing to do
+	Region RegionInfo
+}
+
+// CrashAt runs the machine until the crash cycle, then performs the
+// recovery protocol's NVM reconstruction:
+//
+//  1. persists that had not been admitted to a WPQ by the crash never
+//     reached NVM — undone in reverse order;
+//  2. undo logs of every unretired region (speculative stores and
+//     checkpoint-area stores) roll back, newest first;
+//  3. each core's restart point is its oldest region whose stores had not
+//     all persisted.
+//
+// Requires Config.Recoverable.
+func (m *Machine) CrashAt(cycle int64) (*CrashState, error) {
+	if !m.Cfg.Recoverable {
+		return nil, fmt.Errorf("sim: CrashAt requires Config.Recoverable")
+	}
+	if err := m.RunUntil(cycle); err != nil {
+		return nil, err
+	}
+	cs := &CrashState{Cycle: cycle, NVM: m.NVM.Clone()}
+
+	// Which regions had fully persisted by the crash?
+	retired := map[int64]bool{}
+	for _, ri := range m.Regions {
+		if ri.Retire <= cycle {
+			retired[ri.Seq] = true
+		}
+	}
+
+	// Reverse-journal reconstruction.
+	for i := len(m.Journal) - 1; i >= 0; i-- {
+		rec := &m.Journal[i]
+		if rec.Admit > cycle {
+			cs.NVM.Store(rec.Addr, rec.Old) // never reached NVM
+			continue
+		}
+		if rec.Logged && !retired[rec.Region] {
+			cs.NVM.Store(rec.Addr, rec.Old) // rolled back via MC undo log
+		}
+	}
+
+	// Restart points: per core, the oldest unretired region.
+	for _, c := range m.cores {
+		r := Restart{Core: c.id, Done: true}
+		for _, ri := range m.Regions {
+			if ri.Core != c.id {
+				continue
+			}
+			if ri.Retire > cycle {
+				r.Done = false
+				r.Region = *ri
+				break
+			}
+		}
+		if r.Done && !c.done {
+			// The core was still executing but every *closed* region
+			// persisted; its open region is the restart point.
+			if c.cur != nil {
+				r.Done = false
+				r.Region = *c.cur.info
+			}
+		}
+		cs.Restarts = append(cs.Restarts, r)
+	}
+	return cs, nil
+}
+
+// MaxRetire reports the latest region retirement time (useful to pick
+// crash cycles that still have work in flight).
+func (m *Machine) MaxRetire() int64 {
+	var max int64
+	for _, ri := range m.Regions {
+		if ri.Retire != math.MaxInt64 && ri.Retire > max {
+			max = ri.Retire
+		}
+	}
+	return max
+}

@@ -1,0 +1,55 @@
+package sim
+
+import "cwsp/internal/ir"
+
+// Physical address layout of the whole-system-persistent machine. NVM is
+// main memory; everything below lives in the single NVM-backed physical
+// address space (DRAM is only a cache in front of it).
+const (
+	// BrkAddr holds the heap allocator's bump pointer. OpAlloc is a
+	// runtime call that loads and stores this word, which is why it is a
+	// synchronizing region of its own (re-executing it would double-bump).
+	BrkAddr int64 = 0x0800_0000
+
+	// HeapBase is where allocations start (must match ir.HeapBase so
+	// functional interpretation and simulation agree on addresses).
+	HeapBase = ir.HeapBase
+
+	// Per-core stacks hold the calling convention's spill slots and frame
+	// records.
+	StackBase   int64 = 0x4000_0000
+	StackStride int64 = 0x0040_0000 // 4 MiB per core
+
+	// Per-core checkpoint areas: one 8-byte slot per (frame depth,
+	// architectural register).
+	CkptBase     int64 = 0x6000_0000
+	CkptStride   int64 = 0x0100_0000 // 16 MiB per core
+	MaxCores           = 16          // checkpoint area spans [CkptBase, CkptBase+16*CkptStride)
+	MaxFrameRegs       = 256
+	MaxDepth           = int(CkptStride) / (MaxFrameRegs * 8)
+
+	// EmitBase is the observable-output ring: word 0 is the count, then
+	// the emitted values. Emits persist synchronously and never re-execute.
+	EmitBase int64 = 0x7800_0000
+)
+
+// StackStart returns core c's initial stack pointer.
+func StackStart(c int) int64 { return StackBase + int64(c)*StackStride }
+
+// CkptSlot returns the NVM address of core c's checkpoint slot for register
+// r at frame depth d.
+func CkptSlot(c, d int, r ir.Reg) int64 {
+	return CkptBase + int64(c)*CkptStride + int64(d)*(MaxFrameRegs*8) + int64(r)*8
+}
+
+// IsCkptArea reports whether addr is inside the checkpoint region — such
+// stores are always undo-logged so recovery can roll slots back to the
+// restart region's entry state.
+func IsCkptArea(addr int64) bool {
+	return addr >= CkptBase && addr < CkptBase+int64(MaxCores)*CkptStride
+}
+
+// frame-record layout (4 words just below the callee frame's spill area):
+// caller function index, packed resume point (block<<32 | index), caller
+// stack pointer, callee argument count.
+const frameRecordWords = 4

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+)
+
+// repeatStoreLoop: n stores, all to the same cache line.
+func repeatStoreLoop(t testing.TB, n int64) *ir.Program {
+	t.Helper()
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.Imm(n))
+	fb.Br(ir.R(c), body, exit)
+	fb.SetBlock(body)
+	// Four stores to the same cache line per region (distinct words, so no
+	// antidependence cuts) — a Capri redo buffer coalesces them to one
+	// line transfer.
+	a := fb.Add(ir.Imm(0x3000_0000), ir.Imm(0))
+	fb.Store(ir.R(i), ir.R(a), 0)
+	fb.Store(ir.R(i), ir.R(a), 8)
+	fb.Store(ir.R(i), ir.R(a), 16)
+	fb.Store(ir.R(i), ir.R(a), 24)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+	fb.Ret(ir.R(i))
+	p := ir.NewProgram("repeat")
+	p.Add(fb.MustDone())
+	p.Entry = "main"
+	return p
+}
+
+// TestCapriLineDedup: with DedupLines, repeated stores to one line send
+// far fewer persist bytes than per-store line persistence would.
+func TestCapriLineDedup(t *testing.T) {
+	p := repeatStoreLoop(t, 2000)
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup := Scheme{Name: "dedup", Persist: true, GranularityBytes: 64,
+		DedupLines: true, DRAMCache: true}
+	plain := Scheme{Name: "plain", Persist: true, GranularityBytes: 64,
+		DRAMCache: true}
+	run := func(s Scheme) Stats {
+		m, err := New(q, DefaultConfig(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats
+	}
+	d := run(dedup)
+	pl := run(plain)
+	if d.PersistBytes*2 > pl.PersistBytes {
+		t.Errorf("dedup persist bytes (%d) should be far below per-store (%d)",
+			d.PersistBytes, pl.PersistBytes)
+	}
+}
+
+// TestBoundaryStallScheme: iDO-style persist barriers record boundary
+// stall cycles; the RBT-based scheme records none.
+func TestBoundaryStallScheme(t *testing.T) {
+	p := repeatStoreLoop(t, 2000)
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ido := Scheme{Name: "ido", Persist: true, GranularityBytes: 64,
+		BoundaryStall: true, BoundaryExtraLat: 30, DRAMCache: true}
+	m, err := New(q, DefaultConfig(), ido)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.BoundaryStall == 0 {
+		t.Error("boundary-stall scheme recorded no boundary waits")
+	}
+	mw, err := New(q, DefaultConfig(), CWSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := mw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Stats.BoundaryStall != 0 {
+		t.Error("cWSP must never stall at boundaries (MC speculation)")
+	}
+	if rw.Stats.Cycles >= r.Stats.Cycles {
+		t.Errorf("cWSP (%d cyc) should beat persist barriers (%d cyc)", rw.Stats.Cycles, r.Stats.Cycles)
+	}
+}
+
+// TestLogBytesAccounting: speculative stores account undo-log bytes; the
+// ablation knobs change the accounting.
+func TestLogBytesAccounting(t *testing.T) {
+	p := repeatStoreLoop(t, 2000)
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(logBytes int) Stats {
+		s := CWSP()
+		s.LogBytes = logBytes
+		m, err := New(q, DefaultConfig(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats
+	}
+	def := run(0)
+	big := run(72)
+	free := run(-1)
+	if def.LogBytes == 0 {
+		t.Error("no undo-log bytes recorded under MC speculation")
+	}
+	if big.LogBytes <= def.LogBytes {
+		t.Error("line-sized logging should record more bytes")
+	}
+	if free.LogBytes != 0 {
+		t.Error("free-logging ablation should record zero log bytes")
+	}
+	if big.Cycles < def.Cycles {
+		t.Error("bigger logs should not be faster")
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+// Stats aggregates one run's counters. Cycle counts are whole-machine
+// (max over cores); event counts are summed over cores.
+type Stats struct {
+	Cycles int64
+	Instrs int64
+
+	Loads, Stores, Branches, Calls, Atomics, Boundaries, Ckpts int64
+	SpillStores, RestoreLoads                                  int64
+
+	Regions int64 // dynamic regions committed
+
+	// Stall cycles by cause.
+	PBStallCyc    int64
+	RBTStallCyc   int64
+	WBStallCyc    int64
+	DrainStallCyc int64 // waiting for persistence at synchronizing ops
+	BoundaryStall int64 // boundary persist-barrier waits (non-cWSP schemes)
+	WPQLoadDelay  int64 // cycles loads waited on pending WPQ entries
+
+	WPQHits  int64 // loads that found their word pending in a WPQ
+	NVMReads int64
+
+	WBAvgOcc   float64
+	WBDelayed  int64 // WB drains held by the persist-path check
+	L1DMisses  int64
+	L1DAccs    int64
+	L2Misses   int64
+	L2Accs     int64
+	DRAMMisses int64
+	DRAMAccs   int64
+
+	PersistBytes int64 // data bytes sent down the persist path
+	LogBytes     int64 // undo-log bytes written at MCs
+}
+
+// IPR returns dynamic instructions per region (the paper's Figure 19).
+func (s Stats) IPR() float64 {
+	if s.Regions == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Regions)
+}
+
+// WPQHPMI returns WPQ hits per million instructions (Figure 8).
+func (s Stats) WPQHPMI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.WPQHits) * 1e6 / float64(s.Instrs)
+}
+
+// L1DMissRate returns the L1D miss ratio.
+func (s Stats) L1DMissRate() float64 {
+	if s.L1DAccs == 0 {
+		return 0
+	}
+	return float64(s.L1DMisses) / float64(s.L1DAccs)
+}
+
+// Slowdown returns s.Cycles normalized to a baseline run.
+func (s Stats) Slowdown(base Stats) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(base.Cycles)
+}

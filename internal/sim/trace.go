@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+const (
+	// TraceRegion: a region boundary committed (new region opened).
+	TraceRegion TraceKind = iota
+	// TracePersist: a store's data was admitted to a WPQ (persisted).
+	TracePersist
+	// TraceSync: a synchronizing group committed (atomic/alloc/emit).
+	TraceSync
+	// TraceCall / TraceRet: control transfer through the calling
+	// convention.
+	TraceCall
+	TraceRet
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRegion:
+		return "region"
+	case TracePersist:
+		return "persist"
+	case TraceSync:
+		return "sync"
+	case TraceCall:
+		return "call"
+	case TraceRet:
+		return "ret"
+	}
+	return "?"
+}
+
+// TraceEvent is one machine event.
+type TraceEvent struct {
+	Kind   TraceKind
+	Core   int
+	Cycle  int64
+	Region int64 // region sequence number (when applicable)
+	Addr   int64 // persist address / callee index
+	Info   string
+}
+
+// Tracer receives machine events; SetTracer installs one. The textual
+// WriteTracer is the common case (cwspsim -tracefile).
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// SetTracer installs a tracer (nil disables tracing).
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+func (m *Machine) trace(ev TraceEvent) {
+	if m.tracer != nil {
+		m.tracer.Event(ev)
+	}
+}
+
+// WriteTracer formats events one per line to an io.Writer.
+type WriteTracer struct {
+	W io.Writer
+	// Filter selects which kinds are emitted (nil = all).
+	Filter map[TraceKind]bool
+	n      int64
+	// Limit stops output after Limit events (0 = unlimited).
+	Limit int64
+}
+
+// Event implements Tracer.
+func (t *WriteTracer) Event(ev TraceEvent) {
+	if t.Filter != nil && !t.Filter[ev.Kind] {
+		return
+	}
+	if t.Limit > 0 && t.n >= t.Limit {
+		return
+	}
+	t.n++
+	fmt.Fprintf(t.W, "%10d c%d %-8s region=%d addr=%#x %s\n",
+		ev.Cycle, ev.Core, ev.Kind, ev.Region, ev.Addr, ev.Info)
+}
+
+// RingTracer keeps the last N events in memory (crash forensics).
+type RingTracer struct {
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+// NewRingTracer builds a tracer retaining n events.
+func NewRingTracer(n int) *RingTracer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingTracer{buf: make([]TraceEvent, n)}
+}
+
+// Event implements Tracer.
+func (r *RingTracer) Event(ev TraceEvent) {
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (r *RingTracer) Events() []TraceEvent {
+	if !r.full {
+		return append([]TraceEvent(nil), r.buf[:r.next]...)
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

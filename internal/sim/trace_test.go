@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cwsp/internal/progen"
+)
+
+func TestWriteTracerCapturesEvents(t *testing.T) {
+	p := progen.Generate(4, progen.DefaultConfig())
+	q := compileT(t, p)
+	m, err := New(q, DefaultConfig(), CWSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	m.SetTracer(&WriteTracer{W: &sb, Limit: 500})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"region", "persist"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q events:\n%.300s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines == 0 || lines > 500 {
+		t.Errorf("trace lines = %d, want (0,500]", lines)
+	}
+}
+
+func TestWriteTracerFilter(t *testing.T) {
+	p := progen.Generate(4, progen.DefaultConfig())
+	q := compileT(t, p)
+	m, err := New(q, DefaultConfig(), CWSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	m.SetTracer(&WriteTracer{W: &sb, Filter: map[TraceKind]bool{TraceSync: true}})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if line != "" && !strings.Contains(line, "sync") {
+			t.Errorf("filtered trace leaked: %q", line)
+		}
+	}
+}
+
+func TestRingTracer(t *testing.T) {
+	r := NewRingTracer(3)
+	for i := int64(1); i <= 5; i++ {
+		r.Event(TraceEvent{Cycle: i})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring kept %d events, want 3", len(evs))
+	}
+	if evs[0].Cycle != 3 || evs[2].Cycle != 5 {
+		t.Errorf("ring order wrong: %v", evs)
+	}
+	// Partial fill.
+	r2 := NewRingTracer(8)
+	r2.Event(TraceEvent{Cycle: 1})
+	r2.Event(TraceEvent{Cycle: 2})
+	if got := r2.Events(); len(got) != 2 || got[0].Cycle != 1 {
+		t.Errorf("partial ring wrong: %v", got)
+	}
+}
+
+func TestTracingDoesNotPerturbTiming(t *testing.T) {
+	p := progen.Generate(9, progen.DefaultConfig())
+	q := compileT(t, p)
+	run := func(tr Tracer) Stats {
+		m, err := New(q, DefaultConfig(), CWSP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetTracer(tr)
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats
+	}
+	plain := run(nil)
+	traced := run(NewRingTracer(1024))
+	if plain != traced {
+		t.Error("tracing changed simulation results")
+	}
+}

@@ -1,0 +1,165 @@
+// Package stats provides the small numeric helpers the benchmark harness
+// uses to summarize results the way the paper does (geometric means over
+// normalized slowdowns, per-suite aggregation, fixed-width tables).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GMean returns the geometric mean of xs. Non-positive entries are clamped
+// to a tiny positive value so a single degenerate measurement cannot zero
+// the aggregate (matching common benchmarking practice).
+func GMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x < 1e-12 {
+			x = 1e-12
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on a
+// sorted copy of xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(c))))
+	if rank < 1 {
+		rank = 1
+	}
+	return c[rank-1]
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Table renders rows as a fixed-width text table with the given header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// Add appends a row; cells beyond the header width are dropped.
+func (t *Table) Add(cells ...string) {
+	if len(cells) > len(t.Header) {
+		cells = cells[:len(t.Header)]
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddF appends a row of formatted values: strings pass through, float64
+// render with 3 decimals, integers as plain decimals.
+func (t *Table) AddF(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Add(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	w := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		w[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i := range t.Header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for i, wd := range w {
+		b.WriteString(strings.Repeat("-", wd))
+		if i != len(w)-1 {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}

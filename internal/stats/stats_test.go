@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestGMean(t *testing.T) {
+	if !almost(GMean([]float64{1, 4}), 2) {
+		t.Errorf("gmean(1,4) = %v", GMean([]float64{1, 4}))
+	}
+	if GMean(nil) != 0 {
+		t.Error("empty gmean should be 0")
+	}
+	// Non-positive entries clamp rather than zeroing the aggregate.
+	if GMean([]float64{0, 4}) <= 0 {
+		t.Error("gmean with zero entry should stay positive")
+	}
+}
+
+func TestGMeanPropertyBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := math.Abs(r)
+			if v < 1e-6 || math.IsNaN(v) || math.IsInf(v, 0) || v > 1e6 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("app", "slowdown")
+	tb.AddF("lbm", 1.234567)
+	tb.AddF("radix", 2)
+	s := tb.String()
+	for _, want := range []string{"app", "slowdown", "lbm", "1.235", "radix", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	if got := len(strings.Split(strings.TrimSpace(s), "\n")); got != 4 {
+		t.Errorf("table has %d lines, want 4", got)
+	}
+}
+
+func TestTableRowWiderThanHeaderTruncates(t *testing.T) {
+	tb := NewTable("one")
+	tb.Add("a", "b", "c")
+	if len(tb.Rows[0]) != 1 {
+		t.Errorf("row width = %d, want 1", len(tb.Rows[0]))
+	}
+}

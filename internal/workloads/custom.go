@@ -1,0 +1,322 @@
+package workloads
+
+import "cwsp/internal/ir"
+
+// while emits: for cond() != 0 { body() }. cond runs in the loop header and
+// must produce its register there.
+func (k *kb) while(cond func() ir.Reg, body func()) {
+	fb := k.fb
+	head := fb.AddBlock("whead")
+	bodyB := fb.AddBlock("wbody")
+	exit := fb.AddBlock("wexit")
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	c := cond()
+	fb.Br(ir.R(c), bodyB, exit)
+	fb.SetBlock(bodyB)
+	body()
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+}
+
+// buildRadix models SPLASH3 radix sort: per pass, histogram random keys
+// into 256 buckets (read-modify-writes on a hot small table), then scatter
+// the keys with sequential reads and near-sequential bucket-ordered writes
+// — the repeated-write pattern the paper blames for radix's overhead.
+func buildRadix(s Scale) *ir.Program {
+	keys := int64(24_000) / s.Div
+	if keys < 256 {
+		keys = 256
+	}
+	prog := ir.NewProgram("radix")
+	prog.Entry = "main"
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	k := &kb{fb: fb}
+
+	const (
+		keySeg = segStream // input keys
+		bucket = segMisc   // 256 bucket counters
+		outSeg = segRand   // scatter destination
+	)
+
+	rng := fb.Reg()
+	fb.ConstInto(rng, 0x1E3779B97F4A7C15)
+
+	// Generate keys (sequential writes).
+	k.loop(ir.Imm(keys), func(i ir.Reg) {
+		k.lcg(rng)
+		v := fb.Bin(ir.OpShr, ir.R(rng), ir.Imm(13))
+		off := fb.Bin(ir.OpShl, ir.R(i), ir.Imm(3))
+		a := k.addrOf(keySeg, off)
+		fb.Store(ir.R(v), ir.R(a), 0)
+	})
+
+	acc := fb.Const(0)
+	for pass := 0; pass < 2; pass++ {
+		shift := int64(pass * 8)
+		// Histogram: RMW on a hot 256-entry table.
+		k.loop(ir.Imm(keys), func(i ir.Reg) {
+			off := fb.Bin(ir.OpShl, ir.R(i), ir.Imm(3))
+			a := k.addrOf(keySeg, off)
+			v := fb.Load(ir.R(a), 0)
+			d := fb.Bin(ir.OpShr, ir.R(v), ir.Imm(shift))
+			d2 := fb.Bin(ir.OpAnd, ir.R(d), ir.Imm(255))
+			boff := fb.Bin(ir.OpShl, ir.R(d2), ir.Imm(3))
+			ba := k.addrOf(bucket+int64(pass)*4096, boff)
+			cnt := fb.Load(ir.R(ba), 0)
+			cnt2 := fb.Add(ir.R(cnt), ir.Imm(1))
+			fb.Store(ir.R(cnt2), ir.R(ba), 0)
+		})
+		// Scatter: sequential read, bucket-indexed write.
+		k.loop(ir.Imm(keys), func(i ir.Reg) {
+			off := fb.Bin(ir.OpShl, ir.R(i), ir.Imm(3))
+			a := k.addrOf(keySeg, off)
+			v := fb.Load(ir.R(a), 0)
+			d := fb.Bin(ir.OpShr, ir.R(v), ir.Imm(shift))
+			d2 := fb.Bin(ir.OpAnd, ir.R(d), ir.Imm(255))
+			slot := fb.Mul(ir.R(d2), ir.Imm(keys/256+1))
+			mix := fb.Bin(ir.OpAnd, ir.R(i), ir.Imm(63))
+			slot2 := fb.Add(ir.R(slot), ir.R(mix))
+			woff := fb.Bin(ir.OpShl, ir.R(slot2), ir.Imm(3))
+			wa := k.addrOf(outSeg+int64(pass)*8*keys, woff)
+			fb.Store(ir.R(v), ir.R(wa), 0)
+			fb.BinInto(ir.OpAdd, acc, ir.R(acc), ir.R(v))
+		})
+	}
+	fb.Emit(ir.R(acc))
+	fb.Ret(ir.R(acc))
+	prog.Add(fb.MustDone())
+	return prog
+}
+
+// buildTree models the WHISPER index structures (ctree "pc", rbtree "rb",
+// STAMP vacation): a binary search tree built by pointer-chasing inserts
+// into a node pool, then a lookup phase. Node: [0]=key [8]=left [16]=right.
+func buildTree(name string, inserts, lookups int64, computeDensity int) *ir.Program {
+	if inserts < 16 {
+		inserts = 16
+	}
+	if lookups < 16 {
+		lookups = 16
+	}
+	prog := ir.NewProgram(name)
+	prog.Entry = "main"
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	k := &kb{fb: fb}
+
+	const (
+		pool     = segChase // node pool
+		nodeSize = 64       // one line per node
+		rootSlot = segMisc  // word holding root pointer
+	)
+
+	rng := fb.Reg()
+	nextNode := fb.Reg()
+	acc := fb.Reg()
+	fb.ConstInto(rng, 0x2545F4914F6CDD1D)
+	fb.ConstInto(nextNode, pool)
+	fb.ConstInto(acc, 0)
+
+	// First node becomes the root.
+	k.lcg(rng)
+	rootKey := fb.Bin(ir.OpShr, ir.R(rng), ir.Imm(20))
+	fb.Store(ir.R(rootKey), ir.R(nextNode), 0)
+	fb.Store(ir.R(nextNode), ir.Imm(rootSlot), 0)
+	fb.BinInto(ir.OpAdd, nextNode, ir.R(nextNode), ir.Imm(nodeSize))
+
+	// Insert phase.
+	k.loop(ir.Imm(inserts), func(i ir.Reg) {
+		k.lcg(rng)
+		key := fb.Bin(ir.OpShr, ir.R(rng), ir.Imm(20))
+		cur := fb.Load(ir.Imm(rootSlot), 0)
+		parent := fb.Reg()
+		goLeft := fb.Reg()
+		fb.Mov(parent, ir.R(cur))
+		fb.ConstInto(goLeft, 0)
+		k.while(func() ir.Reg {
+			return fb.Bin(ir.OpCmpNE, ir.R(cur), ir.Imm(0))
+		}, func() {
+			fb.Mov(parent, ir.R(cur))
+			ck := fb.Load(ir.R(cur), 0)
+			lt := fb.Bin(ir.OpCmpLT, ir.R(key), ir.R(ck))
+			fb.Mov(goLeft, ir.R(lt))
+			l := fb.Load(ir.R(cur), 8)
+			r := fb.Load(ir.R(cur), 16)
+			nxt := fb.Select(ir.R(lt), ir.R(l), ir.R(r))
+			fb.Mov(cur, ir.R(nxt))
+			// Key digest work per visited node (version checks, key
+			// comparison bytes) as in the real index structures.
+			k.compute(acc, 6+computeDensity)
+		})
+		// Attach a new node under parent.
+		fb.Store(ir.R(key), ir.R(nextNode), 0)
+		k.ifNZ(ir.R(goLeft), func() {
+			fb.Store(ir.R(nextNode), ir.R(parent), 8)
+		})
+		nz := fb.Bin(ir.OpCmpEQ, ir.R(goLeft), ir.Imm(0))
+		k.ifNZ(ir.R(nz), func() {
+			fb.Store(ir.R(nextNode), ir.R(parent), 16)
+		})
+		fb.BinInto(ir.OpAdd, nextNode, ir.R(nextNode), ir.Imm(nodeSize))
+		k.compute(acc, computeDensity)
+	})
+
+	// Lookup phase.
+	k.loop(ir.Imm(lookups), func(i ir.Reg) {
+		k.lcg(rng)
+		key := fb.Bin(ir.OpShr, ir.R(rng), ir.Imm(20))
+		cur := fb.Load(ir.Imm(rootSlot), 0)
+		steps := fb.Reg()
+		fb.ConstInto(steps, 0)
+		k.while(func() ir.Reg {
+			nz := fb.Bin(ir.OpCmpNE, ir.R(cur), ir.Imm(0))
+			lim := fb.Bin(ir.OpCmpLT, ir.R(steps), ir.Imm(64))
+			return fb.Bin(ir.OpAnd, ir.R(nz), ir.R(lim))
+		}, func() {
+			ck := fb.Load(ir.R(cur), 0)
+			fb.BinInto(ir.OpAdd, acc, ir.R(acc), ir.R(ck))
+			lt := fb.Bin(ir.OpCmpLT, ir.R(key), ir.R(ck))
+			l := fb.Load(ir.R(cur), 8)
+			r := fb.Load(ir.R(cur), 16)
+			nxt := fb.Select(ir.R(lt), ir.R(l), ir.R(r))
+			fb.Mov(cur, ir.R(nxt))
+			fb.BinInto(ir.OpAdd, steps, ir.R(steps), ir.Imm(1))
+			k.compute(acc, 4+computeDensity)
+		})
+	})
+
+	fb.Emit(ir.R(acc))
+	fb.Ret(ir.R(acc))
+	prog.Add(fb.MustDone())
+	return prog
+}
+
+// buildTx models the WHISPER database benchmarks (TATP, TPC-C): each
+// transaction takes a lock (atomic), reads and updates several random rows
+// through a helper function, and releases the lock — short failure-atomic
+// sections over a large table.
+func buildTx(name string, txs int64, rowsPerTx int, tableWords int64) *ir.Program {
+	if txs < 8 {
+		txs = 8
+	}
+	prog := ir.NewProgram(name)
+	prog.Entry = "main"
+
+	// updateRow(rowAddr, delta): validate the row's checksum fields, apply
+	// the update, and rewrite the digest — the per-row work of a real OLTP
+	// record update.
+	ub := ir.NewFunc("updateRow", 2)
+	ub.NewBlock("entry")
+	v := ub.Load(ir.R(ub.Param(0)), 0)
+	f1 := ub.Load(ir.R(ub.Param(0)), 16)
+	f2 := ub.Load(ir.R(ub.Param(0)), 24)
+	dig := ub.Bin(ir.OpXor, ir.R(f1), ir.R(f2))
+	dig2 := ub.Mul(ir.R(dig), ir.Imm(0x100000001B3))
+	dig3 := ub.Bin(ir.OpXor, ir.R(dig2), ir.R(v))
+	dig4 := ub.Mul(ir.R(dig3), ir.Imm(0x100000001B3))
+	dig5 := ub.Bin(ir.OpShr, ir.R(dig4), ir.Imm(7))
+	dig6 := ub.Bin(ir.OpXor, ir.R(dig5), ir.R(dig4))
+	dig7 := ub.Mul(ir.R(dig6), ir.Imm(33))
+	dig8 := ub.Add(ir.R(dig7), ir.R(dig4))
+	nv := ub.Add(ir.R(v), ir.R(ub.Param(1)))
+	ub.Store(ir.R(nv), ir.R(ub.Param(0)), 0)
+	x := ub.Bin(ir.OpXor, ir.R(nv), ir.R(dig8))
+	ub.Store(ir.R(x), ir.R(ub.Param(0)), 8)
+	ub.Ret(ir.R(x))
+	prog.Add(ub.MustDone())
+
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	k := &kb{fb: fb}
+
+	const (
+		table = segRand
+		lock  = segMisc
+	)
+
+	rng := fb.Reg()
+	acc := fb.Reg()
+	fb.ConstInto(rng, 0x5A3E39CB94B95BDB)
+	fb.ConstInto(acc, 0)
+
+	k.loop(ir.Imm(txs), func(i ir.Reg) {
+		// Begin: lock acquire (an atomic -> persist-ordering point).
+		fb.AtomicAdd(ir.Imm(lock), 0, ir.Imm(1))
+		for r := 0; r < rowsPerTx; r++ {
+			k.lcg(rng)
+			off := k.index(rng, tableWords)
+			// Align to a 2-word row.
+			off2 := fb.Bin(ir.OpAnd, ir.R(off), ir.Imm(^int64(15)))
+			a := k.addrOf(table, off2)
+			rv := fb.Call("updateRow", ir.R(a), ir.R(acc))
+			fb.BinInto(ir.OpAdd, acc, ir.R(acc), ir.R(rv))
+		}
+		// Commit: release is a plain store (the acquire's drain already
+		// ordered everything; DRF readers synchronize on the next acquire).
+		fb.Store(ir.R(i), ir.Imm(lock), 8)
+	})
+
+	fb.Emit(ir.R(acc))
+	fb.Ret(ir.R(acc))
+	prog.Add(fb.MustDone())
+	return prog
+}
+
+// buildKmeans models STAMP kmeans: stream points, accumulate into a hot
+// centroid table (read-modify-writes), with an atomic membership counter.
+func buildKmeans(name string, points int64) *ir.Program {
+	if points < 16 {
+		points = 16
+	}
+	prog := ir.NewProgram(name)
+	prog.Entry = "main"
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	k := &kb{fb: fb}
+
+	const (
+		pts       = segStream
+		centroids = segMisc
+		nClusters = 16
+		dims      = 4
+	)
+
+	rng := fb.Reg()
+	acc := fb.Reg()
+	fb.ConstInto(rng, 0x2F251AF3B0F025B5)
+	fb.ConstInto(acc, 0)
+
+	k.loop(ir.Imm(points), func(i ir.Reg) {
+		// Read a "point" (sequential, stride one line).
+		off := fb.Bin(ir.OpShl, ir.R(i), ir.Imm(6))
+		pa := k.addrOf(pts, off)
+		pv := fb.Load(ir.R(pa), 0)
+		// Pick the cluster (hash of value + rng).
+		k.lcg(rng)
+		h := fb.Bin(ir.OpXor, ir.R(pv), ir.R(rng))
+		cl := fb.Bin(ir.OpAnd, ir.R(h), ir.Imm(nClusters-1))
+		cOff := fb.Mul(ir.R(cl), ir.Imm(dims*8))
+		// Accumulate dims words (RMW on the hot table).
+		for d := 0; d < dims; d++ {
+			ca := k.addrOf(centroids, cOff)
+			cv := fb.Load(ir.R(ca), int64(d*8))
+			cv2 := fb.Add(ir.R(cv), ir.R(pv))
+			fb.Store(ir.R(cv2), ir.R(ca), int64(d*8))
+		}
+		// Membership counter.
+		em := fb.Bin(ir.OpAnd, ir.R(i), ir.Imm(255))
+		z := fb.Bin(ir.OpCmpEQ, ir.R(em), ir.Imm(0))
+		k.ifNZ(ir.R(z), func() {
+			fb.AtomicAdd(ir.Imm(centroids+4096), 0, ir.Imm(1))
+		})
+		fb.BinInto(ir.OpAdd, acc, ir.R(acc), ir.R(pv))
+		k.compute(acc, 3)
+	})
+
+	fb.Emit(ir.R(acc))
+	fb.Ret(ir.R(acc))
+	prog.Add(fb.MustDone())
+	return prog
+}

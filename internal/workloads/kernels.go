@@ -1,0 +1,246 @@
+package workloads
+
+import "cwsp/internal/ir"
+
+// kb wraps FuncBuilder with the structured-control helpers the workload
+// kernels are written in.
+type kb struct {
+	fb *ir.FuncBuilder
+}
+
+// loop emits: for i := 0; i < trip; i++ { body(i) }.
+func (k *kb) loop(trip ir.Operand, body func(i ir.Reg)) {
+	fb := k.fb
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	head := fb.AddBlock("head")
+	bodyB := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), trip)
+	fb.Br(ir.R(c), bodyB, exit)
+	fb.SetBlock(bodyB)
+	body(i)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+}
+
+// ifNZ emits: if cond != 0 { then() }.
+func (k *kb) ifNZ(cond ir.Operand, then func()) {
+	fb := k.fb
+	thenB := fb.AddBlock("then")
+	join := fb.AddBlock("join")
+	fb.Br(cond, thenB, join)
+	fb.SetBlock(thenB)
+	then()
+	fb.Jmp(join)
+	fb.SetBlock(join)
+}
+
+// lcg steps a linear congruential generator register in place and returns
+// it for convenience.
+func (k *kb) lcg(state ir.Reg) ir.Reg {
+	fb := k.fb
+	a := fb.Mul(ir.R(state), ir.Imm(6364136223846793005))
+	fb.BinInto(ir.OpAdd, state, ir.R(a), ir.Imm(1442695040888963407))
+	return state
+}
+
+// index derives a word index in [0, maskWords) from the LCG state
+// (maskWords must be a power of two) and returns the byte offset register.
+func (k *kb) index(state ir.Reg, maskWords int64) ir.Reg {
+	fb := k.fb
+	sh := fb.Bin(ir.OpShr, ir.R(state), ir.Imm(17))
+	idx := fb.Bin(ir.OpAnd, ir.R(sh), ir.Imm(maskWords-1))
+	return fb.Bin(ir.OpShl, ir.R(idx), ir.Imm(3))
+}
+
+// addrOf returns base+offsetReg as a register.
+func (k *kb) addrOf(base int64, off ir.Reg) ir.Reg {
+	return k.fb.Bin(ir.OpAdd, ir.Imm(base), ir.R(off))
+}
+
+// compute burns n dependent ALU ops on acc (models computation density).
+func (k *kb) compute(acc ir.Reg, n int) {
+	fb := k.fb
+	for j := 0; j < n; j++ {
+		switch j % 3 {
+		case 0:
+			fb.BinInto(ir.OpMul, acc, ir.R(acc), ir.Imm(33))
+		case 1:
+			fb.BinInto(ir.OpXor, acc, ir.R(acc), ir.Imm(0x5bd1e995))
+		case 2:
+			fb.BinInto(ir.OpAdd, acc, ir.R(acc), ir.Imm(7))
+		}
+	}
+}
+
+// MixParams drives the generic parametric kernel that expresses most of
+// the 37 applications: a streaming phase over a large segment, a
+// random-access phase over another, pointer chasing over a linked ring,
+// and optional read-modify-writes, atomics, and helper-function calls.
+// Counts are in accesses; fractions are per-16 (0..16).
+type MixParams struct {
+	// Streaming phase (lbm/libquantum/milc-like).
+	StreamWords  int64 // segment size in words (power of two)
+	StreamIters  int64 // streamed accesses (stride 8 words = one per line)
+	StreamStores int   // per-16 fraction of streamed accesses that store
+
+	// Random phase (astar/xsbench/sps-like).
+	RandWords  int64 // segment size in words (power of two)
+	RandIters  int64
+	RandStores int // per-16 fraction of random accesses that store
+	RandRMW    int // per-16 fraction that read-modify-write (antidependence)
+
+	// Pointer chase (raytrace/leela-like). 0 disables.
+	ChaseNodes int64 // power of two
+	ChaseIters int64
+
+	// Computation density: ALU ops per access.
+	Compute int
+
+	// AtomicEvery inserts an atomic fetch-add on a shared counter every N
+	// random-phase iterations (0 = never).
+	AtomicEvery int64
+
+	// CallEvery calls a small helper function every N random-phase
+	// iterations (0 = never), exercising the spill/restore convention.
+	CallEvery int64
+}
+
+// Segment bases (64 MiB apart: distinct alias sites, distinct pages).
+const (
+	segStream = 0x1_0000_0000
+	segRand   = 0x1_4000_0000
+	segChase  = 0x1_8000_0000
+	segMisc   = 0x1_C000_0000
+)
+
+// buildMix constructs the parametric kernel program.
+func buildMix(name string, p MixParams) *ir.Program {
+	prog := ir.NewProgram(name)
+	prog.Entry = "main"
+
+	// helper(x, y) — a leaf with a little memory traffic of its own.
+	hb := ir.NewFunc("helper", 2)
+	hb.NewBlock("entry")
+	hv := hb.Load(ir.R(hb.Param(0)), 0)
+	s := hb.Add(ir.R(hv), ir.R(hb.Param(1)))
+	hb.Store(ir.R(s), ir.R(hb.Param(0)), 8)
+	r := hb.Mul(ir.R(s), ir.Imm(2654435761))
+	hb.Ret(ir.R(r))
+	prog.Add(hb.MustDone())
+
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	k := &kb{fb: fb}
+
+	acc := fb.Reg()
+	rng := fb.Reg()
+	fb.ConstInto(acc, 1)
+	fb.ConstInto(rng, 88172645463325252)
+
+	// Phase 0: seed the chase ring: node i -> (i*stride+1) mod nodes.
+	if p.ChaseNodes > 0 {
+		k.loop(ir.Imm(p.ChaseNodes), func(i ir.Reg) {
+			nx := fb.Mul(ir.R(i), ir.Imm(797))
+			nx2 := fb.Add(ir.R(nx), ir.Imm(1))
+			nx3 := fb.Bin(ir.OpAnd, ir.R(nx2), ir.Imm(p.ChaseNodes-1))
+			off := fb.Bin(ir.OpShl, ir.R(i), ir.Imm(3))
+			a := k.addrOf(segChase, off)
+			v := fb.Bin(ir.OpShl, ir.R(nx3), ir.Imm(3))
+			fb.Store(ir.R(v), ir.R(a), 0)
+		})
+	}
+
+	// Phase 1: streaming sweep, stride 8 words (one access per line).
+	if p.StreamIters > 0 {
+		pos := fb.Reg()
+		fb.ConstInto(pos, 0)
+		k.loop(ir.Imm(p.StreamIters), func(i ir.Reg) {
+			off := fb.Bin(ir.OpShl, ir.R(pos), ir.Imm(6)) // *64 bytes
+			a := k.addrOf(segStream, off)
+			mod := fb.Bin(ir.OpAnd, ir.R(i), ir.Imm(15))
+			doStore := fb.Bin(ir.OpCmpLT, ir.R(mod), ir.Imm(int64(p.StreamStores)))
+			k.ifNZ(ir.R(doStore), func() {
+				fb.Store(ir.R(acc), ir.R(a), 0)
+			})
+			v := fb.Load(ir.R(a), 8)
+			fb.BinInto(ir.OpAdd, acc, ir.R(acc), ir.R(v))
+			k.compute(acc, p.Compute)
+			fb.BinInto(ir.OpAdd, pos, ir.R(pos), ir.Imm(1))
+			lim := p.StreamWords / 8
+			if lim < 1 {
+				lim = 1
+			}
+			wrapped := fb.Bin(ir.OpCmpGE, ir.R(pos), ir.Imm(lim))
+			k.ifNZ(ir.R(wrapped), func() {
+				fb.ConstInto(pos, 0)
+			})
+		})
+	}
+
+	// Phase 2: random accesses.
+	if p.RandIters > 0 {
+		k.loop(ir.Imm(p.RandIters), func(i ir.Reg) {
+			k.lcg(rng)
+			off := k.index(rng, p.RandWords)
+			a := k.addrOf(segRand, off)
+			mod := fb.Bin(ir.OpAnd, ir.R(rng), ir.Imm(15))
+			isRMW := fb.Bin(ir.OpCmpLT, ir.R(mod), ir.Imm(int64(p.RandRMW)))
+			isStore := fb.Bin(ir.OpCmpLT, ir.R(mod), ir.Imm(int64(p.RandRMW+p.RandStores)))
+			k.ifNZ(ir.R(isRMW), func() {
+				v := fb.Load(ir.R(a), 0)
+				v2 := fb.Add(ir.R(v), ir.R(acc))
+				fb.Store(ir.R(v2), ir.R(a), 0)
+			})
+			notRMW := fb.Bin(ir.OpCmpEQ, ir.R(isRMW), ir.Imm(0))
+			doPlain := fb.Bin(ir.OpAnd, ir.R(isStore), ir.R(notRMW))
+			k.ifNZ(ir.R(doPlain), func() {
+				fb.Store(ir.R(acc), ir.R(a), 0)
+			})
+			k.ifNZ(ir.R(notRMW), func() {
+				v := fb.Load(ir.R(a), 0)
+				fb.BinInto(ir.OpAdd, acc, ir.R(acc), ir.R(v))
+			})
+			k.compute(acc, p.Compute)
+			if p.AtomicEvery > 0 {
+				em := fb.Bin(ir.OpRem, ir.R(i), ir.Imm(p.AtomicEvery))
+				z := fb.Bin(ir.OpCmpEQ, ir.R(em), ir.Imm(0))
+				k.ifNZ(ir.R(z), func() {
+					fb.AtomicAdd(ir.Imm(segMisc), 0, ir.Imm(1))
+				})
+			}
+			if p.CallEvery > 0 {
+				em := fb.Bin(ir.OpRem, ir.R(i), ir.Imm(p.CallEvery))
+				z := fb.Bin(ir.OpCmpEQ, ir.R(em), ir.Imm(0))
+				k.ifNZ(ir.R(z), func() {
+					rv := fb.Call("helper", ir.Imm(segMisc+64), ir.R(acc))
+					fb.BinInto(ir.OpXor, acc, ir.R(acc), ir.R(rv))
+				})
+			}
+		})
+	}
+
+	// Phase 3: pointer chase. Each visited node also yields payload work,
+	// as in real search/traversal kernels.
+	if p.ChaseIters > 0 && p.ChaseNodes > 0 {
+		cur := fb.Reg()
+		fb.ConstInto(cur, 0)
+		k.loop(ir.Imm(p.ChaseIters), func(i ir.Reg) {
+			a := k.addrOf(segChase, cur)
+			payload := fb.Load(ir.R(a), 8)
+			fb.BinInto(ir.OpXor, acc, ir.R(acc), ir.R(payload))
+			fb.LoadInto(cur, ir.R(a), 0)
+			fb.BinInto(ir.OpAdd, acc, ir.R(acc), ir.R(cur))
+			k.compute(acc, p.Compute+4)
+		})
+	}
+
+	fb.Emit(ir.R(acc))
+	fb.Ret(ir.R(acc))
+	prog.Add(fb.MustDone())
+	return prog
+}

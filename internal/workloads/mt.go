@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"cwsp/internal/ir"
+)
+
+// MT addresses (shared lock/counters plus per-thread private segments).
+const (
+	MTLockAddr = int64(0x2000_0000)
+	MTCntAddr  = int64(0x2000_0040)
+	MTSumAddr  = int64(0x2000_0080)
+	MTPrivBase = int64(0x2100_0000)
+)
+
+// BuildMTWorker builds the multi-threaded lock benchmark: worker(tid,
+// iters) repeatedly (1) acquires a CAS spinlock, (2) updates a shared
+// counter and checksum (commutative, so the final state is
+// interleaving-independent), (3) releases, and (4) does private streaming
+// work. It models the SPLASH3/STAMP critical-section pattern the paper
+// runs on its 8-core machine.
+func BuildMTWorker() *ir.Program {
+	fb := ir.NewFunc("worker", 2)
+	tid := fb.Param(0)
+	iters := fb.Param(1)
+
+	fb.NewBlock("entry")
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.Jmp(head)
+
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.R(iters))
+	fb.Br(ir.R(c), body, exit)
+
+	fb.SetBlock(body)
+	spin := fb.AddBlock("spin")
+	crit := fb.AddBlock("crit")
+	fb.Jmp(spin)
+	fb.SetBlock(spin)
+	old := fb.AtomicCAS(ir.Imm(MTLockAddr), 0, ir.Imm(0), ir.Imm(1))
+	got := fb.Bin(ir.OpCmpEQ, ir.R(old), ir.Imm(0))
+	fb.Br(ir.R(got), crit, spin)
+
+	fb.SetBlock(crit)
+	cv := fb.Load(ir.Imm(MTCntAddr), 0)
+	cv2 := fb.Add(ir.R(cv), ir.Imm(1))
+	fb.Store(ir.R(cv2), ir.Imm(MTCntAddr), 0)
+	sv := fb.Load(ir.Imm(MTSumAddr), 0)
+	inc := fb.Add(ir.R(tid), ir.Imm(3))
+	sv2 := fb.Add(ir.R(sv), ir.R(inc))
+	fb.Store(ir.R(sv2), ir.Imm(MTSumAddr), 0)
+	fb.AtomicXchg(ir.Imm(MTLockAddr), 0, ir.Imm(0))
+
+	// Private streaming phase between critical sections.
+	pb := fb.Mul(ir.R(tid), ir.Imm(1<<20))
+	base := fb.Add(ir.Imm(MTPrivBase), ir.R(pb))
+	j := fb.Reg()
+	fb.ConstInto(j, 0)
+	ph := fb.AddBlock("ph")
+	pbody := fb.AddBlock("pbody")
+	pex := fb.AddBlock("pex")
+	fb.Jmp(ph)
+	fb.SetBlock(ph)
+	pc := fb.Bin(ir.OpCmpLT, ir.R(j), ir.Imm(24))
+	fb.Br(ir.R(pc), pbody, pex)
+	fb.SetBlock(pbody)
+	mix := fb.Mul(ir.R(i), ir.Imm(24))
+	slot := fb.Add(ir.R(mix), ir.R(j))
+	off := fb.Bin(ir.OpShl, ir.R(slot), ir.Imm(3))
+	pa := fb.Add(ir.R(base), ir.R(off))
+	pv := fb.Mul(ir.R(slot), ir.R(inc))
+	fb.Store(ir.R(pv), ir.R(pa), 0)
+	fb.BinInto(ir.OpAdd, j, ir.R(j), ir.Imm(1))
+	fb.Jmp(ph)
+	fb.SetBlock(pex)
+
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+
+	fb.SetBlock(exit)
+	fb.Ret(ir.R(i))
+
+	p := ir.NewProgram("mtworker")
+	p.Add(fb.MustDone())
+	p.Entry = "worker"
+	return p
+}
