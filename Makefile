@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench repro repro-quick examples clean
+.PHONY: all build test test-short bench repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -32,6 +32,15 @@ examples:
 	$(GO) run ./examples/kvstore
 	$(GO) run ./examples/minic
 	$(GO) run ./examples/sweep
+
+# Export a Perfetto trace of the kvstore example's cWSP run
+# (open kvstore-trace.json in ui.perfetto.dev).
+trace:
+	$(GO) run ./examples/kvstore -trace-perfetto kvstore-trace.json
+
+# Export the kvstore run's telemetry manifest and sampled time series.
+metrics:
+	$(GO) run ./examples/kvstore -metrics-out kvstore-metrics.json -timeseries kvstore-series.csv
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cwsp/internal/bench"
+	"cwsp/internal/telemetry"
 	"cwsp/internal/workloads"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		scale   = flag.String("scale", "quick", "workload scale: smoke, quick, full")
 		perApp  = flag.Bool("per-app", false, "per-application rows where the paper aggregates")
 		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
+		metOut  = flag.String("metrics-out", "", "also collect every report into a versioned manifest JSON file")
 		verbose = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -57,6 +59,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	var reports []telemetry.BenchReport
 	for _, id := range ids {
 		e, err := bench.ByID(id)
 		if err != nil {
@@ -72,6 +75,25 @@ func main() {
 		} else {
 			fmt.Print(rep.Table())
 			fmt.Printf("(%s in %v at %s scale)\n\n", id, time.Since(start).Round(time.Millisecond), opt.Scale.Name)
+		}
+		if *metOut != "" {
+			reports = append(reports, rep.TelemetryReport())
+		}
+	}
+
+	if *metOut != "" {
+		man := telemetry.NewManifest("cwspbench")
+		man.Scale = opt.Scale.Name
+		man.Reports = reports
+		fh, err := os.Create(*metOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := man.Write(fh); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
 		}
 	}
 }

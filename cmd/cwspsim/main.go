@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +38,10 @@ func main() {
 		irFile  = flag.String("ir", "", "run a program from a text-IR file (see cwspc -emit-ir) instead of -w")
 		traceTo = flag.String("trace", "", "write a machine event trace (regions/persists/syncs/calls) to this file")
 		traceN  = flag.Int64("trace-limit", 100000, "maximum trace events")
+		perfTo  = flag.String("trace-perfetto", "", "write a Chrome trace-event JSON (loadable in ui.perfetto.dev) to this file")
+		metOut  = flag.String("metrics-out", "", "write a versioned run manifest (config, stats, histograms, series) to this JSON file")
+		tsOut   = flag.String("timeseries", "", "write the sampled telemetry time series as CSV to this file")
+		smplIv  = flag.Int64("sample-interval", 4096, "telemetry sampling interval in cycles (with -metrics-out/-timeseries)")
 	)
 	flag.Parse()
 	if *wName == "" && *mt == 0 && *irFile == "" {
@@ -102,22 +107,94 @@ func main() {
 		}
 	}
 
-	var tracer sim.Tracer
+	// Trace output is buffered; fatal() calls os.Exit, so flushes are
+	// collected and run explicitly after the run rather than deferred.
+	var tracers sim.MultiTracer
+	var flushes []func() error
 	if *traceTo != "" {
 		fh, err := os.Create(*traceTo)
 		if err != nil {
 			fatal(err)
 		}
-		defer fh.Close()
-		tracer = &sim.WriteTracer{W: fh, Limit: *traceN}
+		bw := bufio.NewWriter(fh)
+		tracers = append(tracers, &sim.WriteTracer{W: bw, Limit: *traceN})
+		flushes = append(flushes, func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return fh.Close()
+		})
+	}
+	if *perfTo != "" {
+		fh, err := os.Create(*perfTo)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(fh)
+		pt := sim.NewPerfettoTracer(bw)
+		pt.SetLimit(*traceN)
+		tracers = append(tracers, pt)
+		flushes = append(flushes, func() error {
+			if err := pt.Close(); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return fh.Close()
+		})
+	}
+	var tracer sim.Tracer
+	switch len(tracers) {
+	case 0:
+	case 1:
+		tracer = tracers[0]
+	default:
+		tracer = tracers
 	}
 
-	st := runOne(run, cfg, sch, specs, tracer)
+	telemetryOn := *metOut != "" || *tsOut != ""
+	m, st := runOne(run, cfg, sch, specs, tracer, telemetryOn, *smplIv)
+	for _, fl := range flushes {
+		if err := fl(); err != nil {
+			fatal(err)
+		}
+	}
+	if *metOut != "" {
+		man, err := m.BuildManifest("cwspsim", name, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fh, err := os.Create(*metOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := man.Write(fh); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *tsOut != "" {
+		fh, err := os.Create(*tsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Telemetry().WriteSeriesCSV(fh); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(map[string]interface{}{
 			"workload": name, "scheme": sch.Name, "stats": st,
+			"derived": st.Derived(),
 		}); err != nil {
 			fatal(err)
 		}
@@ -126,7 +203,7 @@ func main() {
 	}
 
 	if *compare {
-		base := runOne(prog, cfg, sim.Baseline(), specs, nil)
+		_, base := runOne(prog, cfg, sim.Baseline(), specs, nil, false, 0)
 		if !*jsonOut {
 			printStats(name, "base", base)
 		}
@@ -134,23 +211,26 @@ func main() {
 	}
 }
 
-func runOne(p *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, tracer sim.Tracer) sim.Stats {
+func runOne(p *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, tracer sim.Tracer, telemetry bool, sampleIv int64) (*sim.Machine, sim.Stats) {
 	m, err := sim.NewThreaded(p, cfg, sch, specs)
 	if err != nil {
 		fatal(err)
+	}
+	if telemetry {
+		m.EnableTelemetry(sim.TelemetryOptions{SampleInterval: sampleIv})
 	}
 	m.SetTracer(tracer)
 	res, err := m.Run()
 	if err != nil {
 		fatal(err)
 	}
-	return res.Stats
+	return m, res.Stats
 }
 
 func printStats(app, scheme string, s sim.Stats) {
 	fmt.Printf("== %s under %s ==\n", app, scheme)
 	fmt.Printf("cycles            %12d\n", s.Cycles)
-	fmt.Printf("instructions      %12d (IPC %.2f)\n", s.Instrs, float64(s.Instrs)/float64(s.Cycles))
+	fmt.Printf("instructions      %12d (IPC %.2f)\n", s.Instrs, s.IPC())
 	fmt.Printf("loads/stores      %12d / %d\n", s.Loads, s.Stores)
 	fmt.Printf("regions           %12d (%.1f instr/region)\n", s.Regions, s.IPR())
 	fmt.Printf("checkpoint stores %12d\n", s.Ckpts)

@@ -6,8 +6,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"cwsp"
 	"cwsp/internal/ir"
@@ -124,6 +126,13 @@ func buildKV() *cwsp.Program {
 }
 
 func main() {
+	var (
+		perfTo = flag.String("trace-perfetto", "", "write a Perfetto trace of the cWSP run to this file")
+		metOut = flag.String("metrics-out", "", "write the cWSP run's telemetry manifest to this JSON file")
+		tsOut  = flag.String("timeseries", "", "write the cWSP run's sampled time series as CSV to this file")
+	)
+	flag.Parse()
+
 	prog := buildKV()
 	compiled, rep, err := cwsp.Compile(prog)
 	if err != nil {
@@ -149,6 +158,13 @@ func main() {
 		fmt.Printf("%-12s %10d cycles  (slowdown %.3f)\n", name, res.Stats.Cycles, res.Stats.Slowdown(base.Stats))
 	}
 
+	// One more cWSP run with the observability hooks attached, when asked.
+	if *perfTo != "" || *metOut != "" || *tsOut != "" {
+		if err := observedRun(compiled, cfg, *perfTo, *metOut, *tsOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// Crash-test the store under cWSP.
 	specs := []sim.ThreadSpec{{Fn: "main"}}
 	fail, checked, err := recovery.Sweep(compiled, cfg, sim.CWSP(), specs, 20)
@@ -160,4 +176,68 @@ func main() {
 		return
 	}
 	fmt.Printf("\ncrash-tested: %d power-failure points, all recovered to the exact table state\n", checked)
+}
+
+// observedRun repeats the cWSP run with telemetry and/or Perfetto tracing
+// enabled and writes the requested artifacts.
+func observedRun(compiled *cwsp.Program, cfg cwsp.Config, perfTo, metOut, tsOut string) error {
+	m, err := sim.New(compiled, cfg, sim.CWSP())
+	if err != nil {
+		return err
+	}
+	if metOut != "" || tsOut != "" {
+		m.EnableTelemetry(sim.TelemetryOptions{SampleInterval: 1024})
+	}
+	var pt *sim.PerfettoTracer
+	var pfh *os.File
+	if perfTo != "" {
+		if pfh, err = os.Create(perfTo); err != nil {
+			return err
+		}
+		pt = sim.NewPerfettoTracer(pfh)
+		m.SetTracer(pt)
+	}
+	if _, err := m.Run(); err != nil {
+		return err
+	}
+	if pt != nil {
+		if err := pt.Close(); err != nil {
+			return err
+		}
+		if err := pfh.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Perfetto trace to %s (open in ui.perfetto.dev)\n", perfTo)
+	}
+	if metOut != "" {
+		man, err := m.BuildManifest("kvstore", "kvstore", "")
+		if err != nil {
+			return err
+		}
+		fh, err := os.Create(metOut)
+		if err != nil {
+			return err
+		}
+		if err := man.Write(fh); err != nil {
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote telemetry manifest to %s\n", metOut)
+	}
+	if tsOut != "" {
+		fh, err := os.Create(tsOut)
+		if err != nil {
+			return err
+		}
+		if err := m.Telemetry().WriteSeriesCSV(fh); err != nil {
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote time series to %s\n", tsOut)
+	}
+	return nil
 }

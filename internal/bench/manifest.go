@@ -1,0 +1,24 @@
+package bench
+
+import "cwsp/internal/telemetry"
+
+// TelemetryReport converts the report into the manifest schema's report
+// shape: suite-qualified row labels, same columns and summary. Used by
+// cwspbench -metrics-out to collect whole-evaluation runs into one
+// machine-readable artifact.
+func (r *Report) TelemetryReport() telemetry.BenchReport {
+	out := telemetry.BenchReport{
+		ID:      r.ID,
+		Title:   r.Title,
+		Columns: r.Columns,
+		Summary: r.Summary,
+	}
+	for _, row := range r.Rows {
+		label := row.Label
+		if row.Suite != "" {
+			label = row.Suite + "/" + row.Label
+		}
+		out.Rows = append(out.Rows, telemetry.BenchRow{Label: label, Vals: row.Vals})
+	}
+	return out
+}

@@ -17,6 +17,8 @@ type WriteBuffer struct {
 	entryCycles float64
 	Delayed     int64 // drains held back by the persist-path check
 	FullStall   int64 // cycles the core stalled on a full WB
+	Drained     int64 // entries that completed their drain to L2
+	PeakOcc     int   // high-water mark of resident entries
 }
 
 // NewWriteBuffer builds a buffer of capacity entries whose entries take
@@ -31,6 +33,7 @@ func (w *WriteBuffer) gc(now int64) {
 		i++
 	}
 	if i > 0 {
+		w.Drained += int64(i)
 		w.drainDone = w.drainDone[i:]
 	}
 }
@@ -70,6 +73,9 @@ func (w *WriteBuffer) Insert(now int64, persistReady int64) int64 {
 	}
 	done := start + w.drainLat
 	w.drainDone = append(w.drainDone, done)
+	if len(w.drainDone) > w.PeakOcc {
+		w.PeakOcc = len(w.drainDone)
+	}
 	w.account(now, done)
 	return now
 }

@@ -87,6 +87,30 @@ func (w *WPQ) Admit(arrival int64, addr int64, bytes int) (admit, drain int64) {
 	return admit, drain
 }
 
+// Occupancy returns the number of entries still in flight (admitted but
+// not yet drained to media) at cycle now. Read-only: safe for telemetry
+// sampling at any point in the schedule.
+func (w *WPQ) Occupancy(now int64) int {
+	n := 0
+	for i := 0; i < w.count; i++ {
+		if w.drainDone[(w.head+i)%w.cap] > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Backlog returns how many cycles of queued media work remain at cycle now
+// (0 when the media is idle): the distance between the last scheduled
+// drain completion and the present. This is the gauge that exposes
+// persist-path saturation long before FullWait starts accumulating.
+func (w *WPQ) Backlog(now int64) int64 {
+	if w.lastDrain > now {
+		return w.lastDrain - now
+	}
+	return 0
+}
+
 // PendingUntil returns the drain time of a pending entry covering addr, or
 // 0 when nothing is pending at cycle now. Stale map entries are collected
 // on query.
@@ -122,6 +146,9 @@ type Path struct {
 	bytesPerCycle float64
 	oneWayLat     int64
 
+	// sent distinguishes "no sends yet" from "last send was at cycle 0"
+	// so the bandwidth interval applies to every send after the first.
+	sent     bool
 	lastSend int64
 	// ackFree is a FIFO of entry deallocation times (monotone: the PB
 	// frees entries head-first, so each entry's free time is the running
@@ -182,7 +209,7 @@ func (p *Path) Send(commit int64, addr int64, bytes int, w *WPQ, numaExtra int64
 	}
 
 	send := proceed
-	if p.lastSend > 0 {
+	if p.sent {
 		interval := int64(float64(bytes) / p.bytesPerCycle)
 		if interval < 1 {
 			interval = 1
@@ -191,6 +218,7 @@ func (p *Path) Send(commit int64, addr int64, bytes int, w *WPQ, numaExtra int64
 			send = p.lastSend + interval
 		}
 	}
+	p.sent = true
 	p.lastSend = send
 
 	arrival := send + p.oneWayLat + numaExtra
@@ -239,6 +267,16 @@ func (p *Path) LinePersistTime(addr, now int64) int64 {
 func (p *Path) Occupancy(now int64) int {
 	p.gc(now)
 	return len(p.ackFree)
+}
+
+// SendBacklog returns how many cycles of persist-path send bandwidth are
+// already committed beyond cycle now (0 when the path is caught up) — the
+// depth of the serialization queue feeding the MCs.
+func (p *Path) SendBacklog(now int64) int64 {
+	if p.lastSend > now {
+		return p.lastSend - now
+	}
+	return 0
 }
 
 // RBT is one core's region boundary table: a FIFO of unretired regions'

@@ -56,6 +56,10 @@ type regionState struct {
 	info       *RegionInfo
 	persistMax int64
 	lines      map[int64]bool // for DedupLines schemes
+
+	// Telemetry-only bookkeeping (region length and checkpoint density).
+	startInstrs int64
+	ckpts       int64
 }
 
 type core struct {
@@ -108,7 +112,11 @@ type Machine struct {
 	Output []int64
 
 	tracer Tracer
-	stats  Stats
+	// tel is the optional telemetry attachment (EnableTelemetry). Every
+	// instrumentation probe is behind a nil check so the disabled path
+	// stays allocation-free.
+	tel   *Telemetry
+	stats Stats
 	// halted records that RunUntil drained every runnable core (all done
 	// or frozen at the crash cycle).
 	halted bool
@@ -237,7 +245,7 @@ func (m *Machine) openRegion(c *core, fn string, staticID int, ref ir.InstrRef, 
 	if m.Cfg.Recoverable {
 		m.Regions = append(m.Regions, ri)
 	}
-	rs := &regionState{info: ri}
+	rs := &regionState{info: ri, startInstrs: c.instrs}
 	if m.Sch.DedupLines {
 		rs.lines = map[int64]bool{}
 	}
@@ -367,6 +375,9 @@ func (m *Machine) missLatency(c *core, addr int64, write bool) int64 {
 			m.stats.WPQHits++
 			if m.Sch.WPQDelay {
 				m.stats.WPQLoadDelay += p - c.cycle
+				if m.tel != nil {
+					m.tel.StallWPQLoad.Observe(p - c.cycle)
+				}
 				c.cycle = p
 			}
 		}
@@ -384,7 +395,11 @@ func (m *Machine) handleEviction(c *core, ev mem.Evicted) {
 	if m.Sch.Persist && m.Sch.WBDelay {
 		persistReady = c.path.LinePersistTime(lineAddr, c.cycle)
 	}
+	before := c.cycle
 	c.cycle = c.wb.Insert(c.cycle, persistReady)
+	if m.tel != nil && c.cycle > before {
+		m.tel.StallWB.Observe(c.cycle - before)
+	}
 }
 
 // memLoad performs an architectural load with timing.
@@ -445,9 +460,19 @@ func (m *Machine) memStore(c *core, addr, val int64) {
 
 	mc := m.mcOf(addr)
 	old := m.NVM.Load(addr)
-	proceed, admit := c.path.Send(c.cycle, addr, bytes, m.wpqs[mc], int64(mc)*m.Cfg.NUMAStep, logBytes)
+	commit := c.cycle
+	proceed, admit := c.path.Send(commit, addr, bytes, m.wpqs[mc], int64(mc)*m.Cfg.NUMAStep, logBytes)
 	c.cycle = proceed
 	m.NVM.Store(addr, val)
+	if m.tel != nil {
+		m.tel.PersistLat.Observe(admit - commit)
+		if proceed > commit {
+			m.tel.StallPB.Observe(proceed - commit)
+		}
+		if logged {
+			m.tel.mcLogBytes[mc] += int64(logBytes)
+		}
+	}
 	if m.tracer != nil {
 		info := fmt.Sprintf("mc%d admit=%d", mc, admit)
 		if logged {
@@ -458,7 +483,7 @@ func (m *Machine) memStore(c *core, addr, val int64) {
 			seq = c.cur.info.Seq
 		}
 		m.trace(TraceEvent{Kind: TracePersist, Core: c.id, Cycle: c.cycle,
-			Region: seq, Addr: addr, Info: info})
+			Region: seq, Addr: addr, Admit: admit, MC: mc, Info: info})
 	}
 	if c.cur != nil && admit > c.cur.persistMax {
 		c.cur.persistMax = admit
@@ -520,6 +545,9 @@ func (m *Machine) step(c *core) error {
 	in := &blk.Instrs[f.pc]
 	m.stats.Instrs++
 	c.instrs++
+	if m.tel != nil && m.tel.Sampler.Due(c.cycle) {
+		m.tel.sample(c.cycle)
+	}
 
 	switch in.Op {
 	case ir.OpBoundary:
@@ -529,6 +557,9 @@ func (m *Machine) step(c *core) error {
 		return nil
 	case ir.OpCkpt:
 		m.stats.Ckpts++
+		if m.tel != nil && c.cur != nil {
+			c.cur.ckpts++
+		}
 		slot := CkptSlot(c.id, f.depth, in.A.Reg)
 		m.memStore(c, slot, f.regs[in.A.Reg])
 		c.cycle++
@@ -589,18 +620,27 @@ func (m *Machine) closeRegion(c *core) {
 	if cur == nil {
 		return
 	}
+	closeCycle := c.cycle
 	if !m.Sch.Persist {
 		cur.info.Retire = c.cycle
+		m.finishRegion(c, cur, closeCycle)
+		c.cur = nil
 		return
 	}
 	switch {
 	case m.Sch.UseRBT:
 		proceed, retire := c.rbt.Push(c.cycle, cur.persistMax)
+		if m.tel != nil && proceed > c.cycle {
+			m.tel.StallRBT.Observe(proceed - c.cycle)
+		}
 		c.cycle = proceed
 		cur.info.Retire = retire
 	case m.Sch.BoundaryStall:
 		if cur.persistMax > c.cycle {
 			m.stats.BoundaryStall += cur.persistMax - c.cycle
+			if m.tel != nil {
+				m.tel.StallBoundary.Observe(cur.persistMax - c.cycle)
+			}
 			c.cycle = cur.persistMax
 		}
 		cur.info.Retire = c.cycle
@@ -613,7 +653,26 @@ func (m *Machine) closeRegion(c *core) {
 		}
 		cur.info.Retire = r
 	}
+	m.finishRegion(c, cur, closeCycle)
 	c.cur = nil
+}
+
+// finishRegion records a closing region's telemetry (length, checkpoint
+// density) and emits its end-of-span trace event. closeCycle is the cycle
+// the region stopped executing (before any retirement stall); the trace
+// event carries the retire (durability) instant in Admit and the region's
+// start cycle in Addr so exporters can rebuild the full span.
+func (m *Machine) finishRegion(c *core, cur *regionState, closeCycle int64) {
+	if m.tel != nil {
+		m.tel.RegionInstrs.Observe(c.instrs - cur.startInstrs)
+		m.tel.RegionCycles.Observe(closeCycle - cur.info.Start)
+		m.tel.RegionCkpts.Observe(cur.ckpts)
+	}
+	if m.tracer != nil {
+		m.trace(TraceEvent{Kind: TraceRegionEnd, Core: c.id, Cycle: closeCycle,
+			Region: cur.info.Seq, Addr: cur.info.Start, Admit: cur.info.Retire,
+			Info: cur.info.Fn})
+	}
 }
 
 // handleSyncGroup executes a synchronizing op (atomic, fence, alloc, emit)
@@ -638,6 +697,9 @@ func (m *Machine) handleSyncGroup(c *core, f *frame, in *ir.Instr) {
 		}
 		if target > c.cycle {
 			m.stats.DrainStallCyc += target - c.cycle
+			if m.tel != nil {
+				m.tel.StallDrain.Observe(target - c.cycle)
+			}
 			c.cycle = target
 		}
 	}
@@ -719,6 +781,9 @@ func (m *Machine) handleSyncGroup(c *core, f *frame, in *ir.Instr) {
 			m.stats.Ckpts++
 			m.stats.Instrs++
 			c.instrs++
+			if m.tel != nil && c.cur != nil {
+				c.cur.ckpts++
+			}
 			m.syncStore(c, CkptSlot(c.id, f.depth, nxt.A.Reg), f.regs[nxt.A.Reg], true, commit)
 			c.cycle++
 			f.pc++
@@ -733,6 +798,7 @@ func (m *Machine) handleSyncGroup(c *core, f *frame, in *ir.Instr) {
 			// (everything in it persisted synchronously).
 			if cur := c.cur; cur != nil {
 				cur.info.Retire = commit
+				m.finishRegion(c, cur, commit)
 				c.cur = nil
 			}
 			c.cycle++

@@ -35,6 +35,53 @@ type Stats struct {
 	LogBytes     int64 // undo-log bytes written at MCs
 }
 
+// IPC returns retired instructions per cycle (0 for a zero-cycle run, so
+// degenerate runs cannot divide by zero).
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// StallBreakdown returns each stall cause's fraction of total machine
+// cycles. Causes with zero cycles are included (a diffing tool wants a
+// stable key set); a zero-cycle run returns all-zero fractions. Fractions
+// can sum past 1.0 on multi-core runs because per-core stalls are summed
+// while Cycles is the max over cores.
+func (s Stats) StallBreakdown() map[string]float64 {
+	frac := func(v int64) float64 {
+		if s.Cycles <= 0 {
+			return 0
+		}
+		return float64(v) / float64(s.Cycles)
+	}
+	return map[string]float64{
+		"pb":       frac(s.PBStallCyc),
+		"rbt":      frac(s.RBTStallCyc),
+		"wb":       frac(s.WBStallCyc),
+		"drain":    frac(s.DrainStallCyc),
+		"boundary": frac(s.BoundaryStall),
+		"wpq_load": frac(s.WPQLoadDelay),
+	}
+}
+
+// Derived returns the derived metrics exported by -json output and run
+// manifests: the ratios the paper's figures plot, plus the per-cause
+// stall fractions under "stall_frac.<cause>" keys.
+func (s Stats) Derived() map[string]float64 {
+	d := map[string]float64{
+		"ipc":           s.IPC(),
+		"ipr":           s.IPR(),
+		"wpq_hpmi":      s.WPQHPMI(),
+		"l1d_miss_rate": s.L1DMissRate(),
+	}
+	for k, v := range s.StallBreakdown() {
+		d["stall_frac."+k] = v
+	}
+	return d
+}
+
 // IPR returns dynamic instructions per region (the paper's Figure 19).
 func (s Stats) IPR() float64 {
 	if s.Regions == 0 {

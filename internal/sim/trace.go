@@ -19,6 +19,14 @@ const (
 	// convention.
 	TraceCall
 	TraceRet
+	// TraceRegionEnd: a region finished (closed at Cycle, durable — fully
+	// persisted — at Admit; Addr carries the region's start cycle so span
+	// exporters can reconstruct [start, retire] even when the open event
+	// predates tracer attachment).
+	TraceRegionEnd
+
+	// numTraceKinds counts the kinds above (keep it last).
+	numTraceKinds
 )
 
 func (k TraceKind) String() string {
@@ -33,6 +41,8 @@ func (k TraceKind) String() string {
 		return "call"
 	case TraceRet:
 		return "ret"
+	case TraceRegionEnd:
+		return "region-end"
 	}
 	return "?"
 }
@@ -43,8 +53,13 @@ type TraceEvent struct {
 	Core   int
 	Cycle  int64
 	Region int64 // region sequence number (when applicable)
-	Addr   int64 // persist address / callee index
-	Info   string
+	Addr   int64 // persist address / region start cycle (TraceRegionEnd)
+	// Admit is the durability instant: WPQ admission time for TracePersist,
+	// region retire time for TraceRegionEnd (0 otherwise).
+	Admit int64
+	// MC is the memory controller index of a TracePersist (0 otherwise).
+	MC   int
+	Info string
 }
 
 // Tracer receives machine events; SetTracer installs one. The textual
@@ -65,7 +80,9 @@ func (m *Machine) trace(ev TraceEvent) {
 // WriteTracer formats events one per line to an io.Writer.
 type WriteTracer struct {
 	W io.Writer
-	// Filter selects which kinds are emitted (nil = all).
+	// Filter selects which kinds are emitted. A nil or empty map means
+	// "all kinds" — the two are deliberately equivalent so a caller that
+	// builds the map conditionally never silences the trace by accident.
 	Filter map[TraceKind]bool
 	n      int64
 	// Limit stops output after Limit events (0 = unlimited).
@@ -74,7 +91,7 @@ type WriteTracer struct {
 
 // Event implements Tracer.
 func (t *WriteTracer) Event(ev TraceEvent) {
-	if t.Filter != nil && !t.Filter[ev.Kind] {
+	if len(t.Filter) > 0 && !t.Filter[ev.Kind] {
 		return
 	}
 	if t.Limit > 0 && t.n >= t.Limit {
@@ -83,6 +100,17 @@ func (t *WriteTracer) Event(ev TraceEvent) {
 	t.n++
 	fmt.Fprintf(t.W, "%10d c%d %-8s region=%d addr=%#x %s\n",
 		ev.Cycle, ev.Core, ev.Kind, ev.Region, ev.Addr, ev.Info)
+}
+
+// MultiTracer fans each event out to several tracers in order (e.g. a
+// textual trace and a Perfetto trace from the same run).
+type MultiTracer []Tracer
+
+// Event implements Tracer.
+func (ts MultiTracer) Event(ev TraceEvent) {
+	for _, t := range ts {
+		t.Event(ev)
+	}
 }
 
 // RingTracer keeps the last N events in memory (crash forensics).

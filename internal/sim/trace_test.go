@@ -50,6 +50,60 @@ func TestWriteTracerFilter(t *testing.T) {
 	}
 }
 
+func TestTraceKindStringExhaustive(t *testing.T) {
+	seen := map[string]TraceKind{}
+	for k := TraceKind(0); k < numTraceKinds; k++ {
+		s := k.String()
+		if s == "?" || s == "" {
+			t.Errorf("TraceKind(%d) has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("TraceKind(%d) and TraceKind(%d) share name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	if got := numTraceKinds.String(); got != "?" {
+		t.Errorf("out-of-range kind stringified to %q, want \"?\"", got)
+	}
+}
+
+func TestWriteTracerEmptyFilterMeansAll(t *testing.T) {
+	// A caller that builds the filter map conditionally may install an
+	// empty (but non-nil) map; that must behave like "no filter", not
+	// "drop everything".
+	var sb strings.Builder
+	tr := &WriteTracer{W: &sb, Filter: map[TraceKind]bool{}}
+	tr.Event(TraceEvent{Kind: TracePersist, Cycle: 7})
+	tr.Event(TraceEvent{Kind: TraceSync, Cycle: 8})
+	if got := strings.Count(sb.String(), "\n"); got != 2 {
+		t.Errorf("empty filter emitted %d events, want 2", got)
+	}
+}
+
+func TestRingTracerExactCapacityWrap(t *testing.T) {
+	// Exactly capacity events: the ring is full but next has wrapped to 0;
+	// Events must return all of them, oldest first.
+	r := NewRingTracer(4)
+	for i := int64(1); i <= 4; i++ {
+		r.Event(TraceEvent{Cycle: i})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring at exact capacity kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Cycle != int64(i+1) {
+			t.Fatalf("wrap order wrong at %d: %v", i, evs)
+		}
+	}
+	// One past capacity: oldest evicted.
+	r.Event(TraceEvent{Cycle: 5})
+	evs = r.Events()
+	if evs[0].Cycle != 2 || evs[3].Cycle != 5 {
+		t.Errorf("post-wrap order wrong: %v", evs)
+	}
+}
+
 func TestRingTracer(t *testing.T) {
 	r := NewRingTracer(3)
 	for i := int64(1); i <= 5; i++ {

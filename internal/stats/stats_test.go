@@ -68,6 +68,39 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileBoundaries(t *testing.T) {
+	one := []float64{42}
+	for _, p := range []float64{-5, 0, 0.001, 50, 100, 250} {
+		if got := Percentile(one, p); got != 42 {
+			t.Errorf("single-element p%v = %v, want 42", p, got)
+		}
+	}
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, -1); got != 1 {
+		t.Errorf("p<0 should clamp to min, got %v", got)
+	}
+	if got := Percentile(xs, 101); got != 5 {
+		t.Errorf("p>100 should clamp to max, got %v", got)
+	}
+	// A vanishing but positive p still selects a real element (rank
+	// clamps to 1), and Percentile is monotone in p.
+	if got := Percentile(xs, 1e-9); got != 1 {
+		t.Errorf("tiny p = %v, want 1", got)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		v := Percentile(xs, p)
+		if v < prev {
+			t.Fatalf("Percentile not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+	// The input must not be reordered in place.
+	if xs[0] != 5 || xs[4] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
 func TestMinMax(t *testing.T) {
 	xs := []float64{3, -1, 7}
 	if Min(xs) != -1 || Max(xs) != 7 {

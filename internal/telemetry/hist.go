@@ -1,0 +1,175 @@
+// Package telemetry provides the simulator's observability primitives:
+// log-bucketed latency histograms, ring-buffered time-series sampling with
+// CSV/JSON export, a streaming Chrome-trace-event (Perfetto) writer, and
+// the versioned run manifest the CLIs emit. The package is deliberately
+// free of simulator dependencies so any layer (sim, bench, examples) can
+// use it; internal/sim owns the glue that feeds machine state into it.
+package telemetry
+
+import "math/bits"
+
+// numBuckets covers the full non-negative int64 range: bucket 0 holds the
+// value 0 and bucket b (1..64) holds values in [2^(b-1), 2^b - 1].
+const numBuckets = 65
+
+// Histogram is a log2-bucketed histogram of non-negative int64 samples
+// (latencies in cycles, region lengths, ...). Observing is O(1) and
+// allocation-free; quantiles are bucket-resolution approximations that
+// report the upper bound of the bucket containing the requested rank
+// (exact min/max are tracked separately). Negative samples are clamped
+// to 0 so a defensive caller cannot corrupt the bucket index.
+type Histogram struct {
+	Name string
+
+	counts [numBuckets]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram builds a named histogram.
+func NewHistogram(name string) *Histogram { return &Histogram{Name: name} }
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBounds returns the inclusive [lo, hi] value range of bucket b.
+func BucketBounds(b int) (lo, hi int64) {
+	if b <= 0 {
+		return 0, 0
+	}
+	if b >= 64 {
+		return int64(^uint64(0)>>1)/2 + 1, int64(^uint64(0) >> 1)
+	}
+	return 1 << (b - 1), 1<<b - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound on the p-th percentile (0..100) at
+// bucket resolution: the upper bound of the bucket holding the
+// nearest-rank sample, clamped to the observed max. Empty histograms
+// return 0.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return float64(h.Min())
+	}
+	rank := int64(p / 100 * float64(h.count))
+	if float64(rank) < p/100*float64(h.count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var seen int64
+	for b := 0; b < numBuckets; b++ {
+		seen += h.counts[b]
+		if seen >= rank {
+			_, hi := BucketBounds(b)
+			if hi > h.max {
+				hi = h.max
+			}
+			return float64(hi)
+		}
+	}
+	return float64(h.max)
+}
+
+// Bucket is one non-empty histogram bucket with its inclusive bounds.
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in increasing value order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for b := 0; b < numBuckets; b++ {
+		if h.counts[b] == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(b)
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: h.counts[b]})
+	}
+	return out
+}
+
+// HistSummary is the serializable digest of a histogram (manifest schema).
+type HistSummary struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Summary digests the histogram for the run manifest.
+func (h *Histogram) Summary() HistSummary {
+	return HistSummary{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Min:     h.Min(),
+		Max:     h.Max(),
+		Mean:    h.Mean(),
+		P50:     h.Quantile(50),
+		P95:     h.Quantile(95),
+		P99:     h.Quantile(99),
+		Buckets: h.Buckets(),
+	}
+}

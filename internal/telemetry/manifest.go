@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ManifestSchemaVersion is bumped whenever the manifest shape changes
+// incompatibly; readers reject versions they do not understand, so
+// benchmark trajectories stay machine-diffable across PRs.
+const ManifestSchemaVersion = 1
+
+// SeriesInfo summarizes a sampler in the manifest (the samples themselves
+// go to their own CSV/JSON file; the manifest records the shape).
+type SeriesInfo struct {
+	Interval int64    `json:"interval"`
+	Columns  []string `json:"columns"`
+	Count    int      `json:"count"`
+	Dropped  int64    `json:"dropped"`
+}
+
+// BenchRow is one labelled row of a benchmark report.
+type BenchRow struct {
+	Label string    `json:"label"`
+	Vals  []float64 `json:"vals"`
+}
+
+// BenchReport is one experiment's table in manifest form.
+type BenchReport struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Columns []string           `json:"columns"`
+	Rows    []BenchRow         `json:"rows"`
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
+// Manifest is the versioned machine-readable record of one run (cwspsim)
+// or one benchmark sweep (cwspbench): configuration, raw aggregate stats,
+// derived metrics, histogram digests, and time-series shape. Config and
+// Stats are embedded as raw JSON so the manifest round-trips byte-exactly
+// through these Go types regardless of which config/stats structs produced
+// them.
+type Manifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"`
+	Workload      string `json:"workload,omitempty"`
+	Scheme        string `json:"scheme,omitempty"`
+	Scale         string `json:"scale,omitempty"`
+
+	Config  json.RawMessage    `json:"config,omitempty"`
+	Stats   json.RawMessage    `json:"stats,omitempty"`
+	Derived map[string]float64 `json:"derived,omitempty"`
+
+	Histograms map[string]HistSummary `json:"histograms,omitempty"`
+	Series     *SeriesInfo            `json:"series,omitempty"`
+
+	Reports []BenchReport `json:"reports,omitempty"`
+}
+
+// NewManifest builds a manifest stamped with the current schema version.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{SchemaVersion: ManifestSchemaVersion, Tool: tool}
+}
+
+// Validate checks the structural invariants a reader relies on.
+func (m *Manifest) Validate() error {
+	if m.SchemaVersion != ManifestSchemaVersion {
+		return fmt.Errorf("telemetry: manifest schema v%d, this build reads v%d",
+			m.SchemaVersion, ManifestSchemaVersion)
+	}
+	if m.Tool == "" {
+		return fmt.Errorf("telemetry: manifest missing tool")
+	}
+	return nil
+}
+
+// Write emits the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest parses and validates a manifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("telemetry: parse manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

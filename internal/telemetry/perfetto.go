@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace streams Chrome trace-event JSON (the legacy JSON format Perfetto's
+// ui.perfetto.dev and chrome://tracing both load). Events are written as
+// they are emitted — nothing is buffered beyond one encoded event — so
+// trace memory is O(1) in run length. Timestamps are float64 microseconds;
+// the caller owns the cycle→µs conversion.
+//
+// The format reference is the "Trace Event Format" document; only the
+// phases the simulator needs are exposed: duration (B/E), complete (X),
+// instant (i), async (b/e), flow (s/f), counter (C), and metadata (M).
+type Trace struct {
+	w     io.Writer
+	err   error
+	n     int64 // emitted non-metadata events
+	limit int64 // 0 = unlimited
+	open  bool
+	first bool
+}
+
+// traceEvent is one JSON trace event. Fields follow the Chrome trace-event
+// names; zero-valued optionals are omitted.
+type traceEvent struct {
+	Name string                 `json:"name,omitempty"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	ID   string                 `json:"id,omitempty"`
+	S    string                 `json:"s,omitempty"`  // instant scope
+	BP   string                 `json:"bp,omitempty"` // flow binding point
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// NewTrace starts a trace document on w. Call Close to finish it.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: w, first: true}
+}
+
+// SetLimit caps the number of non-metadata events (0 = unlimited); events
+// past the cap are dropped silently so long runs produce loadable files.
+func (t *Trace) SetLimit(n int64) { t.limit = n }
+
+// Events returns the number of non-metadata events emitted so far.
+func (t *Trace) Events() int64 { return t.n }
+
+// Err returns the first write/encode error (nil when healthy).
+func (t *Trace) Err() error { return t.err }
+
+func (t *Trace) emit(ev traceEvent, meta bool) {
+	if t.err != nil {
+		return
+	}
+	if !meta {
+		if t.limit > 0 && t.n >= t.limit {
+			return
+		}
+		t.n++
+	}
+	if !t.open {
+		if _, err := io.WriteString(t.w, `{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+			t.err = err
+			return
+		}
+		t.open = true
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if !t.first {
+		if _, err := io.WriteString(t.w, ",\n"); err != nil {
+			t.err = err
+			return
+		}
+	}
+	t.first = false
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// Close terminates the JSON document and returns the first error seen.
+func (t *Trace) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	if !t.open {
+		// No events: still produce a valid, loadable document.
+		_, t.err = io.WriteString(t.w, `{"displayTimeUnit":"ns","traceEvents":[]}`)
+		return t.err
+	}
+	_, t.err = io.WriteString(t.w, "]}\n")
+	return t.err
+}
+
+// ProcessName labels a pid in the viewer.
+func (t *Trace) ProcessName(pid int, name string) {
+	t.emit(traceEvent{Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]interface{}{"name": name}}, true)
+}
+
+// ThreadName labels a (pid, tid) track in the viewer.
+func (t *Trace) ThreadName(pid, tid int, name string) {
+	t.emit(traceEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]interface{}{"name": name}}, true)
+}
+
+// Begin opens a duration slice on a thread track (must nest with End).
+func (t *Trace) Begin(pid, tid int, name, cat string, ts float64, args map[string]interface{}) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "B", TS: ts, PID: pid, TID: tid, Args: args}, false)
+}
+
+// End closes the innermost open duration slice on a thread track.
+func (t *Trace) End(pid, tid int, ts float64) {
+	t.emit(traceEvent{Ph: "E", TS: ts, PID: pid, TID: tid}, false)
+}
+
+// Complete emits a self-contained slice of the given duration.
+func (t *Trace) Complete(pid, tid int, name, cat string, ts, dur float64, args map[string]interface{}) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "X", TS: ts, Dur: &dur, PID: pid, TID: tid, Args: args}, false)
+}
+
+// Instant emits a thread-scoped instant marker.
+func (t *Trace) Instant(pid, tid int, name, cat string, ts float64, args map[string]interface{}) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "i", TS: ts, PID: pid, TID: tid, S: "t", Args: args}, false)
+}
+
+// AsyncBegin opens an async span (overlapping spans on one track are fine;
+// matching is by cat+id).
+func (t *Trace) AsyncBegin(pid, tid int, id int64, name, cat string, ts float64, args map[string]interface{}) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "b", TS: ts, PID: pid, TID: tid,
+		ID: fmt.Sprintf("%#x", id), Args: args}, false)
+}
+
+// AsyncEnd closes an async span opened with the same cat+id+name.
+func (t *Trace) AsyncEnd(pid, tid int, id int64, name, cat string, ts float64) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "e", TS: ts, PID: pid, TID: tid,
+		ID: fmt.Sprintf("%#x", id)}, false)
+}
+
+// FlowStart begins a flow arrow (bind it near an enclosing slice).
+func (t *Trace) FlowStart(pid, tid int, id int64, name, cat string, ts float64) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "s", TS: ts, PID: pid, TID: tid,
+		ID: fmt.Sprintf("%#x", id)}, false)
+}
+
+// FlowEnd terminates a flow arrow at (pid, tid, ts), binding to the
+// enclosing slice.
+func (t *Trace) FlowEnd(pid, tid int, id int64, name, cat string, ts float64) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "f", BP: "e", TS: ts, PID: pid, TID: tid,
+		ID: fmt.Sprintf("%#x", id)}, false)
+}
+
+// Counter emits one or more counter series points on a process track.
+func (t *Trace) Counter(pid int, name string, ts float64, series map[string]interface{}) {
+	t.emit(traceEvent{Name: name, Ph: "C", TS: ts, PID: pid, Args: series}, false)
+}
