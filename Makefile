@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench repro repro-quick examples trace metrics clean
+.PHONY: all build test test-short bench lint repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -18,6 +18,14 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Static soundness verification: vet, then run the independent persistence
+# checker over the checked-in example and a fixed block of generated
+# programs (see DESIGN.md "Soundness checking" for the CWSP0xx codes).
+lint:
+	$(GO) vet ./...
+	$(GO) build -o bin/cwsplint ./cmd/cwsplint
+	./bin/cwsplint -seed 1 -count 25 examples/minic/btree.mc
 
 # Regenerate the paper's full evaluation (tens of minutes, single core).
 repro:

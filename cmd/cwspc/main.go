@@ -34,6 +34,7 @@ func main() {
 		dump    = flag.Bool("dump", false, "dump the compiled IR (regions, checkpoints, recovery slices)")
 		noPrune = flag.Bool("no-prune", false, "disable checkpoint pruning")
 		optim   = flag.Bool("O", false, "run classical optimizations (fold/propagate/DCE) before the cWSP passes")
+		doCheck = flag.Bool("check", false, "run the independent soundness verifier on the compiled program")
 		emitIR  = flag.String("emit-ir", "", "write the compiled program in the text interchange format to this file")
 	)
 	flag.Parse()
@@ -79,9 +80,13 @@ func main() {
 
 	copts := compiler.DefaultOptions()
 	copts.PruneCheckpoints = !*noPrune
+	copts.Check = *doCheck
 	out, rep, err := compiler.Compile(prog, copts)
 	if err != nil {
 		fatal(err)
+	}
+	if *doCheck {
+		fmt.Printf("check: %d diagnostics, %d errors\n", len(rep.Check.Diags), rep.Check.Errors())
 	}
 
 	t := stats.NewTable("function", "regions", "antidep-cuts", "ckpt-inserted", "ckpt-final", "pruned%")

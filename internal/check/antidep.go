@@ -1,0 +1,97 @@
+package check
+
+import (
+	"cwsp/internal/analysis"
+	"cwsp/internal/ir"
+)
+
+// checkAntidep re-derives the region-idempotence invariant (CWSP020): no
+// store may overwrite a location that an earlier instruction of the same
+// region may have loaded, because re-executing the region from its entry
+// would then read the clobbered value. The scan is a forward dataflow of
+// "loads executed since the last boundary" over the *formed* IR — it trusts
+// the boundaries actually present in the instruction stream, not
+// regions.Form's cut bookkeeping — with may-alias facts from
+// analysis.ComputeAlias, the one analysis checker and transform must share.
+func checkAntidep(rep *Report, f *ir.Function, fl *flow) {
+	alias := analysis.ComputeAlias(f)
+	n := len(f.Blocks)
+	in := make([]map[analysis.MemRef]bool, n)
+	out := make([]map[analysis.MemRef]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = map[analysis.MemRef]bool{}
+	}
+
+	transfer := func(bi int, start map[analysis.MemRef]bool, report bool) map[analysis.MemRef]bool {
+		cur := map[analysis.MemRef]bool{}
+		for k := range start {
+			cur[k] = true
+		}
+		b := f.Blocks[bi]
+		for ii := range b.Instrs {
+			inst := &b.Instrs[ii]
+			if inst.IsBoundaryOp() {
+				// OpBoundary starts a new region; call-like ops are
+				// persisted synchronously and likewise reset the window.
+				cur = map[analysis.MemRef]bool{}
+				continue
+			}
+			if inst.Op == ir.OpStore {
+				ref := analysis.MemRef{Block: bi, Index: ii}
+				for l := range cur {
+					if alias.MayAlias(l, ref) {
+						if report {
+							rep.errorf(CodeAntidep, f.Name, bi, ii, -1,
+								"store may overwrite the word loaded at b%d[%d] within one region",
+								l.Block, l.Index)
+						}
+						// One diagnostic per offending store is enough.
+						break
+					}
+				}
+			}
+			if inst.Op == ir.OpLoad {
+				cur[analysis.MemRef{Block: bi, Index: ii}] = true
+			}
+		}
+		return cur
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, bi := range fl.rpo {
+			merged := map[analysis.MemRef]bool{}
+			for _, p := range fl.preds[bi] {
+				for k := range out[p] {
+					merged[k] = true
+				}
+			}
+			in[bi] = merged
+			nout := transfer(bi, merged, false)
+			if !memSetEq(nout, out[bi]) {
+				out[bi] = nout
+				changed = true
+			}
+		}
+	}
+	for _, bi := range fl.rpo {
+		start := in[bi]
+		if start == nil {
+			start = map[analysis.MemRef]bool{}
+		}
+		transfer(bi, start, true)
+	}
+}
+
+func memSetEq(a, b map[analysis.MemRef]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

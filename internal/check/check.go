@@ -1,0 +1,90 @@
+package check
+
+import "cwsp/internal/ir"
+
+// Options tune one checker run.
+type Options struct {
+	// RequireCompiled treats an un-region-formed function (NumRegions == 0,
+	// no recovery slices) as an error instead of skipping the pipeline
+	// checks. Set by tools that verify post-pipeline artifacts, where "not
+	// compiled" means "not protected".
+	RequireCompiled bool
+	// MaxSymPasses caps the symbolic fixpoint (0 = a generous default
+	// scaled to the function's block count).
+	MaxSymPasses int
+}
+
+// CheckProgram runs every check over p with default options and returns the
+// sorted report.
+func CheckProgram(p *ir.Program) *Report { return CheckProgramOpts(p, Options{}) }
+
+// CheckProgramOpts runs every check over p. Checks are layered: the region
+// and sufficiency groups only run on functions whose structure is sound
+// enough for dataflow, and only when the function has been region-formed
+// (always demanded under RequireCompiled).
+func CheckProgramOpts(p *ir.Program, opt Options) *Report {
+	rep := &Report{}
+	checkCalls(rep, p)
+	for _, name := range sortedFuncNames(p) {
+		checkFunction(rep, p.Funcs[name], opt)
+	}
+	rep.Sort()
+	return rep
+}
+
+// CheckFunc runs the per-function checks over a single function.
+func CheckFunc(f *ir.Function, opt Options) *Report {
+	rep := &Report{}
+	checkFunction(rep, f, opt)
+	rep.Sort()
+	return rep
+}
+
+func checkFunction(rep *Report, f *ir.Function, opt Options) {
+	if !checkStructure(rep, f) {
+		return // dataflow over a structurally broken function proves nothing
+	}
+	fl := buildFlow(f)
+	checkDefBeforeUse(rep, f, fl)
+
+	compiled := f.NumRegions > 0 || hasBoundaries(f)
+	if !compiled {
+		if opt.RequireCompiled {
+			rep.errorf(CodeRegionIDs, f.Name, -1, -1, -1,
+				"function has no regions (pipeline not run, or boundaries stripped)")
+		}
+		return
+	}
+	checkRegionStructure(rep, f, fl)
+	checkAntidep(rep, f, fl)
+	if f.Slices != nil {
+		checkSufficiency(rep, f, fl, opt.MaxSymPasses)
+	} else if opt.RequireCompiled {
+		rep.errorf(CodeSliceMissing, f.Name, -1, -1, -1,
+			"region-formed function carries no recovery slices")
+	}
+}
+
+func hasBoundaries(f *ir.Function) bool {
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == ir.OpBoundary {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sortedFuncNames(p *ir.Program) []string {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,447 @@
+package check_test
+
+// Handcrafted unit cases: one minimal broken function per diagnostic code,
+// so a regression in any individual check fails with a readable name.
+
+import (
+	"strings"
+	"testing"
+
+	"cwsp/internal/check"
+	"cwsp/internal/ir"
+)
+
+// wrap puts a single function into a one-function program.
+func wrap(f *ir.Function) *ir.Program {
+	p := ir.NewProgram("t")
+	p.Entry = f.Name
+	p.Add(f)
+	return p
+}
+
+// straightline builds r0=1; r1=r0+2; ret r1 with no compiler metadata.
+func straightline() *ir.Function {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	a := fb.Const(1)
+	b := fb.Add(ir.R(a), ir.Imm(2))
+	fb.Ret(ir.R(b))
+	return fb.MustDone()
+}
+
+func TestCleanUncompiledFunctionHasNoDiags(t *testing.T) {
+	rep := check.CheckProgram(wrap(straightline()))
+	if len(rep.Diags) != 0 {
+		t.Fatalf("unexpected diagnostics:\n%s", rep.String())
+	}
+}
+
+func TestRequireCompiledFlagsUncompiled(t *testing.T) {
+	rep := check.CheckProgramOpts(wrap(straightline()), check.Options{RequireCompiled: true})
+	if !rep.Has(check.CodeRegionIDs) {
+		t.Fatalf("want %s for unformed function, got:\n%s", check.CodeRegionIDs, rep.String())
+	}
+}
+
+func TestStructureEmptyFunction(t *testing.T) {
+	f := &ir.Function{Name: "main", NumRegs: 1}
+	rep := check.CheckProgram(wrap(f))
+	if !rep.Has(check.CodeStructure) {
+		t.Fatalf("want %s, got:\n%s", check.CodeStructure, rep.String())
+	}
+}
+
+func TestStructureMissingTerminator(t *testing.T) {
+	f := straightline()
+	b := f.Blocks[0]
+	b.Instrs = b.Instrs[:len(b.Instrs)-1] // drop the ret
+	rep := check.CheckProgram(wrap(f))
+	if !rep.Has(check.CodeStructure) {
+		t.Fatalf("want %s, got:\n%s", check.CodeStructure, rep.String())
+	}
+}
+
+func TestStructureTerminatorMidBlock(t *testing.T) {
+	f := straightline()
+	b := f.Blocks[0]
+	b.Instrs = append([]ir.Instr{{Op: ir.OpRet}}, b.Instrs...)
+	rep := check.CheckProgram(wrap(f))
+	if !rep.Has(check.CodeStructure) {
+		t.Fatalf("want %s, got:\n%s", check.CodeStructure, rep.String())
+	}
+}
+
+func TestBranchRange(t *testing.T) {
+	f := straightline()
+	b := f.Blocks[0]
+	b.Instrs[len(b.Instrs)-1] = ir.Instr{Op: ir.OpJmp, Then: 7}
+	rep := check.CheckProgram(wrap(f))
+	if !rep.Has(check.CodeBranchRange) {
+		t.Fatalf("want %s, got:\n%s", check.CodeBranchRange, rep.String())
+	}
+}
+
+func TestOperandRegisterOutOfRange(t *testing.T) {
+	f := straightline()
+	f.Blocks[0].Instrs[1].A = ir.R(99)
+	rep := check.CheckProgram(wrap(f))
+	if !rep.Has(check.CodeOperand) {
+		t.Fatalf("want %s, got:\n%s", check.CodeOperand, rep.String())
+	}
+}
+
+func TestOperandKindInvalid(t *testing.T) {
+	f := straightline()
+	f.Blocks[0].Instrs[0] = ir.Instr{Op: ir.OpConst, Dst: 0, A: ir.R(0)} // const with a reg operand
+	rep := check.CheckProgram(wrap(f))
+	if !rep.Has(check.CodeOperand) {
+		t.Fatalf("want %s, got:\n%s", check.CodeOperand, rep.String())
+	}
+}
+
+func TestDefBeforeUseStraightline(t *testing.T) {
+	f := straightline()
+	f.Blocks[0].Instrs = f.Blocks[0].Instrs[1:] // drop r0's definition
+	rep := check.CheckProgram(wrap(f))
+	if !rep.Has(check.CodeDefUse) {
+		t.Fatalf("want %s, got:\n%s", check.CodeDefUse, rep.String())
+	}
+}
+
+// TestDefBeforeUseOnePath: a register assigned on only one arm of a diamond
+// is not definitely assigned at the join.
+func TestDefBeforeUseOnePath(t *testing.T) {
+	fb := ir.NewFunc("main", 1)
+	entry := fb.NewBlock("entry")
+	then := fb.AddBlock("then")
+	els := fb.AddBlock("else")
+	join := fb.AddBlock("join")
+	fb.SetBlock(entry)
+	fb.Br(ir.R(0), then, els)
+	fb.SetBlock(then)
+	v := fb.Reg()
+	fb.ConstInto(v, 5)
+	fb.Jmp(join)
+	fb.SetBlock(els)
+	fb.ConstInto(v, 6)
+	fb.Jmp(join)
+	fb.SetBlock(join)
+	w := fb.Add(ir.R(v), ir.Imm(1))
+	fb.Ret(ir.R(w))
+	f := fb.MustDone()
+	// Drop the else-arm definition: v is now assigned on only one path.
+	f.Blocks[2].Instrs = f.Blocks[2].Instrs[1:]
+	rep := check.CheckProgram(wrap(f))
+	if !rep.Has(check.CodeDefUse) {
+		t.Fatalf("want %s, got:\n%s", check.CodeDefUse, rep.String())
+	}
+}
+
+func TestCallUnknownCallee(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	r := fb.Call("missing")
+	fb.Ret(ir.R(r))
+	rep := check.CheckProgram(wrap(fb.MustDone()))
+	if !rep.Has(check.CodeCall) {
+		t.Fatalf("want %s, got:\n%s", check.CodeCall, rep.String())
+	}
+}
+
+func TestCallArityMismatch(t *testing.T) {
+	callee := ir.NewFunc("f", 2)
+	callee.NewBlock("entry")
+	callee.Ret(ir.R(callee.Param(0)))
+
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	r := fb.Call("f", ir.Imm(1)) // f wants two args
+	fb.Ret(ir.R(r))
+
+	p := ir.NewProgram("t")
+	p.Entry = "main"
+	p.Add(fb.MustDone())
+	p.Add(callee.MustDone())
+	rep := check.CheckProgram(p)
+	if !rep.Has(check.CodeCall) {
+		t.Fatalf("want %s, got:\n%s", check.CodeCall, rep.String())
+	}
+}
+
+func TestMissingEntryFunction(t *testing.T) {
+	p := ir.NewProgram("t")
+	p.Entry = "nope"
+	p.Add(straightline())
+	rep := check.CheckProgram(p)
+	if !rep.Has(check.CodeCall) {
+		t.Fatalf("want %s, got:\n%s", check.CodeCall, rep.String())
+	}
+}
+
+// formed returns straightline code with a plausible manual region structure:
+// boundary 0 at entry, nothing else needed (no calls, no loops).
+func formed() *ir.Function {
+	f := straightline()
+	b := f.Blocks[0]
+	b.Instrs = append([]ir.Instr{{Op: ir.OpBoundary, RegionID: 0}}, b.Instrs...)
+	f.NumRegions = 1
+	f.Slices = map[int]ir.RecoverySlice{
+		0: {RegionID: 0, Entry: ir.InstrRef{Block: 0, Index: 0}},
+	}
+	return f
+}
+
+func TestFormedFixtureIsClean(t *testing.T) {
+	rep := check.CheckProgramOpts(wrap(formed()), check.Options{RequireCompiled: true})
+	if len(rep.Diags) != 0 {
+		t.Fatalf("fixture not clean:\n%s", rep.String())
+	}
+}
+
+func TestRegionIDsDuplicate(t *testing.T) {
+	f := formed()
+	b := f.Blocks[0]
+	// Second boundary reusing id 0.
+	b.Instrs = append(b.Instrs[:2:2], append([]ir.Instr{{Op: ir.OpBoundary, RegionID: 0}}, b.Instrs[2:]...)...)
+	f.NumRegions = 2
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeRegionIDs) {
+		t.Fatalf("want %s, got:\n%s", check.CodeRegionIDs, rep.String())
+	}
+}
+
+func TestRegionIDsOutOfRange(t *testing.T) {
+	f := formed()
+	f.Blocks[0].Instrs[0].RegionID = 5
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeRegionIDs) {
+		t.Fatalf("want %s, got:\n%s", check.CodeRegionIDs, rep.String())
+	}
+}
+
+func TestUncoveredInstruction(t *testing.T) {
+	f := formed()
+	b := f.Blocks[0]
+	// Move the boundary after the first real instruction.
+	b.Instrs[0], b.Instrs[1] = b.Instrs[1], b.Instrs[0]
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeUncovered) {
+		t.Fatalf("want %s, got:\n%s", check.CodeUncovered, rep.String())
+	}
+}
+
+func TestCallLikeWithoutBoundary(t *testing.T) {
+	callee := ir.NewFunc("f", 0)
+	callee.NewBlock("entry")
+	callee.RetVoid()
+
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	r := fb.Call("f")
+	fb.Ret(ir.R(r))
+	f := fb.MustDone()
+	// Entry boundary only; the call has none around it.
+	b := f.Blocks[0]
+	b.Instrs = append([]ir.Instr{{Op: ir.OpBoundary, RegionID: 0}}, b.Instrs...)
+	f.NumRegions = 1
+
+	p := ir.NewProgram("t")
+	p.Entry = "main"
+	p.Add(f)
+	p.Add(callee.MustDone())
+	rep := check.CheckProgram(p)
+	if !rep.Has(check.CodeCallBoundary) {
+		t.Fatalf("want %s, got:\n%s", check.CodeCallBoundary, rep.String())
+	}
+}
+
+func TestLoopHeaderWithoutBoundary(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	entry := fb.NewBlock("entry")
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.SetBlock(entry)
+	i := fb.Const(0)
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.Imm(10))
+	fb.Br(ir.R(c), body, exit)
+	fb.SetBlock(body)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+	fb.Ret(ir.R(i))
+	f := fb.MustDone()
+	// Entry boundary only: the loop header at block 1 has none.
+	f.Blocks[0].Instrs = append([]ir.Instr{{Op: ir.OpBoundary, RegionID: 0}}, f.Blocks[0].Instrs...)
+	f.NumRegions = 1
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeLoopBoundary) {
+		t.Fatalf("want %s, got:\n%s", check.CodeLoopBoundary, rep.String())
+	}
+}
+
+// --- slice-shape codes ---------------------------------------------------
+
+// slicedFixture: formed() with one live-in register crossing the second
+// boundary, rebuilt by a slice we can then corrupt.
+func slicedFixture() *ir.Function {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	a := fb.Const(7)
+	b := fb.Add(ir.R(a), ir.Imm(2))
+	fb.Ret(ir.R(b))
+	f := fb.MustDone()
+	blk := f.Blocks[0]
+	// boundary0; r0=7; boundary1; r1=r0+2; ret
+	blk.Instrs = append([]ir.Instr{{Op: ir.OpBoundary, RegionID: 0}},
+		blk.Instrs[0],
+		ir.Instr{Op: ir.OpBoundary, RegionID: 1},
+		blk.Instrs[1], blk.Instrs[2])
+	f.NumRegions = 2
+	f.Slices = map[int]ir.RecoverySlice{
+		0: {RegionID: 0, Entry: ir.InstrRef{Block: 0, Index: 0}},
+		1: {RegionID: 1, Entry: ir.InstrRef{Block: 0, Index: 2},
+			LiveIn: []ir.Reg{0},
+			Steps:  []ir.SliceStep{{Op: ir.SliceConst, Dst: 0, Imm: 7}}},
+	}
+	return f
+}
+
+func TestSlicedFixtureIsClean(t *testing.T) {
+	rep := check.CheckFunc(slicedFixture(), check.Options{RequireCompiled: true})
+	if len(rep.Diags) != 0 {
+		t.Fatalf("fixture not clean:\n%s", rep.String())
+	}
+}
+
+func TestSliceLiveInOmitted(t *testing.T) {
+	f := slicedFixture()
+	rs := f.Slices[1]
+	rs.LiveIn = nil
+	f.Slices[1] = rs
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeLiveInMissing) {
+		t.Fatalf("want %s, got:\n%s", check.CodeLiveInMissing, rep.String())
+	}
+}
+
+func TestSliceTargetNeverDefined(t *testing.T) {
+	f := slicedFixture()
+	rs := f.Slices[1]
+	rs.Steps = nil // declares r0 live-in but rebuilds nothing
+	f.Slices[1] = rs
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeSliceTarget) {
+		t.Fatalf("want %s, got:\n%s", check.CodeSliceTarget, rep.String())
+	}
+}
+
+func TestSliceReadsUnwrittenSlot(t *testing.T) {
+	f := slicedFixture()
+	rs := f.Slices[1]
+	rs.Steps = []ir.SliceStep{{Op: ir.SliceLoadCkpt, Dst: 0, Src: 0}} // no ckpt writes slot 0
+	f.Slices[1] = rs
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeSliceInput) {
+		t.Fatalf("want %s, got:\n%s", check.CodeSliceInput, rep.String())
+	}
+}
+
+func TestSliceStepReadsBeforeDefine(t *testing.T) {
+	f := slicedFixture()
+	rs := f.Slices[1]
+	rs.Steps = []ir.SliceStep{{Op: ir.SliceUnary, Dst: 0, Src: 1, ALUOp: ir.OpAdd, Imm: 1}}
+	f.Slices[1] = rs
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeSliceOrder) {
+		t.Fatalf("want %s, got:\n%s", check.CodeSliceOrder, rep.String())
+	}
+}
+
+func TestSliceStepBadALUOp(t *testing.T) {
+	f := slicedFixture()
+	rs := f.Slices[1]
+	rs.Steps = []ir.SliceStep{{Op: ir.SliceUnary, Dst: 0, Src: 0, ALUOp: ir.OpStore}}
+	f.Slices[1] = rs
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeSliceStep) {
+		t.Fatalf("want %s, got:\n%s", check.CodeSliceStep, rep.String())
+	}
+}
+
+func TestSliceValueMismatch(t *testing.T) {
+	f := slicedFixture()
+	rs := f.Slices[1]
+	rs.Steps = []ir.SliceStep{{Op: ir.SliceConst, Dst: 0, Imm: 8}} // region needs 7
+	f.Slices[1] = rs
+	rep := check.CheckFunc(f, check.Options{})
+	if !rep.Has(check.CodeUnrecoverable) {
+		t.Fatalf("want %s, got:\n%s", check.CodeUnrecoverable, rep.String())
+	}
+}
+
+// --- antidep on a hand-built clean counterpart ---------------------------
+
+func TestAntidepBoundaryBetweenClearsWindow(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	a := fb.Alloc(64)
+	v := fb.Load(ir.R(a), 8)
+	w := fb.Add(ir.R(v), ir.Imm(1))
+	fb.Store(ir.R(w), ir.R(a), 8)
+	fb.Ret(ir.R(w))
+	f := fb.MustDone()
+	blk := f.Blocks[0]
+	// boundary0; alloc; boundary1; load; add; boundary2; store; ret — the cut
+	// between load and store makes the store safe.
+	blk.Instrs = append([]ir.Instr{{Op: ir.OpBoundary, RegionID: 0}},
+		blk.Instrs[0],
+		ir.Instr{Op: ir.OpBoundary, RegionID: 1},
+		blk.Instrs[1], blk.Instrs[2],
+		ir.Instr{Op: ir.OpBoundary, RegionID: 2},
+		blk.Instrs[3], blk.Instrs[4])
+	f.NumRegions = 3
+	rep := check.CheckFunc(f, check.Options{})
+	if rep.Has(check.CodeAntidep) {
+		t.Fatalf("boundary between load and store should clear the window:\n%s", rep.String())
+	}
+}
+
+// --- report mechanics ----------------------------------------------------
+
+func TestReportJSONAndString(t *testing.T) {
+	f := straightline()
+	f.Blocks[0].Instrs[1].A = ir.R(99)
+	rep := check.CheckProgram(wrap(f))
+	if !rep.HasErrors() {
+		t.Fatal("expected errors")
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	js := sb.String()
+	for _, want := range []string{`"code": "CWSP003"`, `"severity": "error"`, `"errors":`} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("JSON output missing %q:\n%s", want, js)
+		}
+	}
+	txt := rep.String()
+	if !strings.Contains(txt, "CWSP003 error main/b0[1]") {
+		t.Fatalf("text output missing location:\n%s", txt)
+	}
+}
+
+func TestReportSortIsStable(t *testing.T) {
+	rep := &check.Report{Diags: []check.Diagnostic{
+		{Code: "CWSP020", Fn: "b", Block: 1, Index: 0},
+		{Code: "CWSP010", Fn: "a", Block: 2, Index: 3},
+		{Code: "CWSP004", Fn: "a", Block: 0, Index: 1},
+	}}
+	rep.Sort()
+	if rep.Diags[0].Fn != "a" || rep.Diags[0].Block != 0 || rep.Diags[2].Fn != "b" {
+		t.Fatalf("bad sort order: %+v", rep.Diags)
+	}
+}

@@ -1,0 +1,194 @@
+// Package check is an independent persistence-soundness verifier for
+// compiled cWSP programs. It re-derives the invariants the compiler
+// transforms claim to establish — extended IR well-formedness, region
+// idempotence (Section IV-A), checkpoint sufficiency (Section IV-B), and
+// recovery-slice correctness (Section IV-C) — from first principles, using
+// its own dataflow analyses rather than the transforms' bookkeeping, so a
+// bug in regions.Form, ckpt.InsertOpts, or slice generation surfaces as a
+// stable CWSP0xx diagnostic instead of a silently wrong recovery.
+//
+// The only analysis the checker shares with the transforms is the may-alias
+// oracle (analysis.ComputeAlias): alias facts are inputs to both sides of
+// the argument, not something region formation can get wrong on its own.
+// Everything else — CFG reachability, dominators, loop headers, liveness,
+// definite assignment, and the symbolic value-numbering engine that proves
+// recovery recipes correct — is re-implemented here.
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Severity ranks diagnostics.
+type Severity uint8
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Stable diagnostic codes. Codes are part of the tool's interface: tests,
+// CI gates, and downstream tooling match on them, so once assigned a code's
+// meaning never changes. See DESIGN.md "Soundness checking" for the
+// invariant each code proves.
+const (
+	CodeStructure   = "CWSP001" // block/terminator structure violation
+	CodeBranchRange = "CWSP002" // branch target out of range
+	CodeOperand     = "CWSP003" // register out of range / operand kind invalid for opcode
+	CodeDefUse      = "CWSP004" // register may be read before assignment
+	CodeCall        = "CWSP005" // unresolved callee, arity mismatch, or missing entry
+
+	CodeRegionIDs    = "CWSP010" // region ids not unique and dense from 0
+	CodeUncovered    = "CWSP011" // reachable instruction executes under no region
+	CodeCallBoundary = "CWSP012" // call-like op lacks an adjacent boundary
+	CodeLoopBoundary = "CWSP013" // natural-loop header lacks a boundary
+
+	CodeAntidep = "CWSP020" // intra-region may-alias load→store antidependence
+
+	CodeUnrecoverable = "CWSP030" // live-in register not provably rebuilt by its slice
+	CodeLiveInMissing = "CWSP031" // slice's declared live-in set omits a live register
+	CodeSliceMissing  = "CWSP032" // reachable region has no recovery slice
+
+	CodeSliceInput    = "CWSP040" // slice reads a checkpoint slot nothing writes
+	CodeSliceOrder    = "CWSP041" // slice step reads a register before the slice defines it
+	CodeSliceTarget   = "CWSP042" // slice never defines a declared live-in register
+	CodeSliceMeta     = "CWSP043" // slice entry/region metadata inconsistent with the IR
+	CodeSliceStep     = "CWSP044" // slice step malformed (bad ALU opcode or register)
+	CodeNoConvergence = "CWSP090" // symbolic dataflow hit its iteration cap (results conservative)
+)
+
+// Diagnostic is one finding, located by function, block, and instruction
+// index (-1 where a dimension does not apply).
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Fn       string   `json:"fn,omitempty"`
+	Block    int      `json:"block"`
+	Index    int      `json:"index"`
+	Region   int      `json:"region"`
+	Msg      string   `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	loc := d.Fn
+	if d.Block >= 0 {
+		loc = fmt.Sprintf("%s/b%d", d.Fn, d.Block)
+		if d.Index >= 0 {
+			loc = fmt.Sprintf("%s[%d]", loc, d.Index)
+		}
+	}
+	if loc == "" {
+		loc = "<program>"
+	}
+	if d.Region >= 0 {
+		return fmt.Sprintf("%s %s %s region %d: %s", d.Code, d.Severity, loc, d.Region, d.Msg)
+	}
+	return fmt.Sprintf("%s %s %s: %s", d.Code, d.Severity, loc, d.Msg)
+}
+
+// Report collects the diagnostics of one checker run.
+type Report struct {
+	Diags []Diagnostic `json:"diags"`
+}
+
+func (r *Report) add(d Diagnostic) { r.Diags = append(r.Diags, d) }
+
+func (r *Report) errorf(code, fn string, block, index, region int, format string, args ...interface{}) {
+	r.add(Diagnostic{Code: code, Severity: Error, Fn: fn, Block: block, Index: index, Region: region,
+		Msg: fmt.Sprintf(format, args...)})
+}
+
+func (r *Report) warnf(code, fn string, block, index, region int, format string, args ...interface{}) {
+	r.add(Diagnostic{Code: code, Severity: Warning, Fn: fn, Block: block, Index: index, Region: region,
+		Msg: fmt.Sprintf(format, args...)})
+}
+
+// Errors counts error-severity diagnostics.
+func (r *Report) Errors() int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any error-severity diagnostic was produced.
+func (r *Report) HasErrors() bool { return r.Errors() > 0 }
+
+// ByCode returns the diagnostics carrying the given code.
+func (r *Report) ByCode(code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Has reports whether any diagnostic carries the given code.
+func (r *Report) Has(code string) bool { return len(r.ByCode(code)) > 0 }
+
+// Sort orders diagnostics by function, block, index, then code, for stable
+// output.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.Code < b.Code
+	})
+}
+
+// String renders the report as one diagnostic per line.
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WriteJSON writes the report as a JSON object {"errors": N, "diags": [...]}.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	diags := r.Diags
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return enc.Encode(struct {
+		Errors int          `json:"errors"`
+		Diags  []Diagnostic `json:"diags"`
+	}{r.Errors(), diags})
+}

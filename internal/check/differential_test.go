@@ -1,0 +1,333 @@
+package check_test
+
+// The differential harness: programs that went through the real pipeline
+// must be checker-clean, and programs with a deliberately broken invariant
+// must be flagged with the expected CWSP code. Together these pin the
+// checker's false-positive and false-negative behaviour.
+
+import (
+	"testing"
+
+	"cwsp/internal/check"
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/progen"
+)
+
+func compileSeed(t *testing.T, seed int64, opt compiler.Options) *ir.Program {
+	t.Helper()
+	p := progen.Generate(seed, progen.DefaultConfig())
+	out, _, err := compiler.Compile(p, opt)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+	return out
+}
+
+func mustClean(t *testing.T, p *ir.Program, label string) {
+	t.Helper()
+	rep := check.CheckProgramOpts(p, check.Options{RequireCompiled: true})
+	if rep.HasErrors() {
+		t.Fatalf("%s: checker not clean:\n%s", label, rep.String())
+	}
+	if rep.Has(check.CodeNoConvergence) {
+		t.Fatalf("%s: symbolic dataflow did not converge:\n%s", label, rep.String())
+	}
+}
+
+// TestPipelineOutputIsClean is the positive half of the differential: the
+// full pipeline over many generated programs, under every optimizer
+// configuration, must produce zero diagnostics.
+func TestPipelineOutputIsClean(t *testing.T) {
+	n := int64(60)
+	if testing.Short() {
+		n = 15
+	}
+	configs := []compiler.Options{
+		compiler.DefaultOptions(),
+		{PruneCheckpoints: false, HoistCheckpoints: false, ChainDepth: -1},
+		{PruneCheckpoints: true, HoistCheckpoints: false, ChainDepth: -1},
+		{PruneCheckpoints: true, HoistCheckpoints: true, ChainDepth: 0},
+		{PruneCheckpoints: true, HoistCheckpoints: true, ChainDepth: 1},
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		for ci, opt := range configs {
+			mustClean(t, compileSeed(t, seed, opt), labelFor(seed, ci))
+		}
+	}
+}
+
+func labelFor(seed int64, ci int) string {
+	return "seed " + string(rune('0'+seed%10)) + "/cfg " + string(rune('0'+ci))
+}
+
+// mainOf returns the entry function of p.
+func mainOf(p *ir.Program) *ir.Function { return p.EntryFunc() }
+
+// expectCode asserts the checker reports the given code on p.
+func expectCode(t *testing.T, p *ir.Program, code, label string) {
+	t.Helper()
+	rep := check.CheckProgramOpts(p, check.Options{RequireCompiled: true})
+	if !rep.Has(code) {
+		t.Fatalf("%s: expected %s, got:\n%s", label, code, rep.String())
+	}
+}
+
+// --- Mutation 1: deleted boundary -> CWSP010 -----------------------------
+
+func TestMutationDeletedBoundary(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p := compileSeed(t, seed, compiler.DefaultOptions())
+		f := mainOf(p)
+		// Delete the last boundary of the function (never the entry one).
+		deleted := false
+		for bi := len(f.Blocks) - 1; bi >= 0 && !deleted; bi-- {
+			b := f.Blocks[bi]
+			for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+				if b.Instrs[ii].Op == ir.OpBoundary && !(bi == 0 && ii == 0) {
+					b.Instrs = append(b.Instrs[:ii], b.Instrs[ii+1:]...)
+					deleted = true
+					break
+				}
+			}
+		}
+		if !deleted {
+			t.Fatalf("seed %d: no non-entry boundary to delete", seed)
+		}
+		expectCode(t, p, check.CodeRegionIDs, "deleted boundary")
+	}
+}
+
+// --- Mutation 2: un-cut antidependence -> CWSP020 ------------------------
+
+// TestMutationUncutAntidep hand-builds a "formed" function whose region
+// retains a may-alias load->store pair, exactly what a region-formation bug
+// would leave behind, and expects the independent scan to find it.
+func TestMutationUncutAntidep(t *testing.T) {
+	fb := ir.NewFunc("main", 0)
+	fb.NewBlock("entry")
+	a := fb.Alloc(64)
+	v := fb.Load(ir.R(a), 8)
+	w := fb.Add(ir.R(v), ir.Imm(1))
+	fb.Store(ir.R(w), ir.R(a), 8) // overwrites the word loaded two instrs ago
+	fb.Ret(ir.R(w))
+	f := fb.MustDone()
+
+	// Mimic formation output minus the antidependence cut: entry boundary
+	// and boundaries around the alloc, nothing before the store.
+	entry := f.Blocks[0]
+	formed := []ir.Instr{
+		{Op: ir.OpBoundary, RegionID: 0},
+		entry.Instrs[0], // alloc
+		{Op: ir.OpBoundary, RegionID: 1},
+	}
+	formed = append(formed, entry.Instrs[1:]...)
+	entry.Instrs = formed
+	f.NumRegions = 2
+
+	p := ir.NewProgram("uncut")
+	p.Entry = "main"
+	p.Add(f)
+	expectCode(t, p, check.CodeAntidep, "un-cut antidependence")
+
+	// Control: the real formation of the same source must be clean.
+	q := progenFree(t, p)
+	mustClean(t, q, "recut control")
+}
+
+// progenFree re-runs the actual pipeline over a fresh copy of the source
+// program (with compiler metadata stripped).
+func progenFree(t *testing.T, p *ir.Program) *ir.Program {
+	t.Helper()
+	src := p.Clone()
+	for _, f := range src.Funcs {
+		for _, b := range f.Blocks {
+			out := b.Instrs[:0]
+			for ii := range b.Instrs {
+				if b.Instrs[ii].Op != ir.OpBoundary && b.Instrs[ii].Op != ir.OpCkpt {
+					out = append(out, b.Instrs[ii])
+				}
+			}
+			b.Instrs = out
+		}
+		f.NumRegions = 0
+		f.Slices = nil
+	}
+	out, _, err := compiler.Compile(src, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// --- Mutation 3: over-pruned checkpoint -> CWSP040/CWSP030 ---------------
+
+// TestMutationOverPrunedCheckpoint deletes every checkpoint of a register
+// some recovery slice loads from its slot — the observable effect of a
+// pruning pass that wrongly judged the slot valid — and expects the slot-
+// input check to fire.
+func TestMutationOverPrunedCheckpoint(t *testing.T) {
+	tested := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		p := compileSeed(t, seed, compiler.DefaultOptions())
+		f := mainOf(p)
+		victim := ir.NoReg
+		for _, rs := range f.Slices {
+			for _, st := range rs.Steps {
+				if st.Op == ir.SliceLoadCkpt && int(st.Src) >= f.NParams {
+					victim = st.Src
+					break
+				}
+			}
+			if victim != ir.NoReg {
+				break
+			}
+		}
+		if victim == ir.NoReg {
+			continue
+		}
+		removed := 0
+		for _, b := range f.Blocks {
+			out := b.Instrs[:0]
+			for ii := range b.Instrs {
+				in := b.Instrs[ii]
+				if in.Op == ir.OpCkpt && in.A.Reg == victim {
+					removed++
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+		if removed == 0 {
+			continue
+		}
+		expectCode(t, p, check.CodeSliceInput, "over-pruned checkpoint")
+		tested++
+	}
+	if tested < 3 {
+		t.Fatalf("only %d seeds produced an over-prunable checkpoint", tested)
+	}
+}
+
+// TestMutationStaleRecoveryRecipe models the subtler over-pruning failure:
+// the checkpoint remains, but the value the recipe reconstructs is no
+// longer the value the region needs (the defining instruction changed
+// after slices were built). The symbolic engine must see the term mismatch.
+func TestMutationStaleRecoveryRecipe(t *testing.T) {
+	flagged := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		p := compileSeed(t, seed, compiler.DefaultOptions())
+		f := mainOf(p)
+		// Flip the immediate of some constant whose register a slice
+		// rebuilds via SliceConst.
+		done := false
+		for _, rs := range f.Slices {
+			for _, st := range rs.Steps {
+				if st.Op != ir.SliceConst {
+					continue
+				}
+				if retargetConst(f, st.Dst, st.Imm) {
+					done = true
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+		if !done {
+			continue
+		}
+		rep := check.CheckProgramOpts(p, check.Options{RequireCompiled: true})
+		if !rep.Has(check.CodeUnrecoverable) {
+			t.Fatalf("seed %d: stale recipe not flagged:\n%s", seed, rep.String())
+		}
+		flagged++
+	}
+	if flagged < 3 {
+		t.Fatalf("only %d seeds exercised the stale-recipe mutation", flagged)
+	}
+}
+
+// retargetConst changes one OpConst defining dst with the given value so
+// the program diverges from its recovery slices.
+func retargetConst(f *ir.Function, dst ir.Reg, imm int64) bool {
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op == ir.OpConst && in.Dst == dst && in.A.Imm == imm {
+				in.A = ir.Imm(imm + 1)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- Mutation 4: corrupted recovery slice -> CWSP030/031/032/042 ---------
+
+func TestMutationCorruptedSliceValue(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p := compileSeed(t, seed, compiler.DefaultOptions())
+		f := mainOf(p)
+		// Corrupt the first SliceConst step's immediate.
+		done := false
+		for id, rs := range f.Slices {
+			for si := range rs.Steps {
+				if rs.Steps[si].Op == ir.SliceConst {
+					rs.Steps[si].Imm++
+					f.Slices[id] = rs
+					done = true
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+		if !done {
+			continue
+		}
+		expectCode(t, p, check.CodeUnrecoverable, "corrupted slice constant")
+	}
+}
+
+func TestMutationDeletedSlice(t *testing.T) {
+	p := compileSeed(t, 3, compiler.DefaultOptions())
+	f := mainOf(p)
+	// Remove the slice of the entry region, which is always reachable.
+	delete(f.Slices, 0)
+	expectCode(t, p, check.CodeSliceMissing, "deleted slice")
+}
+
+func TestMutationDroppedLiveIn(t *testing.T) {
+	mutated := false
+	for seed := int64(1); seed <= 10 && !mutated; seed++ {
+		p := compileSeed(t, seed, compiler.DefaultOptions())
+		f := mainOf(p)
+		for id, rs := range f.Slices {
+			if len(rs.LiveIn) == 0 {
+				continue
+			}
+			rs.LiveIn = rs.LiveIn[1:]
+			rs.Steps = rs.Steps[1:] // also drop its rebuild step
+			f.Slices[id] = rs
+			mutated = true
+			expectCode(t, p, check.CodeLiveInMissing, "dropped live-in")
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no slice with a live-in register found")
+	}
+}
+
+func TestMutationSliceEntryDrift(t *testing.T) {
+	p := compileSeed(t, 5, compiler.DefaultOptions())
+	f := mainOf(p)
+	rs := f.Slices[0]
+	rs.Entry.Index++
+	f.Slices[0] = rs
+	expectCode(t, p, check.CodeSliceMeta, "slice entry drift")
+}

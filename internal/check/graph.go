@@ -1,0 +1,242 @@
+package check
+
+import "cwsp/internal/ir"
+
+// flow caches the checker's own view of a function's control flow. It is a
+// deliberate re-derivation of what internal/analysis computes: the checker
+// must not inherit a bug from the analyses the transforms consumed.
+type flow struct {
+	f     *ir.Function
+	succs [][]int
+	preds [][]int
+	rpo   []int // reverse postorder over reachable blocks, entry first
+	reach []bool
+}
+
+func buildFlow(f *ir.Function) *flow {
+	n := len(f.Blocks)
+	fl := &flow{f: f, succs: make([][]int, n), preds: make([][]int, n), reach: make([]bool, n)}
+	for i, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue // structural checks report this; keep the graph partial
+		}
+		switch t.Op {
+		case ir.OpJmp:
+			fl.addEdge(i, t.Then, n)
+		case ir.OpBr:
+			fl.addEdge(i, t.Then, n)
+			if t.Else != t.Then {
+				fl.addEdge(i, t.Else, n)
+			}
+		}
+	}
+	// Iterative DFS postorder from the entry.
+	if n == 0 {
+		return fl
+	}
+	type frame struct{ b, si int }
+	var post []int
+	stack := []frame{{0, 0}}
+	fl.reach[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.si < len(fl.succs[top.b]) {
+			s := fl.succs[top.b][top.si]
+			top.si++
+			if !fl.reach[s] {
+				fl.reach[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	fl.rpo = make([]int, len(post))
+	for i := range post {
+		fl.rpo[i] = post[len(post)-1-i]
+	}
+	return fl
+}
+
+func (fl *flow) addEdge(from, to, n int) {
+	if to < 0 || to >= n {
+		return // branch-range checks report this
+	}
+	fl.succs[from] = append(fl.succs[from], to)
+	fl.preds[to] = append(fl.preds[to], from)
+}
+
+// dominators computes, for every reachable block, its dominator set as a
+// bitset (the straightforward iterative formulation: dom(b) = {b} ∪
+// ∩ dom(preds)). Function CFGs here are small, so the O(n²) dataflow is
+// simpler and easier to trust than Lengauer-Tarjan.
+func (fl *flow) dominators() []bitset {
+	n := len(fl.f.Blocks)
+	dom := make([]bitset, n)
+	all := newBitset(n)
+	for i := 0; i < n; i++ {
+		all.set(i)
+	}
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			dom[i] = newBitset(n)
+			dom[i].set(0)
+		} else {
+			dom[i] = all.copy()
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range fl.rpo {
+			if b == 0 {
+				continue
+			}
+			nd := all.copy()
+			any := false
+			for _, p := range fl.preds[b] {
+				if !fl.reach[p] {
+					continue
+				}
+				nd.intersect(dom[p])
+				any = true
+			}
+			if !any {
+				nd = newBitset(n)
+			}
+			nd.set(b)
+			if !nd.equal(dom[b]) {
+				dom[b] = nd
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+// loopHeaders returns the blocks that head a natural loop: targets of back
+// edges t→h with h dominating t, over reachable blocks only.
+func (fl *flow) loopHeaders() map[int]bool {
+	dom := fl.dominators()
+	heads := map[int]bool{}
+	for t, ss := range fl.succs {
+		if !fl.reach[t] {
+			continue
+		}
+		for _, h := range ss {
+			if dom[t].has(h) {
+				heads[h] = true
+			}
+		}
+	}
+	return heads
+}
+
+// bitset is a dense block-index set.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(i int)      { s[i/64] |= 1 << (uint(i) % 64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (s bitset) copy() bitset {
+	c := make(bitset, len(s))
+	copy(c, s)
+	return c
+}
+
+func (s bitset) intersect(o bitset) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+func (s bitset) equal(o bitset) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// liveness is the checker's own backward may-liveness fixpoint, kept as
+// simple as possible (map-of-register sets, no bit tricks) so its
+// correctness is evident by inspection.
+type liveness struct {
+	fl      *flow
+	liveOut []map[ir.Reg]bool
+}
+
+func computeLiveness(fl *flow) *liveness {
+	n := len(fl.f.Blocks)
+	lv := &liveness{fl: fl, liveOut: make([]map[ir.Reg]bool, n)}
+	liveIn := make([]map[ir.Reg]bool, n)
+	for i := 0; i < n; i++ {
+		lv.liveOut[i] = map[ir.Reg]bool{}
+		liveIn[i] = map[ir.Reg]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(fl.rpo) - 1; i >= 0; i-- {
+			b := fl.rpo[i]
+			out := lv.liveOut[b]
+			for _, s := range fl.succs[b] {
+				for r := range liveIn[s] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.liveBefore(b, 0)
+			for r := range in {
+				if !liveIn[b][r] {
+					liveIn[b][r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// liveBefore returns the registers live immediately before
+// Blocks[blk].Instrs[idx], walking the block backward from its live-out.
+func (lv *liveness) liveBefore(blk, idx int) map[ir.Reg]bool {
+	cur := map[ir.Reg]bool{}
+	for r := range lv.liveOut[blk] {
+		cur[r] = true
+	}
+	instrs := lv.fl.f.Blocks[blk].Instrs
+	var uses []ir.Reg
+	for k := len(instrs) - 1; k >= idx; k-- {
+		inst := &instrs[k]
+		if d := inst.Def(); d != ir.NoReg {
+			delete(cur, d)
+		}
+		uses = inst.Uses(uses[:0])
+		for _, u := range uses {
+			cur[u] = true
+		}
+	}
+	return cur
+}
+
+// sortedRegs returns the members of a register set in ascending order.
+func sortedRegs(set map[ir.Reg]bool) []ir.Reg {
+	out := make([]ir.Reg, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package check_test
+
+// The text interchange format must preserve everything the checker reasons
+// about: a compiled program marshalled and unmarshalled must still be
+// checker-clean and must re-marshal to identical bytes. Running the checker
+// on both sides makes this a semantic round-trip test, not just a syntactic
+// one.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"cwsp/internal/check"
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/minic"
+)
+
+func TestMarshalRoundTripStaysClean(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := compileSeed(t, seed, compiler.DefaultOptions())
+
+		var buf bytes.Buffer
+		if err := p.MarshalText(&buf); err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		first := buf.String()
+
+		q, err := ir.UnmarshalText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: unmarshal: %v", seed, err)
+		}
+		mustClean(t, q, "roundtripped program")
+
+		var buf2 bytes.Buffer
+		if err := q.MarshalText(&buf2); err != nil {
+			t.Fatalf("seed %d: re-marshal: %v", seed, err)
+		}
+		if first != buf2.String() {
+			t.Fatalf("seed %d: marshal not stable across a round trip", seed)
+		}
+	}
+}
+
+// TestMinicExampleIsClean pushes the checked-in miniC example through the
+// full front end + pipeline and demands a clean report — the same program
+// `make lint` gates on.
+func TestMinicExampleIsClean(t *testing.T) {
+	src, err := os.ReadFile("../../examples/minic/btree.mc")
+	if err != nil {
+		t.Fatalf("read example: %v", err)
+	}
+	p, err := minic.CompileNamed(string(src), "btree")
+	if err != nil {
+		t.Fatalf("minic: %v", err)
+	}
+	out, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	mustClean(t, out, "btree.mc")
+
+	// And the front-end output alone must pass the well-formedness group.
+	rep := check.CheckProgram(p)
+	if rep.HasErrors() {
+		t.Fatalf("front-end output not well-formed:\n%s", rep.String())
+	}
+}

@@ -1,0 +1,166 @@
+package check
+
+import "cwsp/internal/ir"
+
+// checkSufficiency proves, for every reachable region boundary, that each
+// register live into the region is rebuilt exactly by the region's recovery
+// slice (CWSP030-032), and that every slice is well-formed in itself
+// (CWSP040-044). Liveness comes from the checker's own fixpoint; value
+// equality comes from the symbolic engine. A checkpoint the pruner removed
+// wrongly therefore shows up here as a term mismatch, not as a corrupted
+// run months later.
+func checkSufficiency(rep *Report, f *ir.Function, fl *flow, maxPasses int) {
+	lv := computeLiveness(fl)
+	sym := symDataflow(f, fl, maxPasses)
+	sev := rep.errorf
+	if !sym.converged {
+		rep.warnf(CodeNoConvergence, f.Name, -1, -1, -1,
+			"symbolic dataflow hit its iteration cap; sufficiency findings downgraded to warnings")
+		sev = rep.warnf
+	}
+
+	// Slot-write inventory for CWSP040: a slice may load slot r only if
+	// some ckpt writes it or the calling convention does (parameters).
+	slotWritten := make([]bool, f.NumRegs)
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op == ir.OpCkpt && in.A.IsReg() && int(in.A.Reg) < f.NumRegs {
+				slotWritten[in.A.Reg] = true
+			}
+		}
+	}
+
+	usedSlices := map[int]bool{}
+	for _, bi := range fl.rpo {
+		b := f.Blocks[bi]
+		for ii := range b.Instrs {
+			inst := &b.Instrs[ii]
+			if inst.Op != ir.OpBoundary {
+				continue
+			}
+			id := inst.RegionID
+			liveIn := sortedRegs(lv.liveBefore(bi, ii))
+
+			rs, ok := f.Slices[id]
+			if !ok {
+				rep.errorf(CodeSliceMissing, f.Name, bi, ii, id, "reachable region has no recovery slice")
+				continue
+			}
+			usedSlices[id] = true
+			if rs.RegionID != id {
+				rep.errorf(CodeSliceMeta, f.Name, bi, ii, id, "slice stored under region %d records id %d", id, rs.RegionID)
+			}
+			if rs.Entry.Block != bi || rs.Entry.Index != ii {
+				rep.errorf(CodeSliceMeta, f.Name, bi, ii, id, "slice entry b%d[%d] does not match the boundary position",
+					rs.Entry.Block, rs.Entry.Index)
+			}
+
+			declared := map[ir.Reg]bool{}
+			for _, r := range rs.LiveIn {
+				declared[r] = true
+			}
+			for _, r := range liveIn {
+				if !declared[r] {
+					rep.errorf(CodeLiveInMissing, f.Name, bi, ii, id, "r%d is live into the region but absent from the slice's live-in set", r)
+				}
+			}
+
+			// Replay the slice symbolically against the state at the boundary.
+			at := sym.stateAt(f, bi, ii)
+			env := replaySlice(rep, f, sym, at, rs, slotWritten, bi, ii, id)
+
+			for _, r := range liveIn {
+				got, ok := env[r]
+				if !ok {
+					if declared[r] {
+						rep.errorf(CodeSliceTarget, f.Name, bi, ii, id, "slice declares r%d live-in but never defines it", r)
+					}
+					continue
+				}
+				if got != at.regs[r] {
+					sev(CodeUnrecoverable, f.Name, bi, ii, id,
+						"slice rebuilds r%d as %s but the region needs %s",
+						r, sym.describeTerm(got), sym.describeTerm(at.regs[r]))
+				}
+			}
+		}
+	}
+
+	// Slices for unreachable regions are harmless; slices for region ids
+	// that no boundary carries point at metadata drift.
+	for id, rs := range f.Slices {
+		if usedSlices[id] {
+			continue
+		}
+		if id < 0 || id >= f.NumRegions {
+			rep.errorf(CodeSliceMeta, f.Name, rs.Entry.Block, rs.Entry.Index, id,
+				"slice for region %d outside [0,%d)", id, f.NumRegions)
+		}
+	}
+}
+
+// replaySlice runs the slice's steps symbolically, validating step shape
+// (CWSP041/044) and slot inputs (CWSP040), and returns the register values
+// the slice establishes.
+func replaySlice(rep *Report, f *ir.Function, sym *symResult, at *symState, rs ir.RecoverySlice,
+	slotWritten []bool, bi, ii, id int) map[ir.Reg]int {
+	env := map[ir.Reg]int{}
+	regOK := func(r ir.Reg) bool { return r >= 0 && int(r) < f.NumRegs }
+	need := func(step int, r ir.Reg) (int, bool) {
+		if !regOK(r) {
+			rep.errorf(CodeSliceStep, f.Name, bi, ii, id, "step %d references register r%d out of range", step, r)
+			return symUndef, false
+		}
+		t, ok := env[r]
+		if !ok {
+			rep.errorf(CodeSliceOrder, f.Name, bi, ii, id, "step %d reads r%d before the slice defines it", step, r)
+			return symUndef, false
+		}
+		return t, true
+	}
+	for si, st := range rs.Steps {
+		if !regOK(st.Dst) {
+			rep.errorf(CodeSliceStep, f.Name, bi, ii, id, "step %d writes register r%d out of range", si, st.Dst)
+			continue
+		}
+		switch st.Op {
+		case ir.SliceConst:
+			env[st.Dst] = sym.engine.constTerm(st.Imm)
+		case ir.SliceLoadCkpt:
+			if !regOK(st.Src) {
+				rep.errorf(CodeSliceStep, f.Name, bi, ii, id, "step %d loads slot r%d out of range", si, st.Src)
+				continue
+			}
+			if !slotWritten[st.Src] && int(st.Src) >= f.NParams {
+				rep.errorf(CodeSliceInput, f.Name, bi, ii, id,
+					"step %d loads checkpoint slot r%d, which no checkpoint writes", si, st.Src)
+			}
+			env[st.Dst] = at.slots[st.Src]
+		case ir.SliceUnary:
+			if !isALUOp(st.ALUOp) {
+				rep.errorf(CodeSliceStep, f.Name, bi, ii, id, "step %d has non-ALU opcode %v", si, st.ALUOp)
+				continue
+			}
+			src, ok := need(si, st.Src)
+			if !ok {
+				continue
+			}
+			env[st.Dst] = sym.engine.aluTerm(st.ALUOp, src, sym.engine.constTerm(st.Imm))
+		case ir.SliceBinary:
+			if !isALUOp(st.ALUOp) {
+				rep.errorf(CodeSliceStep, f.Name, bi, ii, id, "step %d has non-ALU opcode %v", si, st.ALUOp)
+				continue
+			}
+			a, aok := need(si, st.Src)
+			b, bok := need(si, st.Src2)
+			if !aok || !bok {
+				continue
+			}
+			env[st.Dst] = sym.engine.aluTerm(st.ALUOp, a, b)
+		default:
+			rep.errorf(CodeSliceStep, f.Name, bi, ii, id, "step %d has unknown slice opcode %d", si, st.Op)
+		}
+	}
+	return env
+}

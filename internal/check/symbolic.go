@@ -1,0 +1,371 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cwsp/internal/ir"
+)
+
+// The sufficiency checker proves recovery slices correct with a symbolic
+// value-numbering dataflow, a deliberately different technique from the
+// compiler's capability lattice (translation validation rather than
+// re-running the optimizer): every register and every NVM checkpoint slot
+// is mapped to an interned symbolic term, two program values are known
+// equal iff their terms are identical, and a slice recipe is valid at a
+// boundary iff replaying it symbolically over the slot terms reproduces the
+// live-in register terms.
+//
+// Term construction:
+//
+//   - leaves: parameters, initial slot contents, constants, and one opaque
+//     term per non-reconstructible definition site (loads, calls, allocs,
+//     atomics, selects);
+//   - ALU terms fold constants through the real executor and canonicalize
+//     commutative operands, so "imm op slot" matches the slice's
+//     "slot op imm" replay;
+//   - joins where predecessors disagree intern a phi term keyed by the
+//     block and the full incoming vector — registers and slots that were
+//     pairwise-equal on every edge therefore stay equal after the join,
+//     which is exactly the relational fact checkpoint pruning exploits;
+//   - loop-carried phi vectors can otherwise grow without bound, so a join
+//     that keeps changing is widened: its variables collapse to terms keyed
+//     by (block, equivalence class of the incoming vector), preserving
+//     pairwise equality while forcing convergence.
+type symEngine struct {
+	ids    map[string]int
+	consts map[int]int64 // term id -> value, for terms that are known constants
+}
+
+func newSymEngine() *symEngine {
+	return &symEngine{ids: map[string]int{}, consts: map[int]int64{}}
+}
+
+const symUndef = 0 // shared "never assigned" term
+
+func (e *symEngine) intern(key string) int {
+	if id, ok := e.ids[key]; ok {
+		return id
+	}
+	id := len(e.ids) + 1 // 0 is reserved for symUndef
+	e.ids[key] = id
+	return id
+}
+
+func (e *symEngine) constTerm(v int64) int {
+	id := e.intern(fmt.Sprintf("c|%d", v))
+	e.consts[id] = v
+	return id
+}
+
+func (e *symEngine) paramTerm(r ir.Reg) int    { return e.intern(fmt.Sprintf("p|%d", r)) }
+func (e *symEngine) slotInitTerm(r ir.Reg) int { return e.intern(fmt.Sprintf("s0|%d", r)) }
+
+func (e *symEngine) opaqueTerm(fn string, b, i int) int {
+	return e.intern(fmt.Sprintf("o|%s|%d|%d", fn, b, i))
+}
+
+// aluTerm builds the term for a op b, folding constants with the real
+// executor's semantics and canonicalizing commutative operand order.
+func (e *symEngine) aluTerm(op ir.Op, a, b int) int {
+	av, aok := e.consts[a]
+	bv, bok := e.consts[b]
+	if aok && bok {
+		return e.constTerm(execFold(op, av, bv))
+	}
+	if commutativeOp(op) && a > b {
+		a, b = b, a
+	}
+	return e.intern(fmt.Sprintf("a|%d|%d|%d", op, a, b))
+}
+
+func commutativeOp(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpCmpEQ, ir.OpCmpNE:
+		return true
+	}
+	return false
+}
+
+// isALUOp reports whether op is a legal recovery-slice ALU opcode.
+func isALUOp(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		return true
+	}
+	return false
+}
+
+// execFold evaluates a op b through the executor so the checker's constant
+// semantics (shift masking, division by zero) match the machine's exactly.
+func execFold(op ir.Op, a, b int64) int64 {
+	regs := []int64{a, b}
+	in := ir.Instr{Op: op, Dst: 0, A: ir.R(0), B: ir.R(1)}
+	ir.Exec(&in, regs, nil)
+	return regs[0]
+}
+
+// symState is the per-point abstraction: one term per register and one per
+// checkpoint slot.
+type symState struct {
+	regs  []int
+	slots []int
+}
+
+func (s *symState) clone() *symState {
+	c := &symState{regs: make([]int, len(s.regs)), slots: make([]int, len(s.slots))}
+	copy(c.regs, s.regs)
+	copy(c.slots, s.slots)
+	return c
+}
+
+func (s *symState) equal(o *symState) bool {
+	for i := range s.regs {
+		if s.regs[i] != o.regs[i] {
+			return false
+		}
+	}
+	for i := range s.slots {
+		if s.slots[i] != o.slots[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// var index space for join bookkeeping: 0..nr-1 registers, nr..2nr-1 slots.
+func (s *symState) get(v int) int {
+	if v < len(s.regs) {
+		return s.regs[v]
+	}
+	return s.slots[v-len(s.regs)]
+}
+
+func (s *symState) put(v, t int) {
+	if v < len(s.regs) {
+		s.regs[v] = t
+	} else {
+		s.slots[v-len(s.regs)] = t
+	}
+}
+
+// transfer applies one instruction to the state.
+func (e *symEngine) transfer(st *symState, fn string, bi, ii int, in *ir.Instr) {
+	term := func(o ir.Operand) int {
+		switch o.Kind {
+		case ir.OperandImm:
+			return e.constTerm(o.Imm)
+		case ir.OperandReg:
+			return st.regs[o.Reg]
+		}
+		return symUndef
+	}
+	switch in.Op {
+	case ir.OpConst:
+		st.regs[in.Dst] = e.constTerm(in.A.Imm)
+	case ir.OpMov:
+		st.regs[in.Dst] = term(in.A)
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		st.regs[in.Dst] = e.aluTerm(in.Op, term(in.A), term(in.B))
+	case ir.OpCkpt:
+		// The slot takes a snapshot of the register's current value. Slots
+		// hold values, not relations, so no other term is disturbed.
+		if in.A.IsReg() {
+			st.slots[in.A.Reg] = st.regs[in.A.Reg]
+		}
+	case ir.OpStore, ir.OpJmp, ir.OpBr, ir.OpRet, ir.OpFence, ir.OpEmit, ir.OpBoundary:
+		// No register or slot effect.
+	default:
+		// Loads, calls, allocs, atomics, selects: a fresh value per site.
+		// The site-keyed term is sound because a slot can only carry it via
+		// an OpCkpt that ran after the same definition on the same path;
+		// any older snapshot reaches a join against a path that lacks it
+		// (first entry carries the distinct slot-init leaf) and collapses.
+		if d := in.Def(); d != ir.NoReg {
+			st.regs[d] = e.opaqueTerm(fn, bi, ii)
+		}
+	}
+}
+
+// joinSite tracks widening state for one (block, variable) join.
+type joinSite struct {
+	lastIn  int
+	seen    bool
+	changes int
+	widened bool
+}
+
+// widenLimit is how many times a join may produce a new phi term before the
+// variable is widened at that block. Acyclic joins settle in one pass;
+// only loop-carried growth crosses this.
+const widenLimit = 3
+
+// symResult carries the converged per-block in-states.
+type symResult struct {
+	engine    *symEngine
+	in        []*symState
+	converged bool
+}
+
+// symDataflow runs the symbolic fixpoint and returns each reachable block's
+// in-state.
+func symDataflow(f *ir.Function, fl *flow, maxPasses int) *symResult {
+	e := newSymEngine()
+	nr := f.NumRegs
+	nblocks := len(f.Blocks)
+	if maxPasses <= 0 {
+		maxPasses = 64 + 4*nblocks
+	}
+
+	entry := &symState{regs: make([]int, nr), slots: make([]int, nr)}
+	for r := 0; r < nr; r++ {
+		if r < f.NParams {
+			// The calling convention checkpoints arguments into the callee
+			// frame's parameter slots: register and slot start equal.
+			entry.regs[r] = e.paramTerm(ir.Reg(r))
+			entry.slots[r] = e.paramTerm(ir.Reg(r))
+		} else {
+			entry.regs[r] = symUndef
+			entry.slots[r] = e.slotInitTerm(ir.Reg(r))
+		}
+	}
+
+	out := make([]*symState, nblocks)
+	sites := make(map[[2]int]*joinSite) // (block, var) -> join bookkeeping
+
+	computeIn := func(bi int) *symState {
+		if bi == 0 {
+			return entry.clone()
+		}
+		var avail []int
+		for _, p := range fl.preds[bi] {
+			if out[p] != nil {
+				avail = append(avail, p)
+			}
+		}
+		st := &symState{regs: make([]int, nr), slots: make([]int, nr)}
+		if len(avail) == 0 {
+			return st // all-undef; the block is effectively unreachable so far
+		}
+		if len(avail) == 1 {
+			return out[avail[0]].clone()
+		}
+		// Group widened variables by incoming vector so pairwise-equal
+		// variables share one widened term (class key = smallest member).
+		vecs := make([]string, 2*nr)
+		classKey := map[string]int{}
+		for v := 0; v < 2*nr; v++ {
+			var sb strings.Builder
+			same := true
+			first := out[avail[0]].get(v)
+			for k, p := range avail {
+				t := out[p].get(v)
+				if t != first {
+					same = false
+				}
+				if k > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%d", t)
+			}
+			if same {
+				st.put(v, first)
+				continue
+			}
+			vecs[v] = sb.String()
+			site := sites[[2]int{bi, v}]
+			if site != nil && site.widened {
+				if _, ok := classKey[vecs[v]]; !ok {
+					classKey[vecs[v]] = v
+				}
+				continue // widened terms assigned below, after classes settle
+			}
+			st.put(v, e.intern(fmt.Sprintf("phi|%d|%s", bi, vecs[v])))
+		}
+		for v := 0; v < 2*nr; v++ {
+			site := sites[[2]int{bi, v}]
+			if site == nil || !site.widened || vecs[v] == "" {
+				continue
+			}
+			st.put(v, e.intern(fmt.Sprintf("w|%d|%d", bi, classKey[vecs[v]])))
+		}
+		// Widening bookkeeping: count how often each variable's joined term
+		// changes; past the limit, widen it permanently.
+		for v := 0; v < 2*nr; v++ {
+			key := [2]int{bi, v}
+			site := sites[key]
+			if site == nil {
+				site = &joinSite{}
+				sites[key] = site
+			}
+			t := st.get(v)
+			if site.seen && t != site.lastIn && !site.widened {
+				site.changes++
+				if site.changes > widenLimit {
+					site.widened = true
+				}
+			}
+			site.seen = true
+			site.lastIn = t
+		}
+		return st
+	}
+
+	res := &symResult{engine: e, in: make([]*symState, nblocks)}
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, bi := range fl.rpo {
+			cur := computeIn(bi)
+			res.in[bi] = cur.clone()
+			for ii := range f.Blocks[bi].Instrs {
+				e.transfer(cur, f.Name, bi, ii, &f.Blocks[bi].Instrs[ii])
+			}
+			if out[bi] == nil || !cur.equal(out[bi]) {
+				out[bi] = cur
+				changed = true
+			}
+		}
+		if !changed {
+			res.converged = true
+			return res
+		}
+	}
+	// Non-convergence: keep the last states. They may flag sound programs
+	// (never the reverse for direct-checkpoint recipes, which re-establish
+	// slot == register after every join); the caller downgrades severity.
+	return res
+}
+
+// stateAt replays the block prefix to produce the symbolic state
+// immediately before Blocks[blk].Instrs[idx].
+func (r *symResult) stateAt(f *ir.Function, blk, idx int) *symState {
+	cur := r.in[blk].clone()
+	for ii := 0; ii < idx; ii++ {
+		r.engine.transfer(cur, f.Name, blk, ii, &f.Blocks[blk].Instrs[ii])
+	}
+	return cur
+}
+
+// describeTerm renders a term id for diagnostics (best effort: the interned
+// key, reverse-looked-up).
+func (r *symResult) describeTerm(id int) string {
+	if id == symUndef {
+		return "<undef>"
+	}
+	keys := make([]string, 0, 1)
+	for k, v := range r.engine.ids {
+		if v == id {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return fmt.Sprintf("t%d", id)
+	}
+	return keys[0]
+}

@@ -1,0 +1,353 @@
+package check
+
+import "cwsp/internal/ir"
+
+// checkStructure verifies CWSP001/002/003: block indexing, terminator
+// placement, branch ranges, register ranges, and per-opcode operand kinds.
+// It returns false when the function is too malformed for the dataflow
+// checks to run meaningfully.
+func checkStructure(rep *Report, f *ir.Function) bool {
+	ok := true
+	if len(f.Blocks) == 0 {
+		rep.errorf(CodeStructure, f.Name, -1, -1, -1, "function has no blocks")
+		return false
+	}
+	for bi, b := range f.Blocks {
+		if b.Index != bi {
+			rep.errorf(CodeStructure, f.Name, bi, -1, -1, "block %q records index %d", b.Name, b.Index)
+			ok = false
+		}
+		if len(b.Instrs) == 0 {
+			rep.errorf(CodeStructure, f.Name, bi, -1, -1, "block %q is empty", b.Name)
+			ok = false
+			continue
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.IsTerminator() != (ii == len(b.Instrs)-1) {
+				rep.errorf(CodeStructure, f.Name, bi, ii, -1, "terminator placement violation (%v)", in.Op)
+				ok = false
+			}
+			switch in.Op {
+			case ir.OpJmp:
+				if in.Then < 0 || in.Then >= len(f.Blocks) {
+					rep.errorf(CodeBranchRange, f.Name, bi, ii, -1, "jmp target %d out of range", in.Then)
+					ok = false
+				}
+			case ir.OpBr:
+				if in.Then < 0 || in.Then >= len(f.Blocks) || in.Else < 0 || in.Else >= len(f.Blocks) {
+					rep.errorf(CodeBranchRange, f.Name, bi, ii, -1, "br targets (%d,%d) out of range", in.Then, in.Else)
+					ok = false
+				}
+			}
+			if !checkOperands(rep, f, bi, ii, in) {
+				ok = false
+			}
+		}
+		if b.Term() == nil {
+			rep.errorf(CodeStructure, f.Name, bi, -1, -1, "block %q does not end in a terminator", b.Name)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// checkOperands verifies register ranges and that each opcode's required
+// operands are present with a legal kind (CWSP003).
+func checkOperands(rep *Report, f *ir.Function, bi, ii int, in *ir.Instr) bool {
+	ok := true
+	bad := func(format string, args ...interface{}) {
+		rep.errorf(CodeOperand, f.Name, bi, ii, -1, format, args...)
+		ok = false
+	}
+	checkReg := func(r ir.Reg) {
+		if r != ir.NoReg && (r < 0 || int(r) >= f.NumRegs) {
+			bad("register r%d out of range (NumRegs=%d)", r, f.NumRegs)
+		}
+	}
+	for _, u := range in.Uses(nil) {
+		checkReg(u)
+	}
+	checkReg(in.Def())
+
+	present := func(name string, o ir.Operand) {
+		if o.Kind == ir.OperandNone {
+			bad("%v requires operand %s", in.Op, name)
+		}
+	}
+	switch in.Op {
+	case ir.OpInvalid:
+		bad("invalid opcode")
+	case ir.OpConst:
+		if !in.A.IsImm() {
+			bad("const requires an immediate operand")
+		}
+	case ir.OpMov, ir.OpLoad, ir.OpEmit:
+		present("A", in.A)
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		present("A", in.A)
+		present("B", in.B)
+	case ir.OpSelect, ir.OpAtomicCAS:
+		present("A", in.A)
+		present("B", in.B)
+		present("C", in.C)
+	case ir.OpStore, ir.OpAtomicAdd, ir.OpAtomicXchg:
+		present("A", in.A)
+		present("B", in.B)
+	case ir.OpAlloc:
+		present("A", in.A)
+	case ir.OpBr:
+		present("A", in.A)
+	case ir.OpRet:
+		if in.HasVal {
+			present("A", in.A)
+		}
+	case ir.OpCkpt:
+		if !in.A.IsReg() {
+			bad("ckpt requires a register operand")
+		}
+	}
+	return ok
+}
+
+// checkDefBeforeUse runs the checker's own forward definitely-assigned
+// dataflow (meet = intersection over predecessors, parameters assigned at
+// entry) and reports every read that may observe an unassigned register
+// (CWSP004).
+func checkDefBeforeUse(rep *Report, f *ir.Function, fl *flow) {
+	n := len(f.Blocks)
+	in := make([]bitset, n)
+	nr := f.NumRegs
+	full := newBitset(nr)
+	for r := 0; r < nr; r++ {
+		full.set(r)
+	}
+	for i := range in {
+		in[i] = full.copy() // optimistic top; meet shrinks it
+	}
+	entry := newBitset(nr)
+	for i := 0; i < f.NParams; i++ {
+		entry.set(i)
+	}
+	in[0] = entry
+
+	transfer := func(bi int, cur bitset) bitset {
+		for ii := range f.Blocks[bi].Instrs {
+			if d := f.Blocks[bi].Instrs[ii].Def(); d != ir.NoReg && int(d) < nr && d >= 0 {
+				cur.set(int(d))
+			}
+		}
+		return cur
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, bi := range fl.rpo {
+			out := transfer(bi, in[bi].copy())
+			for _, s := range fl.succs[bi] {
+				if s == 0 {
+					continue // entry keeps its parameters-only set
+				}
+				before := in[s].copy()
+				in[s].intersect(out)
+				if !in[s].equal(before) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, bi := range fl.rpo {
+		cur := in[bi].copy()
+		var uses []ir.Reg
+		for ii := range f.Blocks[bi].Instrs {
+			inst := &f.Blocks[bi].Instrs[ii]
+			uses = inst.Uses(uses[:0])
+			for _, u := range uses {
+				if u >= 0 && int(u) < nr && !cur.has(int(u)) {
+					rep.errorf(CodeDefUse, f.Name, bi, ii, -1, "r%d may be read before assignment", u)
+				}
+			}
+			if d := inst.Def(); d != ir.NoReg && d >= 0 && int(d) < nr {
+				cur.set(int(d))
+			}
+		}
+	}
+}
+
+// checkCalls verifies CWSP005 for the whole program: the entry function
+// exists and every call site resolves with matching arity.
+func checkCalls(rep *Report, p *ir.Program) {
+	if p.Entry == "" || p.Funcs[p.Entry] == nil {
+		rep.errorf(CodeCall, "", -1, -1, -1, "program %q has no entry function %q", p.Name, p.Entry)
+	}
+	for _, f := range p.Funcs {
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				callee := p.Funcs[in.Callee]
+				if callee == nil {
+					rep.errorf(CodeCall, f.Name, bi, ii, -1, "call to unknown function %q", in.Callee)
+					continue
+				}
+				if len(in.Args) != callee.NParams {
+					rep.errorf(CodeCall, f.Name, bi, ii, -1, "call to %s passes %d args, want %d",
+						in.Callee, len(in.Args), callee.NParams)
+				}
+			}
+		}
+	}
+}
+
+// checkRegionStructure verifies CWSP010-013 over a region-formed function:
+// dense unique region ids, full region coverage, boundaries around
+// call-like operations, and boundaries at natural-loop headers.
+func checkRegionStructure(rep *Report, f *ir.Function, fl *flow) {
+	// CWSP010: ids must be exactly 0..NumRegions-1, each used once.
+	seen := map[int]ir.InstrRef{}
+	count := 0
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op != ir.OpBoundary {
+				continue
+			}
+			count++
+			id := in.RegionID
+			if id < 0 || id >= f.NumRegions {
+				rep.errorf(CodeRegionIDs, f.Name, bi, ii, id, "region id %d outside [0,%d)", id, f.NumRegions)
+				continue
+			}
+			if prev, dup := seen[id]; dup {
+				rep.errorf(CodeRegionIDs, f.Name, bi, ii, id, "region id %d already used at b%d[%d]",
+					id, prev.Block, prev.Index)
+				continue
+			}
+			seen[id] = ir.InstrRef{Block: bi, Index: ii}
+		}
+	}
+	if count != f.NumRegions {
+		rep.errorf(CodeRegionIDs, f.Name, -1, -1, -1, "function declares %d regions but has %d boundaries",
+			f.NumRegions, count)
+	}
+
+	// CWSP011: every reachable instruction must execute under some region,
+	// i.e. a boundary must have been crossed on every path reaching it.
+	// Forward dataflow: covered(entry)=false, boundary => true, meet = AND.
+	covered := coveredIn(f, fl)
+	for _, bi := range fl.rpo {
+		cur := covered[bi]
+		for ii := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[ii]
+			if in.Op == ir.OpBoundary {
+				cur = true
+				continue
+			}
+			if !cur {
+				rep.errorf(CodeUncovered, f.Name, bi, ii, -1, "%v executes before any region boundary", in.Op)
+			}
+		}
+	}
+
+	// CWSP012: every call-like operation needs a boundary immediately before
+	// and after it in its block (checkpoints for the following boundary may
+	// sit in between; region formation never leaves anything else there).
+	for _, bi := range fl.rpo {
+		b := f.Blocks[bi]
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if !in.IsBoundaryOp() || in.Op == ir.OpBoundary {
+				continue
+			}
+			if prevNonCkpt(b, ii) != ir.OpBoundary {
+				rep.errorf(CodeCallBoundary, f.Name, bi, ii, -1, "%v has no boundary before it", in.Op)
+			}
+			if nextNonCkpt(b, ii) != ir.OpBoundary {
+				rep.errorf(CodeCallBoundary, f.Name, bi, ii, -1, "%v has no boundary after it", in.Op)
+			}
+		}
+	}
+
+	// CWSP013: every natural-loop header starts a fresh region, so a power
+	// failure mid-iteration re-executes at most one iteration.
+	for h := range fl.loopHeaders() {
+		b := f.Blocks[h]
+		first := ir.OpInvalid
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op != ir.OpCkpt {
+				first = b.Instrs[ii].Op
+				break
+			}
+		}
+		if first != ir.OpBoundary {
+			rep.errorf(CodeLoopBoundary, f.Name, h, -1, -1, "loop header %q does not begin with a boundary", b.Name)
+		}
+	}
+}
+
+// coveredIn computes, per reachable block, whether every path into it has
+// crossed at least one region boundary.
+func coveredIn(f *ir.Function, fl *flow) []bool {
+	n := len(f.Blocks)
+	in := make([]bool, n)
+	computed := make([]bool, n)
+	out := make([]bool, n)
+	transfer := func(bi int, cur bool) bool {
+		for ii := range f.Blocks[bi].Instrs {
+			if f.Blocks[bi].Instrs[ii].Op == ir.OpBoundary {
+				return true
+			}
+		}
+		return cur
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, bi := range fl.rpo {
+			cur := true
+			if bi == 0 {
+				cur = false
+			}
+			for _, p := range fl.preds[bi] {
+				if computed[p] && !out[p] {
+					cur = false
+				}
+			}
+			no := transfer(bi, cur)
+			if !computed[bi] || no != out[bi] || cur != in[bi] {
+				computed[bi] = true
+				out[bi] = no
+				in[bi] = cur
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// prevNonCkpt returns the opcode of the nearest preceding non-checkpoint
+// instruction in the block, or OpInvalid at the block start.
+func prevNonCkpt(b *ir.Block, ii int) ir.Op {
+	for k := ii - 1; k >= 0; k-- {
+		if b.Instrs[k].Op != ir.OpCkpt {
+			return b.Instrs[k].Op
+		}
+	}
+	return ir.OpInvalid
+}
+
+// nextNonCkpt returns the opcode of the nearest following non-checkpoint
+// instruction in the block, or OpInvalid at the block end.
+func nextNonCkpt(b *ir.Block, ii int) ir.Op {
+	for k := ii + 1; k < len(b.Instrs); k++ {
+		if b.Instrs[k].Op != ir.OpCkpt {
+			return b.Instrs[k].Op
+		}
+	}
+	return ir.OpInvalid
+}

@@ -297,3 +297,87 @@ func TestUnprunedHasMoreCheckpoints(t *testing.T) {
 		t.Errorf("pruned build has more checkpoints (%d) than unpruned (%d)", pruned, unpruned)
 	}
 }
+
+// TestHoistWithoutPruneIsUnpruned: Hoist rides on the prune/repair
+// machinery, so with Prune off the option is inert — every inserted
+// checkpoint survives and the result matches InsertUnpruned exactly.
+func TestHoistWithoutPruneIsUnpruned(t *testing.T) {
+	p := progen.Generate(17, progen.DefaultConfig())
+	q1 := p.Clone()
+	q2 := p.Clone()
+	for name, f := range q1.Funcs {
+		regions.Form(f)
+		st, err := InsertOpts(f, Options{Prune: false, Hoist: true, ChainDepth: maxChain})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Pruned != 0 || st.Final != st.Inserted {
+			t.Fatalf("%s: hoist without prune pruned %d (final %d of %d inserted)",
+				name, st.Pruned, st.Final, st.Inserted)
+		}
+		g := q2.Funcs[name]
+		regions.Form(g)
+		if _, err := InsertUnpruned(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ckptCount(f) != ckptCount(g) {
+			t.Fatalf("%s: hoist-without-prune %d ckpts != unpruned %d", name, ckptCount(f), ckptCount(g))
+		}
+	}
+}
+
+func ckptCount(f *ir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == ir.OpCkpt {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestChainDepthEdges: the slice chain bound at 0 (no ALU reconstruction),
+// 1, and the maximum must all produce working slices, and deeper chains
+// must never checkpoint more than shallower ones.
+func TestChainDepthEdges(t *testing.T) {
+	for _, seed := range []int64{3, 9, 21} {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		prevFinal := -1
+		for _, depth := range []int{0, 1, maxChain, maxChain + 5} {
+			q := p.Clone()
+			total := 0
+			for name, f := range q.Funcs {
+				regions.Form(f)
+				st, err := InsertOpts(f, Options{Prune: true, Hoist: true, ChainDepth: depth})
+				if err != nil {
+					t.Fatalf("seed %d depth %d %s: %v", seed, depth, name, err)
+				}
+				if st.Slices != f.NumRegions {
+					t.Fatalf("seed %d depth %d %s: %d slices for %d regions", seed, depth, name, st.Slices, f.NumRegions)
+				}
+				total += st.Final
+			}
+			// A deeper reconstruction chain can only remove more
+			// checkpoints (monotone knob, clamped at maxChain).
+			if prevFinal >= 0 && total > prevFinal {
+				t.Fatalf("seed %d: depth %d keeps %d ckpts, shallower kept %d", seed, depth, total, prevFinal)
+			}
+			prevFinal = total
+		}
+	}
+}
+
+// TestNegativeChainDepthClamped: ChainDepth < 0 is clamped to 0, not an
+// error.
+func TestNegativeChainDepthClamped(t *testing.T) {
+	p := progen.Generate(5, progen.DefaultConfig())
+	q := p.Clone()
+	for name, f := range q.Funcs {
+		regions.Form(f)
+		if _, err := InsertOpts(f, Options{Prune: true, Hoist: true, ChainDepth: -3}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

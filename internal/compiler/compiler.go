@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"cwsp/internal/analysis"
+	"cwsp/internal/check"
 	"cwsp/internal/ckpt"
 	"cwsp/internal/ir"
 	"cwsp/internal/regions"
@@ -32,6 +33,10 @@ type Options struct {
 	// ChainDepth bounds recovery-slice ALU reconstruction chains
 	// (0 disables expression reconstruction; <0 means the default).
 	ChainDepth int
+	// Check runs the independent soundness verifier (internal/check) over
+	// the compiled program and fails the compilation on any error-severity
+	// diagnostic. The report is attached to Report.Check either way.
+	Check bool
 }
 
 // DefaultOptions enables everything.
@@ -49,6 +54,8 @@ type FuncReport struct {
 // Report summarizes a whole-program compilation.
 type Report struct {
 	Funcs []FuncReport
+	// Check holds the soundness verifier's report when Options.Check is set.
+	Check *check.Report
 }
 
 // TotalRegions sums static regions over all functions.
@@ -115,6 +122,13 @@ func Compile(p *ir.Program, opt Options) (*ir.Program, *Report, error) {
 
 	if err := ir.VerifyProgram(q); err != nil {
 		return nil, nil, fmt.Errorf("compiler: output: %w", err)
+	}
+	if opt.Check {
+		rep.Check = check.CheckProgramOpts(q, check.Options{RequireCompiled: true})
+		if rep.Check.HasErrors() {
+			return nil, rep, fmt.Errorf("compiler: soundness check failed (%d errors):\n%s",
+				rep.Check.Errors(), rep.Check.String())
+		}
 	}
 	return q, rep, nil
 }

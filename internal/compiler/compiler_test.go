@@ -190,3 +190,36 @@ func TestCompiledProgramsRoundTripText(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckGatePasses: with Options.Check set, compilation of healthy
+// programs runs the soundness verifier and attaches a clean report.
+func TestCheckGatePasses(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Check = true
+	for seed := int64(1); seed <= 10; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		_, rep, err := Compile(p, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Check == nil {
+			t.Fatalf("seed %d: Check report not attached", seed)
+		}
+		if rep.Check.HasErrors() {
+			t.Fatalf("seed %d: gate report has errors:\n%s", seed, rep.Check.String())
+		}
+	}
+}
+
+// TestCheckGateOffByDefault: without the option, no verifier report is
+// produced.
+func TestCheckGateOffByDefault(t *testing.T) {
+	p := progen.Generate(1, progen.DefaultConfig())
+	_, rep, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Check != nil {
+		t.Fatal("Check report attached without Options.Check")
+	}
+}

@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedPrograms builds a few representative programs — straightline,
+// branchy, and one carrying full compiler metadata — whose marshalled text
+// seeds the fuzz corpus alongside hand-written fragments.
+func fuzzSeedPrograms() []*Program {
+	var out []*Program
+
+	{
+		fb := NewFunc("main", 0)
+		fb.NewBlock("entry")
+		a := fb.Const(7)
+		b := fb.Add(R(a), Imm(2))
+		fb.Ret(R(b))
+		p := NewProgram("straight")
+		p.Entry = "main"
+		p.Add(fb.MustDone())
+		out = append(out, p)
+	}
+
+	{
+		fb := NewFunc("main", 1)
+		entry := fb.NewBlock("entry")
+		then := fb.AddBlock("then")
+		els := fb.AddBlock("else")
+		fb.SetBlock(entry)
+		fb.Br(R(0), then, els)
+		fb.SetBlock(then)
+		fb.Ret(Imm(1))
+		fb.SetBlock(els)
+		addr := fb.Alloc(16)
+		fb.Store(Imm(3), R(addr), 8)
+		v := fb.Load(R(addr), 8)
+		fb.Ret(R(v))
+		p := NewProgram("branchy")
+		p.Entry = "main"
+		p.Add(fb.MustDone())
+		out = append(out, p)
+	}
+
+	{
+		fb := NewFunc("main", 0)
+		fb.NewBlock("entry")
+		a := fb.Const(5)
+		fb.Ret(R(a))
+		f := fb.MustDone()
+		blk := f.Blocks[0]
+		blk.Instrs = append([]Instr{{Op: OpBoundary, RegionID: 0}},
+			blk.Instrs[0],
+			Instr{Op: OpCkpt, A: R(a)},
+			Instr{Op: OpBoundary, RegionID: 1},
+			blk.Instrs[1])
+		f.NumRegions = 2
+		f.Slices = map[int]RecoverySlice{
+			0: {RegionID: 0, Entry: InstrRef{Block: 0, Index: 0}},
+			1: {RegionID: 1, Entry: InstrRef{Block: 0, Index: 3},
+				LiveIn: []Reg{a},
+				Steps:  []SliceStep{{Op: SliceLoadCkpt, Dst: a, Src: a}}},
+		}
+		f.LiveAcross = map[InstrRef][]Reg{{Block: 0, Index: 2}: {a}}
+		p := NewProgram("meta")
+		p.Entry = "main"
+		p.Add(f)
+		out = append(out, p)
+	}
+
+	return out
+}
+
+// FuzzUnmarshalText asserts the parser never panics, and that anything it
+// accepts re-marshals to a stable fixed point: marshal(parse(x)) must equal
+// marshal(parse(marshal(parse(x)))).
+func FuzzUnmarshalText(f *testing.F) {
+	for _, p := range fuzzSeedPrograms() {
+		var buf bytes.Buffer
+		if err := p.MarshalText(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add("program t entry=main\nfunc main params=0 regs=1 regions=0\nblock entry\n  const r0 #1\n  ret r0\nend\n")
+	f.Add("program t entry=\n")
+	f.Add("end\n")
+	f.Add("")
+	f.Add("program \x00 entry=main\nfunc main params=-1 regs=99999999 regions=0\n")
+	// Regression: a bare "block" line used to crash the parser.
+	f.Add("program 0 entry=\nfunc 0 =0 =0 =0\nblock")
+	f.Add("program t entry=m\nfunc m params=0 regs=0 regions=0\nblock b\n  step 1 2 3\nliveacross 0,0 = r0\nend\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := UnmarshalText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var m1 bytes.Buffer
+		if err := p.MarshalText(&m1); err != nil {
+			t.Fatalf("accepted input fails to marshal: %v", err)
+		}
+		q, err := UnmarshalText(bytes.NewReader(m1.Bytes()))
+		if err != nil {
+			t.Fatalf("marshalled form fails to parse: %v\ninput:\n%s", err, m1.String())
+		}
+		var m2 bytes.Buffer
+		if err := q.MarshalText(&m2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+			t.Fatalf("marshal is not a fixed point:\nfirst:\n%s\nsecond:\n%s", m1.String(), m2.String())
+		}
+	})
+}

@@ -307,6 +307,9 @@ func UnmarshalText(r io.Reader) (*Program, error) {
 			if f == nil {
 				return nil, fmt.Errorf("ir: line %d: block before func", lineNo)
 			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ir: line %d: bad block header", lineNo)
+			}
 			blk = &Block{Name: fields[1], Index: len(f.Blocks)}
 			f.Blocks = append(f.Blocks, blk)
 		case "slice":

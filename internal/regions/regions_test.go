@@ -290,3 +290,61 @@ func TestNoCutForDisjointAccess(t *testing.T) {
 		t.Errorf("cuts = %d, want 0 for provably disjoint words", st["main"].AntidepCuts)
 	}
 }
+
+// TestFormIsIdempotent: forming an already-formed function must strip the
+// old boundaries and reproduce exactly the same ones — identical boundary
+// positions, region ids, and statistics — across many generated programs.
+func TestFormIsIdempotent(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		q, first := formProgram(p)
+		for name, f := range q.Funcs {
+			b1 := Boundaries(f)
+			ids1 := boundaryIDs(f)
+			st2 := Form(f)
+			if st2 != first[name] {
+				t.Fatalf("seed %d %s: second Form stats %+v != first %+v", seed, name, st2, first[name])
+			}
+			b2 := Boundaries(f)
+			if fmt.Sprint(b1) != fmt.Sprint(b2) {
+				t.Fatalf("seed %d %s: boundary positions changed on re-Form:\n%v\n%v", seed, name, b1, b2)
+			}
+			if fmt.Sprint(ids1) != fmt.Sprint(boundaryIDs(f)) {
+				t.Fatalf("seed %d %s: region ids changed on re-Form", seed, name)
+			}
+		}
+	}
+}
+
+// TestFormAssignsDenseIDs: region ids must be exactly 0..NumRegions-1, each
+// appearing on exactly one boundary, in program order.
+func TestFormAssignsDenseIDs(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		q, _ := formProgram(p)
+		for name, f := range q.Funcs {
+			ids := boundaryIDs(f)
+			if len(ids) != f.NumRegions {
+				t.Fatalf("seed %d %s: %d boundaries but NumRegions=%d", seed, name, len(ids), f.NumRegions)
+			}
+			for want, got := range ids {
+				if got != want {
+					t.Fatalf("seed %d %s: region ids not dense in program order: %v", seed, name, ids)
+				}
+			}
+		}
+	}
+}
+
+// boundaryIDs returns the region ids of f's boundaries in program order.
+func boundaryIDs(f *ir.Function) []int {
+	var ids []int
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == ir.OpBoundary {
+				ids = append(ids, b.Instrs[ii].RegionID)
+			}
+		}
+	}
+	return ids
+}
