@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench lint repro repro-quick examples trace metrics clean
+.PHONY: all build test test-short bench bench-smoke lint repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -18,6 +18,15 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# End-to-end exercise of the parallel experiment runner: one figure on a
+# 4-wide pool with a persistent cache, run twice — the second invocation
+# must be served entirely from the store.
+bench-smoke:
+	rm -rf .cwsp-cache-smoke
+	$(GO) run ./cmd/cwspbench -exp fig06 -scale smoke -jobs 4 -cache-dir .cwsp-cache-smoke
+	$(GO) run ./cmd/cwspbench -exp fig06 -scale smoke -jobs 4 -cache-dir .cwsp-cache-smoke
+	rm -rf .cwsp-cache-smoke
 
 # Static soundness verification: vet, then run the independent persistence
 # checker over the checked-in example and a fixed block of generated

@@ -5,7 +5,16 @@
 //	cwspbench -list                # show every experiment
 //	cwspbench -exp fig13           # reproduce Figure 13 (quick scale)
 //	cwspbench -exp fig14 -scale full
-//	cwspbench -all -scale quick    # the whole evaluation section
+//	cwspbench -exp all -scale quick  # the whole evaluation section
+//
+// Experiments decompose into independent simulation cells that run on a
+// worker pool (-jobs, default GOMAXPROCS) and memoize in a persistent
+// store (-cache-dir): a repeated sweep is served from the cache, and an
+// interrupted one resumes where it stopped. Parallelism and caching never
+// change report bytes.
+//
+//	cwspbench -exp all -jobs 8 -cache-dir .cwsp-cache
+//	cwspbench -exp fig21 -cache-dir .cwsp-cache -resume=false  # refresh
 package main
 
 import (
@@ -22,14 +31,17 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id(s), comma separated (fig01..fig27, hwcost, compiler, abl-*)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		scale   = flag.String("scale", "quick", "workload scale: smoke, quick, full")
-		perApp  = flag.Bool("per-app", false, "per-application rows where the paper aggregates")
-		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
-		metOut  = flag.String("metrics-out", "", "also collect every report into a versioned manifest JSON file")
-		verbose = flag.Bool("v", false, "progress output")
+		expID    = flag.String("exp", "", "experiment id(s), comma separated, or \"all\" (fig01..fig27, hwcost, compiler, abl-*)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		scale    = flag.String("scale", "quick", "workload scale: smoke, quick, full")
+		perApp   = flag.Bool("per-app", false, "per-application rows where the paper aggregates")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a text table")
+		metOut   = flag.String("metrics-out", "", "also collect every report into a versioned manifest JSON file")
+		jobs     = flag.Int("jobs", 0, "parallel simulation cells (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache-dir", "", "persistent per-cell result cache; repeated sweeps become cache hits")
+		resume   = flag.Bool("resume", true, "serve cells from an existing cache (false recomputes and refreshes it)")
+		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
 
@@ -40,7 +52,13 @@ func main() {
 		return
 	}
 
-	opt := bench.Options{Scale: scaleOf(*scale), PerApp: *perApp}
+	opt := bench.Options{
+		Scale:    scaleOf(*scale),
+		PerApp:   *perApp,
+		Jobs:     *jobs,
+		CacheDir: *cacheDir,
+		NoResume: !*resume,
+	}
 	if *verbose {
 		opt.Log = os.Stderr
 	}
@@ -48,14 +66,14 @@ func main() {
 
 	var ids []string
 	switch {
-	case *all:
+	case *all || *expID == "all":
 		for _, e := range bench.Experiments() {
 			ids = append(ids, e.ID)
 		}
 	case *expID != "":
 		ids = strings.Split(*expID, ",")
 	default:
-		fmt.Fprintln(os.Stderr, "cwspbench: need -exp <id> or -all (see -list)")
+		fmt.Fprintln(os.Stderr, "cwspbench: need -exp <id>, -exp all, or -all (see -list)")
 		os.Exit(2)
 	}
 
@@ -66,7 +84,7 @@ func main() {
 			fatal(err)
 		}
 		start := time.Now()
-		rep, err := e.Run(h)
+		rep, err := h.RunExperiment(e)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
@@ -81,10 +99,19 @@ func main() {
 		}
 	}
 
+	if err := h.Close(); err != nil {
+		fatal(err)
+	}
+	if ri := h.RunnerSummary(); ri != nil && !*csv {
+		fmt.Printf("runner: %d jobs, %d cells (%d cache hits, %d shared, %d executed) in %dms pool time\n",
+			ri.Jobs, ri.Cells, ri.CacheHits, ri.Shared, ri.Executed, ri.WallMS)
+	}
+
 	if *metOut != "" {
 		man := telemetry.NewManifest("cwspbench")
 		man.Scale = opt.Scale.Name
 		man.Reports = reports
+		man.Runner = h.RunnerSummary()
 		fh, err := os.Create(*metOut)
 		if err != nil {
 			fatal(err)

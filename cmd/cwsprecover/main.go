@@ -9,6 +9,11 @@
 //	cwsprecover -w tatp -crash 50000     # one crash point
 //	cwsprecover -w radix -sweep 25       # 25 crash points across the run
 //	cwsprecover -seed 7 -sweep 50        # a random program instead
+//	cwsprecover -w tatp -sweep 50 -jobs 8  # crash points in parallel
+//
+// Crash points are independent (they share only the program and the golden
+// NVM image, both read-only), so -jobs fans the sweep out over a worker
+// pool; the report is identical to the serial order.
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 		scale = flag.String("scale", "smoke", "workload scale: smoke, quick, full")
 		crash = flag.Int64("crash", 0, "single crash cycle (0 = use -sweep)")
 		sweep = flag.Int("sweep", 20, "number of evenly spaced crash points")
+		jobs  = flag.Int("jobs", 1, "parallel crash points (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -76,7 +82,15 @@ func main() {
 		return
 	}
 
-	fail, checked, err := recovery.Sweep(compiled, cfg, sim.CWSP(), specs, *sweep)
+	var (
+		fail    *recovery.CheckResult
+		checked int
+	)
+	if *jobs == 1 {
+		fail, checked, err = recovery.Sweep(compiled, cfg, sim.CWSP(), specs, *sweep)
+	} else {
+		fail, checked, err = recovery.SweepParallel(compiled, cfg, sim.CWSP(), specs, *sweep, *jobs)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -9,8 +9,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"cwsp/internal/compiler"
 	"cwsp/internal/ir"
@@ -25,6 +27,19 @@ type Options struct {
 	Scale  workloads.Scale
 	Log    io.Writer // progress output (nil = silent)
 	PerApp bool      // emit per-app rows where the paper aggregates
+
+	// Jobs is the worker-pool width RunExperiment fans simulation cells out
+	// to: 0 = GOMAXPROCS, 1 = serial (no pool). Parallelism never changes
+	// report bytes — cells are deterministic and rows are assembled by the
+	// same serial code either way.
+	Jobs int
+	// CacheDir, when set, memoizes per-cell results on disk (see
+	// internal/runner): repeated or interrupted sweeps are served from the
+	// store instead of re-simulating.
+	CacheDir string
+	// NoResume disables serving cells from an existing cache: everything is
+	// recomputed and the store refreshed in place.
+	NoResume bool
 }
 
 // DefaultOptions runs at quick scale, silently.
@@ -115,12 +130,20 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(h *Harness) (*Report, error)
+	// Direct experiments drive the simulator (or compiler) directly instead
+	// of through Harness.RunStats*, so RunExperiment cannot plan their cells
+	// and runs them serially as-is.
+	Direct bool
 }
 
 var experiments []Experiment
 
 func registerExp(id, title string, run func(h *Harness) (*Report, error)) {
 	experiments = append(experiments, Experiment{ID: id, Title: title, Run: run})
+}
+
+func registerExpDirect(id, title string, run func(h *Harness) (*Report, error)) {
+	experiments = append(experiments, Experiment{ID: id, Title: title, Run: run, Direct: true})
 }
 
 // Experiments lists every registered experiment in registration order.
@@ -139,11 +162,22 @@ func ByID(id string) (Experiment, error) {
 }
 
 // Harness caches compiled programs and simulation results so experiments
-// sharing runs (every figure needs baselines) stay cheap.
+// sharing runs (every figure needs baselines) stay cheap. All methods are
+// safe for concurrent use: RunExperiment's worker pool calls back into the
+// same caches the serial API reads.
 type Harness struct {
-	Opt      Options
-	programs map[progKey]*ir.Program
+	Opt Options
+
+	mu       sync.Mutex // guards programs, results, plan
+	programs map[progKey]*progOnce
 	results  map[runKey]sim.Stats
+	plan     *planState // non-nil while RunExperiment collects cells
+
+	logMu sync.Mutex
+
+	poolOnce sync.Once
+	pool     simPool // built lazily by RunExperiment
+	poolErr  error
 }
 
 type progKey struct {
@@ -160,6 +194,16 @@ type runKey struct {
 	cfgSig  string
 }
 
+// progOnce builds one program variant exactly once, without holding the
+// harness lock across the (potentially slow) build+compile: concurrent
+// cells needing the same program block on the once, not on each other's
+// unrelated compiles.
+type progOnce struct {
+	once sync.Once
+	p    *ir.Program
+	err  error
+}
+
 // NewHarness builds a harness.
 func NewHarness(opt Options) *Harness {
 	if opt.Scale.Div == 0 {
@@ -167,15 +211,26 @@ func NewHarness(opt Options) *Harness {
 	}
 	return &Harness{
 		Opt:      opt,
-		programs: map[progKey]*ir.Program{},
+		programs: map[progKey]*progOnce{},
 		results:  map[runKey]sim.Stats{},
 	}
 }
 
-func (h *Harness) logf(format string, args ...interface{}) {
-	if h.Opt.Log != nil {
-		fmt.Fprintf(h.Opt.Log, format, args...)
+// jobs returns the effective worker count RunExperiment uses.
+func (h *Harness) jobs() int {
+	if h.Opt.Jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
+	return h.Opt.Jobs
+}
+
+func (h *Harness) logf(format string, args ...interface{}) {
+	if h.Opt.Log == nil {
+		return
+	}
+	h.logMu.Lock()
+	defer h.logMu.Unlock()
+	fmt.Fprintf(h.Opt.Log, format, args...)
 }
 
 // compileModes names the compiler-option variants the harness can build;
@@ -189,26 +244,34 @@ var compileModes = map[string]compiler.Options{
 }
 
 // program builds (and caches) the workload program in the given compile
-// mode: "" = original binary, otherwise a compileModes entry.
+// mode: "" = original binary, otherwise a compileModes entry. Concurrent
+// callers build each variant exactly once; the returned program is only
+// ever read after that, so parallel simulations may share it.
 func (h *Harness) program(w workloads.Workload, compile string) (*ir.Program, error) {
 	key := progKey{w.Name, h.Opt.Scale.Name, compile}
-	if p, ok := h.programs[key]; ok {
-		return p, nil
+	h.mu.Lock()
+	po, ok := h.programs[key]
+	if !ok {
+		po = &progOnce{}
+		h.programs[key] = po
 	}
-	p := w.Build(h.Opt.Scale)
-	if compile != "" {
-		co, ok := compileModes[compile]
-		if !ok {
-			return nil, fmt.Errorf("bench: unknown compile mode %q", compile)
+	h.mu.Unlock()
+	po.once.Do(func() {
+		p := w.Build(h.Opt.Scale)
+		if compile != "" {
+			co, ok := compileModes[compile]
+			if !ok {
+				po.err = fmt.Errorf("bench: unknown compile mode %q", compile)
+				return
+			}
+			p, _, po.err = compiler.Compile(p, co)
+			if po.err != nil {
+				return
+			}
 		}
-		var err error
-		p, _, err = compiler.Compile(p, co)
-		if err != nil {
-			return nil, err
-		}
-	}
-	h.programs[key] = p
-	return p, nil
+		po.p = p
+	})
+	return po.p, po.err
 }
 
 func cfgSig(c sim.Config) string {
@@ -232,12 +295,39 @@ func (h *Harness) RunStats(w workloads.Workload, cfg sim.Config, sch sim.Scheme,
 }
 
 // RunStatsMode runs with an explicit compile mode (see compileModes).
+// While RunExperiment's planning pass is active it records the cell and
+// returns zero stats instead of simulating; experiment bodies never branch
+// on stat values, so the dry run walks the same cell set the real pass
+// will read.
 func (h *Harness) RunStatsMode(w workloads.Workload, cfg sim.Config, sch sim.Scheme, mode string) (sim.Stats, error) {
 	cfg = schemes.ConfigFor(sch, cfg)
 	key := runKey{w.Name, h.Opt.Scale.Name, mode, sch.Name, cfgSig(cfg)}
+	h.mu.Lock()
 	if st, ok := h.results[key]; ok {
+		h.mu.Unlock()
 		return st, nil
 	}
+	if h.plan != nil {
+		h.plan.add(key, w, cfg, sch, mode)
+		h.mu.Unlock()
+		return sim.Stats{}, nil
+	}
+	h.mu.Unlock()
+
+	st, err := h.simulate(w, cfg, sch, mode)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	h.mu.Lock()
+	h.results[key] = st
+	h.mu.Unlock()
+	h.logf("  %-10s %-16s %12d cyc\n", w.Name, sch.Name, st.Cycles)
+	return st, nil
+}
+
+// simulate compiles (cached) and runs one cell, bypassing the result cache.
+// cfg must already be scheme-adjusted (schemes.ConfigFor).
+func (h *Harness) simulate(w workloads.Workload, cfg sim.Config, sch sim.Scheme, mode string) (sim.Stats, error) {
 	p, err := h.program(w, mode)
 	if err != nil {
 		return sim.Stats{}, err
@@ -250,8 +340,6 @@ func (h *Harness) RunStatsMode(w workloads.Workload, cfg sim.Config, sch sim.Sch
 	if err != nil {
 		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, sch.Name, err)
 	}
-	h.results[key] = res.Stats
-	h.logf("  %-10s %-16s %12d cyc\n", w.Name, sch.Name, res.Stats.Cycles)
 	return res.Stats, nil
 }
 

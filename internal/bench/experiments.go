@@ -480,7 +480,7 @@ func init() {
 				workloads.All(), vars, false)
 		})
 
-	registerExp("mt", "multi-core scaling of cWSP overhead (this repo)",
+	registerExpDirect("mt", "multi-core scaling of cWSP overhead (this repo)",
 		func(h *Harness) (*Report, error) {
 			// Fixed total work (iterations split across threads) on the
 			// lock-based critical-section benchmark; overhead of cWSP vs
@@ -538,7 +538,7 @@ func init() {
 			return rep, nil
 		})
 
-	registerExp("compiler", "static compiler statistics (regions, checkpoints, pruning)",
+	registerExpDirect("compiler", "static compiler statistics (regions, checkpoints, pruning)",
 		func(h *Harness) (*Report, error) {
 			rep := &Report{
 				ID: "compiler", Title: "regions and checkpoint pruning per workload",

@@ -72,12 +72,12 @@ func InsertOpts(f *ir.Function, opt Options) (Stats, error) {
 	if opt.ChainDepth > maxChain {
 		opt.ChainDepth = maxChain
 	}
-	chainLimit = opt.ChainDepth
+	limit := opt.ChainDepth
 
 	st.Inserted = insertAll(f)
 	if !opt.Prune {
 		st.Final = st.Inserted
-		if err := buildSlices(f); err != nil {
+		if err := buildSlices(f, limit); err != nil {
 			return st, err
 		}
 		st.Slices = len(f.Slices)
@@ -86,7 +86,7 @@ func InsertOpts(f *ir.Function, opt Options) (Stats, error) {
 
 	// Prune to fixpoint.
 	for {
-		removed := pruneOnce(f)
+		removed := pruneOnce(f, limit)
 		if removed == 0 {
 			break
 		}
@@ -99,7 +99,7 @@ func InsertOpts(f *ir.Function, opt Options) (Stats, error) {
 	// invalidate at most finitely many expression reconstructions, so the
 	// loop terminates.
 	for {
-		added := repair(f)
+		added := repair(f, limit)
 		if added == 0 {
 			break
 		}
@@ -112,7 +112,7 @@ func InsertOpts(f *ir.Function, opt Options) (Stats, error) {
 	// and back edges); a final repair covers anything hoisting exposed.
 	if opt.Hoist && hoistInvariants(f) > 0 {
 		for {
-			added := repair(f)
+			added := repair(f, limit)
 			if added == 0 {
 				break
 			}
@@ -121,7 +121,7 @@ func InsertOpts(f *ir.Function, opt Options) (Stats, error) {
 	st.Final = countCkpts(f)
 	st.Pruned = st.Inserted - st.Final
 
-	if err := buildSlices(f); err != nil {
+	if err := buildSlices(f, limit); err != nil {
 		return st, err
 	}
 	st.Slices = len(f.Slices)
@@ -173,11 +173,6 @@ func insertAll(f *ir.Function) int {
 // maxChain bounds how many ALU steps a recovery slice may replay to
 // reconstruct one register (Penny's multi-instruction reconstruction).
 const maxChain = 8
-
-// chainLimit is the active bound (<= maxChain), set per InsertOpts call —
-// the compiler is single-threaded per function, so a package variable is
-// adequate here.
-var chainLimit = maxChain
 
 type chainStep struct {
 	op  ir.Op
@@ -259,7 +254,7 @@ func (s absState) joinWith(o absState) bool {
 
 // transfer applies one instruction to the state. The register index in s is
 // the register number; the instruction's own position is irrelevant.
-func transfer(s absState, in *ir.Instr) {
+func transfer(s absState, in *ir.Instr, limit int) {
 	bottomDef := func() {
 		if d := in.Def(); d != ir.NoReg {
 			s[d] = bottomVal()
@@ -277,7 +272,7 @@ func transfer(s absState, in *ir.Instr) {
 	extend := func(a absVal, op ir.Op, imm int64) absVal {
 		// Append one ALU step to a slot chain (drops the capability when
 		// the chain is full).
-		if !a.hasSlot || int(a.chainLen) >= chainLimit {
+		if !a.hasSlot || int(a.chainLen) >= limit {
 			a.hasSlot = false
 			a.chainLen = 0
 			a.chain = [maxChain]chainStep{}
@@ -399,7 +394,7 @@ func (nopEnv) Emit(int64)         {}
 // flat lattice (a checkpoint turns Bottom into a fresh slot abstraction), so
 // iteration is capped; on non-convergence the result degrades to the sound
 // pessimistic state (checkpoint everything).
-func dataflow(f *ir.Function, cfg *analysis.CFG) []absState {
+func dataflow(f *ir.Function, cfg *analysis.CFG, limit int) []absState {
 	n := len(f.Blocks)
 	entryIn := make(absState, f.NumRegs)
 	for r := 0; r < f.NumRegs; r++ {
@@ -432,7 +427,7 @@ func dataflow(f *ir.Function, cfg *analysis.CFG) []absState {
 		for _, bi := range cfg.RPO {
 			cur := computeIn(bi, out)
 			for ii := range f.Blocks[bi].Instrs {
-				transfer(cur, &f.Blocks[bi].Instrs[ii])
+				transfer(cur, &f.Blocks[bi].Instrs[ii], limit)
 			}
 			if out[bi] == nil || !stateEq(cur, out[bi]) {
 				out[bi] = cur
@@ -471,9 +466,9 @@ func stateEq(a, b absState) bool {
 
 // pruneOnce removes every checkpoint whose register is already
 // reconstructible just before the checkpoint executes. Returns removals.
-func pruneOnce(f *ir.Function) int {
+func pruneOnce(f *ir.Function, limit int) int {
 	cfg := analysis.BuildCFG(f)
-	in := dataflow(f, cfg)
+	in := dataflow(f, cfg, limit)
 	removed := 0
 	for bi, b := range f.Blocks {
 		if !cfg.Reachable(bi) {
@@ -489,7 +484,7 @@ func pruneOnce(f *ir.Function) int {
 					continue // drop the checkpoint; do not apply transfer
 				}
 			}
-			transfer(cur, &b.Instrs[ii])
+			transfer(cur, &b.Instrs[ii], limit)
 			out = append(out, inst)
 		}
 		b.Instrs = out
@@ -586,10 +581,10 @@ func countCkpts(f *ir.Function) int {
 
 // repair re-inserts a checkpoint before every boundary at which a live
 // register's abstraction is not reconstructible. Returns insertions made.
-func repair(f *ir.Function) int {
+func repair(f *ir.Function, limit int) int {
 	cfg := analysis.BuildCFG(f)
 	lv := analysis.ComputeLiveness(f, cfg)
-	in := dataflow(f, cfg)
+	in := dataflow(f, cfg, limit)
 
 	// need[block][index] = registers requiring a checkpoint before the
 	// boundary at that (final, pre-insertion) position.
@@ -608,7 +603,7 @@ func repair(f *ir.Function) int {
 					}
 				}
 			}
-			transfer(cur, inst)
+			transfer(cur, inst, limit)
 		}
 	}
 	if len(need) == 0 {
@@ -632,10 +627,10 @@ func repair(f *ir.Function) int {
 }
 
 // buildSlices generates the recovery slice for every region boundary.
-func buildSlices(f *ir.Function) error {
+func buildSlices(f *ir.Function, limit int) error {
 	cfg := analysis.BuildCFG(f)
 	lv := analysis.ComputeLiveness(f, cfg)
-	in := dataflow(f, cfg)
+	in := dataflow(f, cfg, limit)
 	f.Slices = make(map[int]ir.RecoverySlice, f.NumRegions)
 
 	for _, ref := range regions.Boundaries(f) {
@@ -648,7 +643,7 @@ func buildSlices(f *ir.Function) error {
 		// Abstraction at the boundary.
 		cur := in[ref.Block].clone()
 		for ii := 0; ii < ref.Index; ii++ {
-			transfer(cur, &b.Instrs[ii])
+			transfer(cur, &b.Instrs[ii], limit)
 		}
 		live := lv.LiveBefore(ref.Block, ref.Index)
 		regsLive := live.Members()

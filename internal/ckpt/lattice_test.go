@@ -143,8 +143,8 @@ func TestTransferMonotone(t *testing.T) {
 		}
 		ca := sa.clone()
 		cb := sb.clone()
-		transfer(ca, &in)
-		transfer(cb, &in)
+		transfer(ca, &in, maxChain)
+		transfer(cb, &in, maxChain)
 		for i := 0; i < regs; i++ {
 			if !leq(ca[i], cb[i]) {
 				t.Fatalf("transfer not monotone on %v reg %d:\n in a=%+v b=%+v\nout a=%+v b=%+v",

@@ -12,6 +12,7 @@ import (
 
 	"cwsp/internal/ir"
 	"cwsp/internal/mem"
+	"cwsp/internal/runner"
 	"cwsp/internal/sim"
 )
 
@@ -90,7 +91,8 @@ func Check(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadS
 
 // Sweep checks n evenly spaced crash cycles across the golden run's
 // duration (plus the degenerate extremes) and returns the first failure,
-// or nil if every crash recovers.
+// or nil if every crash recovers. It stops at the first mismatch, so the
+// checked count is the number of crash points examined.
 func Sweep(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, n int) (*CheckResult, int, error) {
 	g, err := Golden(prog, cfg, sch, specs)
 	if err != nil {
@@ -99,10 +101,7 @@ func Sweep(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadS
 	total := g.Stats.Cycles
 	checked := 0
 	for i := 0; i <= n; i++ {
-		crash := total * int64(i) / int64(n)
-		if crash == 0 {
-			crash = 1
-		}
+		crash := sweepCycle(total, i, n)
 		r, err := Check(prog, cfg, sch, specs, crash, g.NVM)
 		if err != nil {
 			return nil, checked, err
@@ -113,4 +112,53 @@ func Sweep(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadS
 		}
 	}
 	return nil, checked, nil
+}
+
+func sweepCycle(total int64, i, n int) int64 {
+	crash := total * int64(i) / int64(n)
+	if crash == 0 {
+		crash = 1
+	}
+	return crash
+}
+
+// SweepParallel is Sweep over a runner worker pool: every crash point is an
+// independent cell (crash/recover/re-execute runs share only read-only
+// state — the program and the golden NVM image), so a multi-run recovery
+// campaign scales with cores. Results are examined in crash-cycle order
+// regardless of completion order: the reported failure and checked count
+// are exactly what the serial Sweep would report, except that later crash
+// points have also been verified by the time it returns.
+func SweepParallel(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, n, jobs int) (*CheckResult, int, error) {
+	g, err := Golden(prog, cfg, sch, specs)
+	if err != nil {
+		return nil, 0, err
+	}
+	total := g.Stats.Cycles
+	cells := make([]runner.Cell[*CheckResult], 0, n+1)
+	for i := 0; i <= n; i++ {
+		crash := sweepCycle(total, i, n)
+		cells = append(cells, runner.Cell[*CheckResult]{
+			Key: runner.Key{
+				Kind:     "recovery",
+				Workload: prog.Name,
+				Scheme:   fmt.Sprintf("%+v", sch),
+				CfgSig:   fmt.Sprintf("%+v|specs=%+v|crash=%d", cfg, specs, crash),
+			},
+			Run: func() (*CheckResult, error) {
+				return Check(prog, cfg, sch, specs, crash, g.NVM)
+			},
+		})
+	}
+	pool := runner.NewPool[*CheckResult](runner.Options{Jobs: jobs})
+	results, err := pool.Run(cells)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, r := range results {
+		if !r.Match {
+			return r, i + 1, nil
+		}
+	}
+	return nil, len(results), nil
 }

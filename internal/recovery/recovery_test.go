@@ -277,3 +277,26 @@ func TestEmitNeverDuplicated(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepParallelMatchesSerial: the pooled sweep must verify the same
+// crash points with the same verdicts as the serial one.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	prog := compileGen(t, 3, progen.DefaultConfig())
+	cfg := sim.DefaultConfig()
+	specs := entrySpecs(prog)
+
+	failS, checkedS, err := Sweep(prog, cfg, sim.CWSP(), specs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failP, checkedP, err := SweepParallel(prog, cfg, sim.CWSP(), specs, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (failS == nil) != (failP == nil) {
+		t.Fatalf("serial fail=%v parallel fail=%v", failS, failP)
+	}
+	if checkedS != checkedP {
+		t.Fatalf("serial checked %d, parallel checked %d", checkedS, checkedP)
+	}
+}

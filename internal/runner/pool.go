@@ -1,0 +1,235 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configure a pool.
+type Options struct {
+	// Jobs is the worker count; <= 0 means GOMAXPROCS.
+	Jobs int
+	// Retries is how many times a failing cell is re-attempted before its
+	// error is treated as hard (simulations are deterministic, so the
+	// default is 0; IO-backed cells may want more).
+	Retries int
+	// Store, when set, memoizes results across invocations.
+	Store *Store
+	// Reuse serves cells from the store when their signature matches;
+	// false recomputes (and overwrites) every cell, refreshing the cache.
+	Reuse bool
+	// FlushEvery flushes the store after this many executed cells
+	// (default 32), so an interrupted sweep keeps its completed work.
+	FlushEvery int
+	// Log, when set, receives one line per executed cell.
+	Log io.Writer
+}
+
+// Cell is one independent work unit: a content signature plus the function
+// that computes the result. R must round-trip through encoding/json when
+// the pool runs with a persistent store.
+type Cell[R any] struct {
+	Key Key
+	Run func() (R, error)
+}
+
+// Pool executes batches of cells on a bounded worker pool. A pool is safe
+// for sequential reuse across batches (one experiment after another shares
+// its workers' telemetry and store); Run itself fans out internally.
+type Pool[R any] struct {
+	opts Options
+	jobs int
+	prog *Progress
+}
+
+// NewPool builds a pool.
+func NewPool[R any](opts Options) *Pool[R] {
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = 32
+	}
+	return &Pool[R]{opts: opts, jobs: jobs, prog: newProgress(opts.Log)}
+}
+
+// Jobs returns the effective worker count.
+func (p *Pool[R]) Jobs() int { return p.jobs }
+
+// Progress returns the pool's cumulative telemetry.
+func (p *Pool[R]) Progress() *Progress { return p.prog }
+
+// Store returns the persistent store (nil when memoization is off).
+func (p *Pool[R]) Store() *Store { return p.opts.Store }
+
+// Close flushes the store. Call once after the last Run.
+func (p *Pool[R]) Close() error {
+	if p.opts.Store == nil {
+		return nil
+	}
+	return p.opts.Store.Flush()
+}
+
+// Run executes every cell and returns the results in input order —
+// parallelism never reorders output. Cells with equal signatures execute
+// once and share the result. Cached cells are served from the store without
+// executing. A panicking cell is isolated to an error; the first hard error
+// (after Options.Retries re-attempts) cancels the remaining queue, and the
+// error reported is the earliest failed cell in input order, so a parallel
+// failure is reported deterministically.
+func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
+	start := time.Now()
+	defer func() { p.prog.addWall(time.Since(start)) }()
+	p.prog.addCells(len(cells))
+
+	out := make([]R, len(cells))
+	errs := make([]error, len(cells))
+
+	// Coalesce identical signatures: leaders execute, followers copy.
+	leaderOf := make([]int, len(cells))
+	var leaders []int
+	bySig := map[string]int{}
+	for i, c := range cells {
+		sig := c.Key.Signature()
+		if li, ok := bySig[sig]; ok {
+			leaderOf[i] = li
+			continue
+		}
+		bySig[sig] = i
+		leaderOf[i] = i
+		leaders = append(leaders, i)
+	}
+
+	// Serve leaders from the store.
+	var work []int
+	for _, i := range leaders {
+		if p.opts.Store != nil && p.opts.Reuse {
+			if raw, ok := p.opts.Store.Get(cells[i].Key.Signature()); ok {
+				if err := json.Unmarshal(raw, &out[i]); err == nil {
+					p.prog.cellHit(true)
+					continue
+				}
+				// An undecodable record (result type changed without a salt
+				// bump) is recomputed and overwritten.
+			}
+		}
+		work = append(work, i)
+	}
+
+	if len(work) > 0 {
+		var (
+			wg       sync.WaitGroup
+			stop     = make(chan struct{})
+			stopOnce sync.Once
+			queue    = make(chan int, len(work))
+
+			flushMu    sync.Mutex
+			sinceFlush int
+			flushErr   error
+		)
+		for _, i := range work {
+			queue <- i
+		}
+		close(queue)
+
+		jobs := p.jobs
+		if jobs > len(work) {
+			jobs = len(work)
+		}
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range queue {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := p.runCell(&cells[i], &out[i]); err != nil {
+						errs[i] = err
+						stopOnce.Do(func() { close(stop) })
+						continue
+					}
+					if p.opts.Store != nil {
+						raw, err := json.Marshal(out[i])
+						if err != nil {
+							errs[i] = fmt.Errorf("runner: encode %s: %w", cells[i].Key, err)
+							stopOnce.Do(func() { close(stop) })
+							continue
+						}
+						p.opts.Store.Put(cells[i].Key, raw)
+						flushMu.Lock()
+						sinceFlush++
+						if sinceFlush >= p.opts.FlushEvery && flushErr == nil {
+							flushErr = p.opts.Store.Flush()
+							sinceFlush = 0
+						}
+						flushMu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for _, i := range leaders {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+		if flushErr != nil {
+			return nil, flushErr
+		}
+		if p.opts.Store != nil {
+			if err := p.opts.Store.Flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Propagate leader results to followers.
+	for i := range cells {
+		if leaderOf[i] != i {
+			out[i] = out[leaderOf[i]]
+			p.prog.cellHit(false)
+		}
+	}
+	return out, nil
+}
+
+// runCell executes one cell with panic isolation and bounded retry.
+func (p *Pool[R]) runCell(c *Cell[R], out *R) error {
+	var err error
+	for attempt := 0; attempt <= p.opts.Retries; attempt++ {
+		if attempt > 0 {
+			p.prog.addRetry()
+		}
+		err = p.attempt(c, out)
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func (p *Pool[R]) attempt(c *Cell[R], out *R) (err error) {
+	p.prog.cellStart()
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			p.prog.addPanic()
+			err = fmt.Errorf("runner: cell %s panicked: %v", c.Key, r)
+		}
+		p.prog.cellDone(time.Since(start), c.Key)
+	}()
+	r, err := c.Run()
+	if err != nil {
+		return fmt.Errorf("runner: cell %s: %w", c.Key, err)
+	}
+	*out = r
+	return nil
+}

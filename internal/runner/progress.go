@@ -1,0 +1,147 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cwsp/internal/telemetry"
+)
+
+// Progress accumulates pool telemetry across every Run of a pool's
+// lifetime: cells submitted/served-from-cache/executed, per-cell latency
+// (log2 histogram), and a worker-occupancy time series sampled at every
+// cell start/finish (the sampler's "cycle" axis is milliseconds since the
+// pool was created). One Progress is shared by all experiments of a
+// `cwspbench -exp all` invocation, so the manifest reports whole-sweep
+// totals.
+type Progress struct {
+	mu      sync.Mutex
+	start   time.Time
+	cells   int64 // cells submitted
+	hits    int64 // served from the persistent store
+	shared  int64 // served by an identical cell in the same batch
+	exec    int64 // actually executed
+	retries int64
+	panics  int64
+	active  int64 // currently running cells
+	wall    time.Duration
+
+	lat *telemetry.Histogram // per-executed-cell wall latency, microseconds
+	occ *telemetry.Sampler   // cols: active, done
+
+	log io.Writer
+}
+
+func newProgress(log io.Writer) *Progress {
+	return &Progress{
+		start: time.Now(),
+		lat:   telemetry.NewHistogram("cell_latency_us"),
+		occ:   telemetry.NewSampler(1, 4096, "active", "done"),
+		log:   log,
+	}
+}
+
+func (p *Progress) sampleLocked() {
+	p.occ.Record(time.Since(p.start).Milliseconds(), float64(p.active), float64(p.hits+p.shared+p.exec))
+}
+
+func (p *Progress) cellStart() {
+	p.mu.Lock()
+	p.active++
+	p.sampleLocked()
+	p.mu.Unlock()
+}
+
+func (p *Progress) cellDone(d time.Duration, key Key) {
+	p.mu.Lock()
+	p.active--
+	p.exec++
+	p.lat.Observe(d.Microseconds())
+	p.sampleLocked()
+	log := p.log
+	p.mu.Unlock()
+	if log != nil {
+		fmt.Fprintf(log, "  cell %-44s %8.1fms\n", key.String(), float64(d.Microseconds())/1e3)
+	}
+}
+
+func (p *Progress) cellHit(fromStore bool) {
+	p.mu.Lock()
+	if fromStore {
+		p.hits++
+	} else {
+		p.shared++
+	}
+	p.sampleLocked()
+	p.mu.Unlock()
+}
+
+func (p *Progress) addCells(n int) {
+	p.mu.Lock()
+	p.cells += int64(n)
+	p.mu.Unlock()
+}
+
+func (p *Progress) addRetry() {
+	p.mu.Lock()
+	p.retries++
+	p.mu.Unlock()
+}
+
+func (p *Progress) addPanic() {
+	p.mu.Lock()
+	p.panics++
+	p.mu.Unlock()
+}
+
+func (p *Progress) addWall(d time.Duration) {
+	p.mu.Lock()
+	p.wall += d
+	p.mu.Unlock()
+}
+
+// Cells returns the number of cells submitted across every Run.
+func (p *Progress) Cells() int64 { p.mu.Lock(); defer p.mu.Unlock(); return p.cells }
+
+// Hits returns cells served from the persistent store.
+func (p *Progress) Hits() int64 { p.mu.Lock(); defer p.mu.Unlock(); return p.hits }
+
+// Executed returns cells actually simulated (store + in-batch misses).
+func (p *Progress) Executed() int64 { p.mu.Lock(); defer p.mu.Unlock(); return p.exec }
+
+// Occupancy returns the worker-occupancy time series.
+func (p *Progress) Occupancy() *telemetry.Sampler { return p.occ }
+
+// Latency returns the per-executed-cell latency histogram (microseconds).
+func (p *Progress) Latency() *telemetry.Histogram { return p.lat }
+
+// Info digests the progress for a run manifest.
+func (p *Progress) Info(jobs int) telemetry.RunnerInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	info := telemetry.RunnerInfo{
+		Jobs:      jobs,
+		Cells:     p.cells,
+		CacheHits: p.hits,
+		Shared:    p.shared,
+		Executed:  p.exec,
+		Retries:   p.retries,
+		Panics:    p.panics,
+		WallMS:    p.wall.Milliseconds(),
+	}
+	if p.lat.Count() > 0 {
+		s := p.lat.Summary()
+		info.CellLatencyUS = &s
+	}
+	return info
+}
+
+// String renders a one-line summary for progress logs.
+func (p *Progress) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("runner{cells=%d hits=%d shared=%d executed=%d wall=%v}",
+		p.cells, p.hits, p.shared, p.exec, p.wall.Round(time.Millisecond))
+}

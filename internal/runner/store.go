@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// storeVersion is embedded in every shard filename; bumping it orphans (but
+// does not delete) caches written by incompatible record layouts.
+const storeVersion = 1
+
+// record is one JSONL line of a shard file. The key is stored alongside the
+// signature purely for human inspection of cache files; lookups go through
+// the signature alone.
+type record struct {
+	Sig string          `json:"sig"`
+	Key Key             `json:"key"`
+	Val json.RawMessage `json:"val"`
+}
+
+// Store is the persistent result cache: a directory of 16 sharded JSONL
+// files, one record per completed cell, keyed by content signature. All
+// methods are safe for concurrent use. Writes accumulate in memory and
+// reach disk on Flush, which rewrites each dirty shard to a temp file and
+// atomically renames it into place — a crash mid-flush leaves either the
+// old or the new shard, never a torn one, so a partially completed sweep
+// always resumes from a consistent cache.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]record   // signature → record (disk + pending)
+	dirty   map[string]struct{} // shards with unflushed entries
+	loaded  int                 // records read from disk at Open
+}
+
+// OpenStore opens (creating if needed) the cache directory and loads every
+// shard. Unparseable lines — a torn append from a pre-atomic-write tool, or
+// hand editing — are skipped rather than failing the whole cache.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: empty store dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: create store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		entries: map[string]record{},
+		dirty:   map[string]struct{}{},
+	}
+	for i := 0; i < 16; i++ {
+		shard := fmt.Sprintf("%x", i)
+		f, err := os.Open(s.shardPath(shard))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("runner: open shard: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+		for sc.Scan() {
+			var r record
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.Sig == "" {
+				continue
+			}
+			s.entries[r.Sig] = r
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("runner: read shard: %w", err)
+		}
+	}
+	s.loaded = len(s.entries)
+	return s, nil
+}
+
+func (s *Store) shardPath(shard string) string {
+	return filepath.Join(s.dir, fmt.Sprintf("cells-v%d-%s.jsonl", storeVersion, shard))
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of cached results (disk + pending).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Loaded returns how many records the store held when opened.
+func (s *Store) Loaded() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loaded
+}
+
+// Get returns the cached result for a signature.
+func (s *Store) Get(sig string) (json.RawMessage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.entries[sig]
+	return r.Val, ok
+}
+
+// Put records a result; it reaches disk on the next Flush.
+func (s *Store) Put(key Key, val json.RawMessage) {
+	sig := key.Signature()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[sig] = record{Sig: sig, Key: key, Val: val}
+	s.dirty[key.Shard()] = struct{}{}
+}
+
+// Flush rewrites every dirty shard atomically (temp file + rename).
+// Records are written in sorted signature order so a flushed shard's bytes
+// are a pure function of its contents. The store lock is held across the
+// rewrite: a Put racing a concurrent flush must not have its dirty mark
+// cleared without its record reaching disk, and shard files are small
+// enough (≤1/16th of the cache) that the stall is negligible next to the
+// simulations the pool is running.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	shards := make([]string, 0, len(s.dirty))
+	for sh := range s.dirty {
+		shards = append(shards, sh)
+	}
+	sort.Strings(shards)
+	byShard := map[string][]record{}
+	for _, r := range s.entries {
+		sh := r.Sig[:1]
+		byShard[sh] = append(byShard[sh], r)
+	}
+
+	for _, sh := range shards {
+		recs := byShard[sh]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Sig < recs[j].Sig })
+		tmp, err := os.CreateTemp(s.dir, "cells-*.tmp")
+		if err != nil {
+			return fmt.Errorf("runner: flush: %w", err)
+		}
+		bw := bufio.NewWriter(tmp)
+		enc := json.NewEncoder(bw)
+		for _, r := range recs {
+			if err := enc.Encode(r); err != nil {
+				tmp.Close()
+				os.Remove(tmp.Name())
+				return fmt.Errorf("runner: flush: %w", err)
+			}
+		}
+		if err := bw.Flush(); err == nil {
+			err = tmp.Close()
+		} else {
+			tmp.Close()
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("runner: flush: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), s.shardPath(sh)); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("runner: flush: %w", err)
+		}
+		delete(s.dirty, sh)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := simKey(1)
+	s.Put(k, json.RawMessage(`{"cycles":123}`))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the record survives and no temp files remain.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Loaded() != 1 {
+		t.Fatalf("loaded %d records, want 1", s2.Loaded())
+	}
+	raw, ok := s2.Get(k.Signature())
+	if !ok || string(raw) != `{"cycles":123}` {
+		t.Fatalf("get: %q ok=%v", raw, ok)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+		if !strings.HasPrefix(e.Name(), "cells-v") || !strings.HasSuffix(e.Name(), ".jsonl") {
+			t.Fatalf("unexpected store file %s", e.Name())
+		}
+	}
+}
+
+func TestStoreSharding(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough keys to hit several shards.
+	for i := 0; i < 64; i++ {
+		s.Put(simKey(i), json.RawMessage(`1`))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) < 2 {
+		t.Fatalf("expected multiple shard files, got %d", len(ents))
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 64 {
+		t.Fatalf("reloaded %d records, want 64", s2.Len())
+	}
+}
+
+func TestStoreSkipsCorruptLines(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	s.Put(simKey(0), json.RawMessage(`7`))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write at the end of a shard.
+	var shardFile string
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		shardFile = filepath.Join(dir, e.Name())
+	}
+	f, err := os.OpenFile(shardFile, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"sig":"tr`)
+	f.Close()
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Loaded() != 1 {
+		t.Fatalf("loaded %d, want 1 (corrupt tail skipped)", s2.Loaded())
+	}
+}
+
+func TestPoolServesFromStoreAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int64
+	mk := func() []Cell[int] {
+		var cells []Cell[int]
+		for i := 0; i < 8; i++ {
+			i := i
+			cells = append(cells, Cell[int]{Key: simKey(i), Run: func() (int, error) {
+				runs.Add(1)
+				return i * 10, nil
+			}})
+		}
+		return cells
+	}
+
+	p1 := NewPool[int](Options{Jobs: 4, Store: store, Reuse: true})
+	out1, err := p1.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 8 {
+		t.Fatalf("cold run executed %d, want 8", runs.Load())
+	}
+
+	// Fresh store handle, fresh pool: everything is a cache hit.
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewPool[int](Options{Jobs: 4, Store: store2, Reuse: true})
+	out2, err := p2.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 8 {
+		t.Fatalf("warm run executed %d more cells", runs.Load()-8)
+	}
+	if p2.Progress().Hits() != 8 || p2.Progress().Executed() != 0 {
+		t.Fatalf("warm run hits=%d executed=%d", p2.Progress().Hits(), p2.Progress().Executed())
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("out mismatch at %d: %d vs %d", i, out1[i], out2[i])
+		}
+	}
+
+	// Reuse=false refreshes: every cell recomputes despite the warm store.
+	store3, _ := OpenStore(dir)
+	p3 := NewPool[int](Options{Jobs: 4, Store: store3, Reuse: false})
+	if _, err := p3.Run(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 16 {
+		t.Fatalf("refresh run executed %d total, want 16", runs.Load())
+	}
+}
+
+func TestPoolFlushEveryPersistsPartialSweeps(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := OpenStore(dir)
+	p := NewPool[int](Options{Jobs: 1, Store: store, Reuse: true, FlushEvery: 1})
+	// Cell 3 fails; cells 0..2 must already be on disk.
+	var cells []Cell[int]
+	for i := 0; i < 3; i++ {
+		i := i
+		cells = append(cells, Cell[int]{Key: simKey(i), Run: func() (int, error) { return i, nil }})
+	}
+	cells = append(cells, Cell[int]{Key: simKey(3), Run: func() (int, error) {
+		panic("power cut")
+	}})
+	if _, err := p.Run(cells); err == nil {
+		t.Fatal("want error")
+	}
+
+	resumed, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Loaded() != 3 {
+		t.Fatalf("resumable store holds %d records, want 3", resumed.Loaded())
+	}
+}

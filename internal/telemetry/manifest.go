@@ -20,6 +20,22 @@ type SeriesInfo struct {
 	Dropped  int64    `json:"dropped"`
 }
 
+// RunnerInfo records how a parallel sweep executed: pool width, work-unit
+// counts by outcome (persistent-cache hit, shared within the batch,
+// actually executed), reliability counters, and total pool wall time. A
+// fully warm rerun shows Executed == 0 and CacheHits == Cells.
+type RunnerInfo struct {
+	Jobs          int          `json:"jobs"`
+	Cells         int64        `json:"cells"`
+	CacheHits     int64        `json:"cache_hits"`
+	Shared        int64        `json:"shared,omitempty"`
+	Executed      int64        `json:"executed"`
+	Retries       int64        `json:"retries,omitempty"`
+	Panics        int64        `json:"panics,omitempty"`
+	WallMS        int64        `json:"wall_ms"`
+	CellLatencyUS *HistSummary `json:"cell_latency_us,omitempty"`
+}
+
 // BenchRow is one labelled row of a benchmark report.
 type BenchRow struct {
 	Label string    `json:"label"`
@@ -56,6 +72,10 @@ type Manifest struct {
 	Series     *SeriesInfo            `json:"series,omitempty"`
 
 	Reports []BenchReport `json:"reports,omitempty"`
+
+	// Runner reports the parallel-sweep execution profile when the run went
+	// through internal/runner (cwspbench -jobs / -cache-dir).
+	Runner *RunnerInfo `json:"runner,omitempty"`
 }
 
 // NewManifest builds a manifest stamped with the current schema version.
