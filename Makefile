@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-smoke lint repro repro-quick examples trace metrics clean
+.PHONY: all build test test-short bench bench-smoke torture-smoke torture lint repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -27,6 +27,17 @@ bench-smoke:
 	$(GO) run ./cmd/cwspbench -exp fig06 -scale smoke -jobs 4 -cache-dir .cwsp-cache-smoke
 	$(GO) run ./cmd/cwspbench -exp fig06 -scale smoke -jobs 4 -cache-dir .cwsp-cache-smoke
 	rm -rf .cwsp-cache-smoke
+
+# Small seeded fault-injection campaign with nested crash-during-recovery
+# (depth 2). A failure prints the shrunk `cwsprecover -faults '<spec>'`
+# reproducer command; paste it to replay the cell standalone.
+torture-smoke:
+	$(GO) run ./cmd/cwsptorture -seed 1 -n 4 -w tatp,rb,kmeans -depth 2 -points 3
+
+# Acceptance-scale campaign: 500 cells (100 seeded plans x 5 workloads),
+# nested crashes, zero silent divergences required.
+torture:
+	$(GO) run ./cmd/cwsptorture -seed 1 -n 100 -depth 2 -points 3 -out torture-report.json
 
 # Static soundness verification: vet, then run the independent persistence
 # checker over the checked-in example and a fixed block of generated

@@ -126,7 +126,7 @@ func BenchmarkCrashRecovery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		crash := 1 + int64(i)%g.Stats.Cycles
-		r, err := recovery.Check(q, cfg, sim.CWSP(), specs, crash, g.NVM)
+		r, err := recovery.Check(q, cfg, sim.CWSP(), specs, crash, g)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -14,6 +14,14 @@
 // Crash points are independent (they share only the program and the golden
 // NVM image, both read-only), so -jobs fans the sweep out over a worker
 // pool; the report is identical to the serial order.
+//
+// With -faults it replays one fault-injection experiment — typically a
+// reproducer printed by a failing cwsptorture campaign:
+//
+//	cwsprecover -w tatp -faults 'crashes=350,700;torn-log@0:3:ffffffff00000000'
+//
+// Exit status: 0 for clean or detected (survival), 1 for silent divergence
+// or an undiagnosed error.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os"
 
 	"cwsp/internal/compiler"
+	"cwsp/internal/faults"
 	"cwsp/internal/ir"
 	"cwsp/internal/progen"
 	"cwsp/internal/recovery"
@@ -31,12 +40,14 @@ import (
 
 func main() {
 	var (
-		wName = flag.String("w", "", "workload name")
-		seed  = flag.Int64("seed", -1, "random program seed (instead of -w)")
-		scale = flag.String("scale", "smoke", "workload scale: smoke, quick, full")
-		crash = flag.Int64("crash", 0, "single crash cycle (0 = use -sweep)")
-		sweep = flag.Int("sweep", 20, "number of evenly spaced crash points")
-		jobs  = flag.Int("jobs", 1, "parallel crash points (0 = GOMAXPROCS, 1 = serial)")
+		wName    = flag.String("w", "", "workload name")
+		seed     = flag.Int64("seed", -1, "random program seed (instead of -w)")
+		scale    = flag.String("scale", "smoke", "workload scale: smoke, quick, full")
+		crash    = flag.Int64("crash", 0, "single crash cycle (0 = use -sweep)")
+		sweep    = flag.Int("sweep", 20, "number of evenly spaced crash points")
+		jobs     = flag.Int("jobs", 1, "parallel crash points (0 = GOMAXPROCS, 1 = serial)")
+		spec     = flag.String("faults", "", "fault plan spec to replay (see cwsptorture)")
+		unsealed = flag.Bool("unsealed", false, "disable seal validation (negative control)")
 	)
 	flag.Parse()
 
@@ -63,6 +74,7 @@ func main() {
 		rep.TotalRegions(), rep.TotalCheckpoints(), rep.PrunedCheckpoints())
 
 	cfg := sim.DefaultConfig()
+	cfg.Unsealed = *unsealed
 	specs := []sim.ThreadSpec{{Fn: compiled.Entry}}
 	golden, err := recovery.Golden(compiled, cfg, sim.CWSP(), specs)
 	if err != nil {
@@ -70,8 +82,24 @@ func main() {
 	}
 	fmt.Printf("golden run: %d cycles, %d instructions\n", golden.Stats.Cycles, golden.Stats.Instrs)
 
+	if *spec != "" {
+		plan, err := faults.ParseSpec(*spec)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := recovery.CheckFaults(compiled, cfg, sim.CWSP(), specs, plan, golden)
+		if err != nil {
+			fatal(err)
+		}
+		reportFaults(r)
+		if r.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *crash > 0 {
-		res, err := recovery.Check(compiled, cfg, sim.CWSP(), specs, *crash, golden.NVM)
+		res, err := recovery.Check(compiled, cfg, sim.CWSP(), specs, *crash, golden)
 		if err != nil {
 			fatal(err)
 		}
@@ -99,6 +127,28 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d crash points recovered to the exact golden NVM state\n", checked)
+}
+
+func reportFaults(r *recovery.FaultResult) {
+	fmt.Printf("fault replay: crashes at cycles %v\n", r.Crashes)
+	for _, inj := range r.Injected {
+		if inj.Skipped {
+			fmt.Printf("  crash %d: %s skipped (no eligible victim)\n", inj.Crash, inj.Kind)
+			continue
+		}
+		fmt.Printf("  crash %d: %s journal[%d] addr 0x%x xor %x\n",
+			inj.Crash, inj.Kind, inj.Index, inj.Addr, inj.XOR)
+	}
+	switch r.Outcome {
+	case recovery.OutcomeClean:
+		fmt.Printf("  outcome: clean — recovered to golden NVM after %d re-executed instructions\n", r.ReExecuted)
+	case recovery.OutcomeDetected:
+		fmt.Printf("  outcome: detected — %v\n", r.Detected)
+	case recovery.OutcomeDiverged:
+		fmt.Printf("  outcome: SILENT DIVERGENCE at addresses %v\n", r.DiffAddrs)
+	default:
+		fmt.Printf("  outcome: error — %s\n", r.Err)
+	}
 }
 
 func report(r *recovery.CheckResult) {

@@ -90,7 +90,7 @@ func CheckCrashConsistency(p *Program, cfg Config, crashCycle int64) (bool, erro
 	if err != nil {
 		return false, err
 	}
-	r, err := recovery.Check(p, cfg, sim.CWSP(), specs, crashCycle, g.NVM)
+	r, err := recovery.Check(p, cfg, sim.CWSP(), specs, crashCycle, g)
 	if err != nil {
 		return false, err
 	}

@@ -174,7 +174,7 @@ func main() {
 		}
 
 		// (b) cWSP: crash, run the recovery protocol, re-execute.
-		res, err := recovery.Check(compiled, cfg, sim.CWSP(), specs, crash, golden.NVM)
+		res, err := recovery.Check(compiled, cfg, sim.CWSP(), specs, crash, golden)
 		if err != nil {
 			log.Fatal(err)
 		}

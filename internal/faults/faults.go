@@ -1,0 +1,237 @@
+// Package faults is the deterministic, seed-driven fault-injection
+// subsystem of the torture harness: it decides *what* hardware corruption a
+// crash experiment injects, reproducibly. A Plan is a seeded RNG's output —
+// a crash schedule (possibly nested: crash the resumed machine again, to
+// depth N) plus explicit fault points — that serializes to a compact spec
+// string, so any failing campaign cell replays standalone from one flag
+// (`cwsprecover -faults '<spec>'`) and a campaign report pins every cell to
+// its exact corruption.
+//
+// The taxonomy mirrors where real persist paths break (PAPER.md §VI–VII,
+// "Lost in Interpretation", "Delay-Free Concurrency on Faulty Persistent
+// Memory"):
+//
+//	torn-log      a torn undo-log record write at power loss
+//	drop-wpq      an admitted WPQ tail entry that never reached media
+//	reorder-wpq   two same-MC tail entries drained out of FIFO order
+//	corrupt-ckpt  a corrupted checkpoint-area word
+//
+// Points select their victims by ordinal among the eligible records at the
+// crash instant (never by absolute address), so one Plan is meaningful
+// across workloads and crash cycles while staying fully deterministic.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is one fault class.
+type Kind string
+
+// The fault taxonomy.
+const (
+	TornLog     Kind = "torn-log"
+	DropWPQ     Kind = "drop-wpq"
+	ReorderWPQ  Kind = "reorder-wpq"
+	CorruptCkpt Kind = "corrupt-ckpt"
+)
+
+// Kinds lists the taxonomy in canonical order.
+var Kinds = []Kind{TornLog, DropWPQ, ReorderWPQ, CorruptCkpt}
+
+func validKind(k Kind) bool {
+	for _, v := range Kinds {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Point is one injected fault: Kind at crash ordinal Crash (0 = the first
+// power failure, 1 = the first crash of the resumed machine, ...), victim
+// chosen as Pick modulo the eligible-target count at that instant, content
+// perturbed by XOR (ignored for drop/reorder).
+type Point struct {
+	Kind  Kind   `json:"kind"`
+	Crash int    `json:"crash"`
+	Pick  int64  `json:"pick"`
+	XOR   uint64 `json:"xor,omitempty"`
+}
+
+// Plan is one experiment's complete, reproducible fault schedule.
+type Plan struct {
+	// Seed is provenance: the RNG seed the plan was generated from (0 for
+	// hand-written or shrunk plans). The fields below are self-contained.
+	Seed int64 `json:"seed,omitempty"`
+	// Crashes positions each power failure, in permille of the reference
+	// run length (the golden run's cycle count; nested crashes reuse the
+	// same reference against the resumed machine's own clock). Length =
+	// crash count = nesting depth.
+	Crashes []int64 `json:"crashes"`
+	// Points are the fault injections, grouped by their Crash ordinal.
+	Points []Point `json:"points"`
+}
+
+// Depth returns the number of crashes (nesting depth).
+func (p *Plan) Depth() int { return len(p.Crashes) }
+
+// CrashCycle maps crash ordinal i to an absolute cycle against the
+// reference duration (clamped to at least 1).
+func (p *Plan) CrashCycle(i int, refCycles int64) int64 {
+	c := refCycles * p.Crashes[i] / 1000
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// PointsAt returns the plan's points for one crash ordinal, in plan order.
+func (p *Plan) PointsAt(crash int) []Point {
+	var out []Point
+	for _, pt := range p.Points {
+		if pt.Crash == crash {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// GenOptions shape NewPlan's random draw.
+type GenOptions struct {
+	// Depth is the crash count (>= 1); crashes beyond the first cut the
+	// resumed machine — recovery itself must survive them.
+	Depth int
+	// Points is how many fault points to draw (>= 0).
+	Points int
+}
+
+// NewPlan draws a reproducible plan from a seeded RNG: Depth crash
+// positions in [50, 950] permille and Points fault points with uniform
+// kind, crash ordinal, pick, and a never-zero XOR mask.
+func NewPlan(seed int64, opt GenOptions) *Plan {
+	if opt.Depth < 1 {
+		opt.Depth = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	for i := 0; i < opt.Depth; i++ {
+		p.Crashes = append(p.Crashes, 50+rng.Int63n(901))
+	}
+	for i := 0; i < opt.Points; i++ {
+		pt := Point{
+			Kind:  Kinds[rng.Intn(len(Kinds))],
+			Crash: rng.Intn(opt.Depth),
+			Pick:  rng.Int63n(1 << 30),
+		}
+		for pt.XOR == 0 {
+			pt.XOR = rng.Uint64()
+		}
+		p.Points = append(p.Points, pt)
+	}
+	sort.SliceStable(p.Points, func(a, b int) bool { return p.Points[a].Crash < p.Points[b].Crash })
+	return p
+}
+
+// Spec renders the plan as a compact single-token string:
+//
+//	seed=7;crashes=350,700;torn-log@0:3:55aa;corrupt-ckpt@1:0:ff00
+//
+// Fields are semicolon-separated: an optional provenance seed, the crash
+// permille list, then one kind@crash:pick:xorhex term per point.
+// ParseSpec(p.Spec()) round-trips exactly.
+func (p *Plan) Spec() string {
+	var b strings.Builder
+	if p.Seed != 0 {
+		fmt.Fprintf(&b, "seed=%d;", p.Seed)
+	}
+	b.WriteString("crashes=")
+	for i, c := range p.Crashes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	for _, pt := range p.Points {
+		fmt.Fprintf(&b, ";%s@%d:%d:%x", pt.Kind, pt.Crash, pt.Pick, pt.XOR)
+	}
+	return b.String()
+}
+
+// ParseSpec parses Spec's format back into a plan.
+func ParseSpec(s string) (*Plan, error) {
+	p := &Plan{}
+	for _, term := range strings.Split(strings.TrimSpace(s), ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(term, "seed="):
+			v, err := strconv.ParseInt(term[len("seed="):], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed in %q: %v", term, err)
+			}
+			p.Seed = v
+		case strings.HasPrefix(term, "crashes="):
+			for _, f := range strings.Split(term[len("crashes="):], ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: bad crash permille in %q: %v", term, err)
+				}
+				if v < 0 || v > 1000 {
+					return nil, fmt.Errorf("faults: crash permille %d out of [0,1000]", v)
+				}
+				p.Crashes = append(p.Crashes, v)
+			}
+		default:
+			at := strings.IndexByte(term, '@')
+			if at < 0 {
+				return nil, fmt.Errorf("faults: unrecognized spec term %q", term)
+			}
+			pt := Point{Kind: Kind(term[:at])}
+			if !validKind(pt.Kind) {
+				return nil, fmt.Errorf("faults: unknown fault kind %q", pt.Kind)
+			}
+			rest := strings.Split(term[at+1:], ":")
+			if len(rest) != 3 {
+				return nil, fmt.Errorf("faults: point %q wants kind@crash:pick:xorhex", term)
+			}
+			crash, err := strconv.Atoi(rest[0])
+			if err != nil || crash < 0 {
+				return nil, fmt.Errorf("faults: bad crash ordinal in %q", term)
+			}
+			pick, err := strconv.ParseInt(rest[1], 10, 64)
+			if err != nil || pick < 0 {
+				return nil, fmt.Errorf("faults: bad pick in %q", term)
+			}
+			xor, err := strconv.ParseUint(rest[2], 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad xor hex in %q", term)
+			}
+			pt.Crash, pt.Pick, pt.XOR = crash, pick, xor
+			p.Points = append(p.Points, pt)
+		}
+	}
+	if len(p.Crashes) == 0 {
+		return nil, fmt.Errorf("faults: spec %q has no crashes= term", s)
+	}
+	for _, pt := range p.Points {
+		if pt.Crash >= len(p.Crashes) {
+			return nil, fmt.Errorf("faults: point crash ordinal %d exceeds depth %d", pt.Crash, len(p.Crashes))
+		}
+	}
+	return p, nil
+}
+
+// Clone deep-copies the plan (the shrinker mutates copies).
+func (p *Plan) Clone() *Plan {
+	q := &Plan{Seed: p.Seed}
+	q.Crashes = append([]int64(nil), p.Crashes...)
+	q.Points = append([]Point(nil), p.Points...)
+	return q
+}

@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewPlanDeterministic(t *testing.T) {
+	a := NewPlan(42, GenOptions{Depth: 3, Points: 5})
+	b := NewPlan(42, GenOptions{Depth: 3, Points: 5})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	c := NewPlan(43, GenOptions{Depth: 3, Points: 5})
+	if reflect.DeepEqual(a.Crashes, c.Crashes) && reflect.DeepEqual(a.Points, c.Points) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if a.Depth() != 3 || len(a.Points) != 5 {
+		t.Fatalf("plan shape: depth %d, points %d", a.Depth(), len(a.Points))
+	}
+	for _, pm := range a.Crashes {
+		if pm < 50 || pm > 950 {
+			t.Fatalf("crash permille %d outside [50,950]", pm)
+		}
+	}
+	for _, pt := range a.Points {
+		if pt.Crash < 0 || pt.Crash >= 3 {
+			t.Fatalf("point crash ordinal %d outside depth", pt.Crash)
+		}
+		if pt.XOR == 0 {
+			t.Fatal("generated point with zero XOR mask")
+		}
+		if !validKind(pt.Kind) {
+			t.Fatalf("generated invalid kind %q", pt.Kind)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	plans := []*Plan{
+		NewPlan(1, GenOptions{Depth: 1, Points: 0}),
+		NewPlan(7, GenOptions{Depth: 2, Points: 3}),
+		NewPlan(99, GenOptions{Depth: 4, Points: 8}),
+		{Crashes: []int64{500}, Points: []Point{{Kind: TornLog, Crash: 0, Pick: 3, XOR: 0x55aa}}},
+	}
+	for _, p := range plans {
+		got, err := ParseSpec(p.Spec())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", p.Spec(), err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("round trip changed the plan:\n in  %+v\n out %+v\n spec %q", p, got, p.Spec())
+		}
+	}
+}
+
+func TestParseSpecRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                                  // no crashes
+		"torn-log@0:1:aa",                   // no crashes term
+		"crashes=1200",                      // permille out of range
+		"crashes=500;bogus-kind@0:1:aa",     // unknown kind
+		"crashes=500;torn-log@1:1:aa",       // ordinal beyond depth
+		"crashes=500;torn-log@0:1",          // missing xor field
+		"crashes=500;torn-log@0:1:zz",       // bad hex
+		"crashes=500;torn-log@-1:1:aa",      // negative ordinal
+		"seed=x;crashes=500",                // bad seed
+		"crashes=500;torn-log0:1:aa",        // missing @
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted malformed spec", s)
+		}
+	}
+}
+
+func TestCrashCycleClamps(t *testing.T) {
+	p := &Plan{Crashes: []int64{0, 500, 1000}}
+	if got := p.CrashCycle(0, 10000); got != 1 {
+		t.Errorf("permille 0 -> cycle %d, want clamp to 1", got)
+	}
+	if got := p.CrashCycle(1, 10000); got != 5000 {
+		t.Errorf("permille 500 of 10000 -> %d, want 5000", got)
+	}
+	if got := p.CrashCycle(2, 10000); got != 10000 {
+		t.Errorf("permille 1000 of 10000 -> %d, want 10000", got)
+	}
+}
+
+func TestPointsAtGroupsByOrdinal(t *testing.T) {
+	p := &Plan{
+		Crashes: []int64{300, 600},
+		Points: []Point{
+			{Kind: TornLog, Crash: 0, Pick: 1, XOR: 1},
+			{Kind: DropWPQ, Crash: 1, Pick: 2, XOR: 1},
+			{Kind: CorruptCkpt, Crash: 0, Pick: 3, XOR: 1},
+		},
+	}
+	if got := p.PointsAt(0); len(got) != 2 || got[0].Kind != TornLog || got[1].Kind != CorruptCkpt {
+		t.Fatalf("PointsAt(0) = %+v", got)
+	}
+	if got := p.PointsAt(1); len(got) != 1 || got[0].Kind != DropWPQ {
+		t.Fatalf("PointsAt(1) = %+v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewPlan(5, GenOptions{Depth: 2, Points: 2})
+	q := p.Clone()
+	q.Crashes[0] = 999
+	q.Points[0].Pick = 12345
+	if p.Crashes[0] == 999 || p.Points[0].Pick == 12345 {
+		t.Fatal("Clone shares backing arrays with the original")
+	}
+}

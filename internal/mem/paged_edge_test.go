@@ -1,0 +1,114 @@
+package mem_test
+
+import (
+	"sync"
+	"testing"
+
+	"cwsp/internal/mem"
+	"cwsp/internal/sim"
+)
+
+// TestEqualWhereBoundaryAtLayoutEdges: the recovery equality criterion
+// excludes [StackBase, CkptBase + MaxCores*CkptStride). A divergence one
+// word inside either edge must be masked; one word outside either edge
+// must be caught — off-by-one here silently weakens every multi-thread
+// recovery check.
+func TestEqualWhereBoundaryAtLayoutEdges(t *testing.T) {
+	excludeEnd := sim.CkptBase + int64(sim.MaxCores)*sim.CkptStride
+	keep := func(addr int64) bool {
+		return !(addr >= sim.StackBase && addr < excludeEnd)
+	}
+	cases := []struct {
+		name   string
+		addr   int64
+		masked bool
+	}{
+		{"last word before StackBase", sim.StackBase - 8, false},
+		{"first word of stack area", sim.StackBase, true},
+		{"last word of ckpt area", excludeEnd - 8, true},
+		{"first word past ckpt area", excludeEnd, false},
+	}
+	for _, tc := range cases {
+		a := mem.NewPagedMem()
+		b := mem.NewPagedMem()
+		// A shared word on both sides keeps the page sets comparable.
+		a.Store(0x1000, 7)
+		b.Store(0x1000, 7)
+		a.Store(tc.addr, 1)
+		b.Store(tc.addr, 2)
+		got := a.EqualWhere(b, keep)
+		if got != tc.masked {
+			t.Errorf("%s (%#x): EqualWhere = %v, want %v", tc.name, tc.addr, got, tc.masked)
+		}
+	}
+}
+
+// TestEqualWhereAsymmetricPages: a word present in only one image must
+// still respect the filter (missing pages read as zero).
+func TestEqualWhereAsymmetricPages(t *testing.T) {
+	a := mem.NewPagedMem()
+	b := mem.NewPagedMem()
+	a.Store(sim.StackBase+128, 42) // only in a, inside the excluded window
+	if !a.EqualWhere(b, func(addr int64) bool {
+		return addr < sim.StackBase
+	}) {
+		t.Error("one-sided excluded word broke filtered equality")
+	}
+	a.Store(0x2000, 5) // only in a, kept
+	if a.EqualWhere(b, func(addr int64) bool { return true }) {
+		t.Error("one-sided kept word not detected")
+	}
+}
+
+// TestCloneIndependentUnderConcurrentReads: Clone must produce a fully
+// independent image — mutating the original while readers iterate the
+// clone (and vice versa) must neither race (run with -race) nor change
+// observed values.
+func TestCloneIndependentUnderConcurrentReads(t *testing.T) {
+	orig := mem.NewPagedMem()
+	for i := int64(0); i < 512; i++ {
+		orig.Store(0x2000_0000+i*8, i*i)
+	}
+	clone := orig.Clone()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writer hammers the original.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := int64(0); ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			orig.Store(0x2000_0000+(k%512)*8, -1)
+		}
+	}()
+	// Readers verify the clone never changes.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 50; pass++ {
+				for i := int64(0); i < 512; i++ {
+					if got := clone.Load(0x2000_0000 + i*8); got != i*i {
+						t.Errorf("clone[%d] = %d after original mutated, want %d", i, got, i*i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	close(stop)
+	wg.Wait()
+
+	// And the reverse direction: writes to the clone stay out of a snapshot
+	// taken before them.
+	snap := clone.Clone()
+	clone.Store(0x2000_0000, 999)
+	if got := snap.Load(0x2000_0000); got != 0 {
+		t.Errorf("pre-mutation clone sees later write: %d", got)
+	}
+}

@@ -363,4 +363,17 @@ type Rec struct {
 	Region int64 // global region sequence number
 	Logged bool  // undo-logged at the MC (speculative or checkpoint-area)
 	Core   int
+
+	// MC and MCSeq identify the record's write pending queue admission:
+	// MCSeq is the per-controller admission ordinal (FIFO arrival order =
+	// drain order), 0 for synchronous persists that bypass the WPQ. The
+	// recovery validator cross-checks these against the controller's drain
+	// ledger to detect dropped or reordered tail entries.
+	MC    int
+	MCSeq int64
+	// Seal is the record's integrity checksum, written by the MC alongside
+	// the undo-log entry. A torn or corrupted record no longer matches its
+	// seal, which recovery detects instead of silently applying a bogus
+	// rollback value.
+	Seal uint64
 }

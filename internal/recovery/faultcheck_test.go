@@ -1,0 +1,254 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/faults"
+	"cwsp/internal/ir"
+	"cwsp/internal/sim"
+	"cwsp/internal/workloads"
+)
+
+func compileWorkload(t testing.TB, name string) *ir.Program {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := compiler.Compile(w.Build(workloads.Smoke), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestCheckFaultsNestedCleanNoFaults: with no injected corruption, a
+// depth-3 nested crash schedule — the third crash hits a machine that is
+// itself two recoveries deep — must recover to the exact golden image.
+// This is crash-during-recovery soundness in isolation.
+func TestCheckFaultsNestedCleanNoFaults(t *testing.T) {
+	q := linkedListProgram(t)
+	cfg := sim.DefaultConfig()
+	specs := entrySpecs(q)
+	g, err := Golden(q, cfg, sim.CWSP(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Crashes: []int64{300, 600, 900}}
+	r, err := CheckFaults(q, cfg, sim.CWSP(), specs, plan, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome != OutcomeClean {
+		t.Fatalf("nested fault-free crashes must recover clean; got %s (err=%q detected=%+v diffs=%v)",
+			r.Outcome, r.Err, r.Detected, r.DiffAddrs)
+	}
+	if len(r.Crashes) != 3 {
+		t.Fatalf("expected 3 applied crashes, got %v", r.Crashes)
+	}
+	// The final resume may legitimately have nothing left to run (a late
+	// nested crash can land after the resumed machine finished), but the
+	// crash schedule itself must be non-degenerate.
+	for i := 1; i < len(r.Crashes); i++ {
+		if r.Crashes[i] < 1 {
+			t.Fatalf("crash %d at non-positive cycle %d", i, r.Crashes[i])
+		}
+	}
+}
+
+// TestCheckFaultsNeverSilentlyDiverges: the sealed build's survival
+// property over a batch of seeded adversarial plans — every outcome is
+// clean or detected, never diverged or error.
+func TestCheckFaultsNeverSilentlyDiverges(t *testing.T) {
+	q := compileWorkload(t, "rb")
+	cfg := sim.DefaultConfig()
+	specs := entrySpecs(q)
+	g, err := Golden(q, cfg, sim.CWSP(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detections := 0
+	for seed := int64(0); seed < 12; seed++ {
+		plan := faults.NewPlan(seed, faults.GenOptions{Depth: 2, Points: 3})
+		r, err := CheckFaults(q, cfg, sim.CWSP(), specs, plan, g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Failed() {
+			t.Fatalf("seed %d (%s): sealed build %s: err=%q diffs=%v",
+				seed, plan.Spec(), r.Outcome, r.Err, r.DiffAddrs)
+		}
+		if r.Outcome == OutcomeDetected {
+			detections++
+		}
+	}
+	if detections == 0 {
+		t.Fatal("no plan was detected — the adversary injected nothing effective")
+	}
+}
+
+// findFailingPlan scans seeds for a plan that defeats the unsealed build.
+func findFailingPlan(t testing.TB, q *ir.Program, ucfg sim.Config, specs []sim.ThreadSpec, g *sim.Result) *faults.Plan {
+	t.Helper()
+	for seed := int64(0); seed < 40; seed++ {
+		plan := faults.NewPlan(seed, faults.GenOptions{Depth: 2, Points: 3})
+		r, err := CheckFaults(q, ucfg, sim.CWSP(), specs, plan, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Failed() {
+			return plan
+		}
+	}
+	t.Fatal("no seeded plan defeats the unsealed build — adversary too weak")
+	return nil
+}
+
+// TestCheckFaultsUnsealedFailsSealedSurvives: the negative control. A plan
+// that corrupts the unsealed build must be survived (detected) by the
+// sealed one — the seals are what close the gap.
+func TestCheckFaultsUnsealedFailsSealedSurvives(t *testing.T) {
+	q := compileWorkload(t, "rb")
+	specs := entrySpecs(q)
+	cfg := sim.DefaultConfig()
+	ucfg := cfg
+	ucfg.Unsealed = true
+	g, err := Golden(q, cfg, sim.CWSP(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := findFailingPlan(t, q, ucfg, specs, g)
+	r, err := CheckFaults(q, cfg, sim.CWSP(), specs, plan, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed() {
+		t.Fatalf("sealed build failed the plan (%s) that defeats the unsealed build: %s err=%q",
+			plan.Spec(), r.Outcome, r.Err)
+	}
+}
+
+// TestShrinkProducesMinimalFailingReproducer: shrinking a failing plan
+// keeps it failing while never growing it.
+func TestShrinkProducesMinimalFailingReproducer(t *testing.T) {
+	q := compileWorkload(t, "rb")
+	specs := entrySpecs(q)
+	ucfg := sim.DefaultConfig()
+	ucfg.Unsealed = true
+	g, err := Golden(q, ucfg, sim.CWSP(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := findFailingPlan(t, q, ucfg, specs, g)
+	min, res, err := Shrink(q, ucfg, sim.CWSP(), specs, plan, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatalf("shrunk plan no longer fails: %s", res.Outcome)
+	}
+	if len(min.Points) > len(plan.Points) || min.Depth() > plan.Depth() {
+		t.Fatalf("shrink grew the plan: %d->%d points, depth %d->%d",
+			len(plan.Points), len(min.Points), plan.Depth(), min.Depth())
+	}
+	// The reproducer replays standalone from its spec string.
+	rt, err := faults.ParseSpec(min.Spec())
+	if err != nil {
+		t.Fatalf("shrunk spec does not parse: %v", err)
+	}
+	r2, err := CheckFaults(q, ucfg, sim.CWSP(), specs, rt, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Failed() {
+		t.Fatal("reparsed reproducer no longer fails")
+	}
+}
+
+func smokeTargets(t testing.TB) []TortureTarget {
+	t.Helper()
+	var targets []TortureTarget
+	for _, name := range []string{"tatp", "rb"} {
+		q := compileWorkload(t, name)
+		targets = append(targets, TortureTarget{Name: name, Prog: q, Specs: []sim.ThreadSpec{{Fn: q.Entry}}})
+	}
+	return targets
+}
+
+// TestTortureReportByteIdentical: the same campaign seed yields a
+// byte-for-byte identical JSON report regardless of pool parallelism.
+func TestTortureReportByteIdentical(t *testing.T) {
+	targets := smokeTargets(t)
+	opts := TortureOptions{
+		Seed: 42, CellsPerTarget: 2, Depth: 2, Points: 2,
+		Cfg: sim.DefaultConfig(), Sch: sim.CWSP(), Jobs: 1,
+	}
+	rep1, _, err := RunTorture(targets, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Jobs = 4
+	rep2, _, err := RunTorture(targets, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := rep1.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := rep2.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed, different reports:\n%s\n---\n%s", b1, b2)
+	}
+	if rep1.Totals.Cells != 4 {
+		t.Fatalf("expected 4 cells, got %d", rep1.Totals.Cells)
+	}
+}
+
+// TestTortureSealedCampaignSurvives: a small sealed campaign has zero
+// silent divergences and zero errors, and the adversary actually lands
+// faults (injected > 0, detections > 0).
+func TestTortureSealedCampaignSurvives(t *testing.T) {
+	rep, _, err := RunTorture(smokeTargets(t), TortureOptions{
+		Seed: 1, CellsPerTarget: 3, Depth: 2, Points: 3,
+		Cfg: sim.DefaultConfig(), Sch: sim.CWSP(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Failures()); n != 0 {
+		t.Fatalf("sealed campaign has %d failures: %+v", n, rep.Failures()[0])
+	}
+	if rep.Totals.Injected == 0 {
+		t.Fatal("campaign injected nothing")
+	}
+	if rep.Totals.Detected == 0 {
+		t.Fatal("campaign detected nothing — faults are being absorbed unrealistically")
+	}
+}
+
+// TestTortureUnsealedCampaignFails: the acceptance-criterion negative
+// control — the identical campaign with validation disabled must fail.
+func TestTortureUnsealedCampaignFails(t *testing.T) {
+	rep, _, err := RunTorture(smokeTargets(t), TortureOptions{
+		Seed: 1, CellsPerTarget: 3, Depth: 2, Points: 3,
+		Cfg: sim.DefaultConfig(), Sch: sim.CWSP(), Unsealed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures()) == 0 {
+		t.Fatal("unsealed campaign passed — validation layers are not what provides survival")
+	}
+	if rep.Totals.Diverged == 0 && rep.Totals.Errors == 0 {
+		t.Fatalf("unsealed campaign totals inconsistent: %+v", rep.Totals)
+	}
+	if !rep.Unsealed {
+		t.Fatal("report does not record the unsealed mode")
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"fmt"
 
 	"cwsp/internal/ir"
-	"cwsp/internal/mem"
 	"cwsp/internal/runner"
 	"cwsp/internal/sim"
 )
@@ -36,8 +35,8 @@ func Golden(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.Thread
 }
 
 // Check crashes the program at crashCycle, recovers, re-executes to
-// completion, and compares the final NVM image with golden's.
-func Check(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, crashCycle int64, golden *mem.PagedMem) (*CheckResult, error) {
+// completion, and compares the final NVM image with the golden run's.
+func Check(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, crashCycle int64, golden *sim.Result) (*CheckResult, error) {
 	cfg.Recoverable = true
 	crashM, err := sim.NewThreaded(prog, cfg, sch, specs)
 	if err != nil {
@@ -57,26 +56,12 @@ func Check(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadS
 		return nil, fmt.Errorf("recovery: resumed run: %w", err)
 	}
 
-	// Single-threaded runs are fully deterministic: the recovered NVM must
-	// match the golden image bit for bit, including checkpoint slots and
-	// stack spills. Multi-threaded runs may legally reschedule after
-	// recovery (DRF programs admit any interleaving), so volatile-register
-	// shadow state — checkpoint slots and stack frames, whose contents
-	// depend on spin counts and lock acquisition order — is excluded; all
-	// program data (heap, globals, emit buffer) must still match exactly.
-	match := res.NVM.Equal(golden)
-	if !match && len(specs) > 1 {
-		match = res.NVM.EqualWhere(golden, func(addr int64) bool {
-			if addr >= sim.StackBase && addr < sim.CkptBase+int64(sim.MaxCores)*sim.CkptStride {
-				return false // stacks + checkpoint areas
-			}
-			return true
-		})
-	}
+	match := nvmMatches(res, golden, len(specs))
 	out := &CheckResult{
-		CrashCycle: crashCycle,
-		Match:      match,
-		ReExecuted: res.Stats.Instrs,
+		CrashCycle:   crashCycle,
+		GoldenCycles: golden.Stats.Cycles,
+		Match:        match,
+		ReExecuted:   res.Stats.Instrs,
 	}
 	for _, r := range cs.Restarts {
 		if !r.Done {
@@ -84,9 +69,32 @@ func Check(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadS
 		}
 	}
 	if !out.Match {
-		out.DiffAddrs = res.NVM.Diff(golden, 8)
+		out.DiffAddrs = res.NVM.Diff(golden.NVM, 8)
 	}
 	return out, nil
+}
+
+// nvmMatches applies the protocol's equality criterion. Single-threaded
+// runs are fully deterministic: the recovered NVM must match the golden
+// image bit for bit, including checkpoint slots and stack spills.
+// Multi-threaded runs may legally reschedule after recovery (DRF programs
+// admit any interleaving), so volatile-register shadow state — checkpoint
+// slots and stack frames, whose contents depend on spin counts and lock
+// acquisition order — is excluded; all program data (heap, globals, emit
+// buffer) must still match exactly.
+func nvmMatches(res *sim.Result, golden *sim.Result, nthreads int) bool {
+	if res.NVM.Equal(golden.NVM) {
+		return true
+	}
+	if nthreads <= 1 {
+		return false
+	}
+	return res.NVM.EqualWhere(golden.NVM, func(addr int64) bool {
+		if addr >= sim.StackBase && addr < sim.CkptBase+int64(sim.MaxCores)*sim.CkptStride {
+			return false // stacks + checkpoint areas
+		}
+		return true
+	})
 }
 
 // Sweep checks n evenly spaced crash cycles across the golden run's
@@ -102,7 +110,7 @@ func Sweep(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadS
 	checked := 0
 	for i := 0; i <= n; i++ {
 		crash := sweepCycle(total, i, n)
-		r, err := Check(prog, cfg, sch, specs, crash, g.NVM)
+		r, err := Check(prog, cfg, sch, specs, crash, g)
 		if err != nil {
 			return nil, checked, err
 		}
@@ -146,7 +154,7 @@ func SweepParallel(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim
 				CfgSig:   fmt.Sprintf("%+v|specs=%+v|crash=%d", cfg, specs, crash),
 			},
 			Run: func() (*CheckResult, error) {
-				return Check(prog, cfg, sch, specs, crash, g.NVM)
+				return Check(prog, cfg, sch, specs, crash, g)
 			},
 		})
 	}

@@ -94,7 +94,7 @@ func TestLinkedListInsertCrash(t *testing.T) {
 	}
 	// Try every 50-cycle crash point.
 	for crash := int64(1); crash < g.Stats.Cycles; crash += 50 {
-		r, err := Check(q, cfg, sim.CWSP(), entrySpecs(q), crash, g.NVM)
+		r, err := Check(q, cfg, sim.CWSP(), entrySpecs(q), crash, g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +238,7 @@ func TestCrashAtExtremes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, crash := range []int64{1, 2, 3, g.Stats.Cycles * 2} {
-		r, err := Check(q, cfg, sim.CWSP(), entrySpecs(q), crash, g.NVM)
+		r, err := Check(q, cfg, sim.CWSP(), entrySpecs(q), crash, g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,7 +268,7 @@ func TestEmitNeverDuplicated(t *testing.T) {
 		if crash == 0 {
 			crash = 1
 		}
-		r, err := Check(q, cfg, sim.CWSP(), entrySpecs(q), crash, g.NVM)
+		r, err := Check(q, cfg, sim.CWSP(), entrySpecs(q), crash, g)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -89,6 +89,43 @@ func TestRecoveryUnderEveryCompileMode(t *testing.T) {
 	}
 }
 
+// TestCheckReportsGoldenWork: CheckResult carries the golden run's cycle
+// count and a sane resumed-work figure — re-execution replays a suffix of
+// the program, never more than the whole run.
+func TestCheckReportsGoldenWork(t *testing.T) {
+	p := progen.Generate(7, progen.DefaultConfig())
+	q, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	specs := []sim.ThreadSpec{{Fn: q.Entry}}
+	g, err := Golden(q, cfg, sim.CWSP(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int64{1, 3, 6, 9} {
+		crash := g.Stats.Cycles * frac / 10
+		if crash == 0 {
+			crash = 1
+		}
+		r, err := Check(q, cfg, sim.CWSP(), specs, crash, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Match {
+			t.Fatalf("crash at %d not recovered", crash)
+		}
+		if r.GoldenCycles != g.Stats.Cycles {
+			t.Fatalf("crash at %d: GoldenCycles %d, want %d", crash, r.GoldenCycles, g.Stats.Cycles)
+		}
+		if r.ReExecuted < 0 || r.ReExecuted > g.Stats.Instrs {
+			t.Fatalf("crash at %d: re-executed %d instructions of a %d-instruction run",
+				crash, r.ReExecuted, g.Stats.Instrs)
+		}
+	}
+}
+
 // TestRecoveryAfterOptimizer: classical optimizations before the cWSP
 // passes must not break crash consistency.
 func TestRecoveryAfterOptimizer(t *testing.T) {

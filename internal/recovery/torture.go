@@ -1,0 +1,288 @@
+package recovery
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cwsp/internal/faults"
+	"cwsp/internal/ir"
+	"cwsp/internal/runner"
+	"cwsp/internal/telemetry"
+	"cwsp/internal/sim"
+)
+
+// TortureReportSchemaVersion versions the campaign report format.
+const TortureReportSchemaVersion = 1
+
+// TortureTarget is one workload under torture: a compiled program plus its
+// thread placement.
+type TortureTarget struct {
+	Name  string
+	Prog  *ir.Program
+	Specs []sim.ThreadSpec
+}
+
+// TortureOptions configure a campaign.
+type TortureOptions struct {
+	// Seed is the campaign's master seed: cell k of target t draws its
+	// fault plan from a deterministic mix of (Seed, target name, k), so
+	// one integer reproduces the whole campaign byte for byte.
+	Seed int64
+	// CellsPerTarget is the number of seeded plans per target.
+	CellsPerTarget int
+	// Depth is each plan's crash count (>= 2 exercises crash-during-
+	// recovery); Points is each plan's fault-point count.
+	Depth, Points int
+
+	Cfg sim.Config
+	Sch sim.Scheme
+	// Unsealed disables every validation layer: the negative control that
+	// demonstrates the campaign fails without the seals.
+	Unsealed bool
+
+	// Jobs is the worker-pool width (<= 0 = GOMAXPROCS); Store optionally
+	// memoizes cells across invocations.
+	Jobs  int
+	Store *runner.Store
+}
+
+// TortureCell is one campaign cell's deterministic record.
+type TortureCell struct {
+	Workload string `json:"workload"`
+	Cell     int    `json:"cell"`
+	PlanSeed int64  `json:"plan_seed"`
+	Faults   string `json:"faults"` // the plan spec: replay with cwsprecover -faults
+	FaultResult
+}
+
+// TortureReport is the campaign's machine-readable outcome. Every field is
+// deterministic in (options, code version): rerunning the same seed must
+// reproduce the report byte for byte, which is itself asserted by tests.
+type TortureReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	Seed          int64  `json:"seed"`
+	Depth         int    `json:"depth"`
+	Points        int    `json:"points"`
+	Unsealed      bool   `json:"unsealed,omitempty"`
+	Scheme        string `json:"scheme"`
+
+	Cells  []TortureCell       `json:"cells"`
+	Totals telemetry.FaultInfo `json:"totals"`
+}
+
+// Failures returns the cells violating the survival criterion.
+func (r *TortureReport) Failures() []TortureCell {
+	var out []TortureCell
+	for _, c := range r.Cells {
+		if c.Failed() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the report deterministically (indented, stable order).
+func (r *TortureReport) WriteJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// cellPlanSeed mixes the campaign seed, target name, and cell ordinal into
+// the cell's plan seed (FNV over the name, then a fixed-odd-multiplier
+// blend — stable across runs and platforms).
+func cellPlanSeed(seed int64, name string, k int) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	v := uint64(seed)*0x9e3779b97f4a7c15 + h*0xbf58476d1ce4e5b9 + uint64(k)*0x94d049bb133111eb
+	v ^= v >> 29
+	// Keep it positive and non-zero for rand.NewSource friendliness.
+	s := int64(v & 0x7fffffffffffffff)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// RunTorture executes a seeded randomized campaign: CellsPerTarget fault
+// plans per target, each a (possibly nested) crash/recover/re-execute
+// experiment through the runner pool (panic isolation, optional persistent
+// cache). The report's cell order is (target order, cell ordinal) —
+// independent of pool scheduling.
+func RunTorture(targets []TortureTarget, opts TortureOptions) (*TortureReport, *runner.Progress, error) {
+	if len(targets) == 0 {
+		return nil, nil, fmt.Errorf("recovery: torture campaign needs targets")
+	}
+	if opts.CellsPerTarget < 1 {
+		opts.CellsPerTarget = 1
+	}
+	if opts.Depth < 1 {
+		opts.Depth = 1
+	}
+	cfg := opts.Cfg
+	cfg.Recoverable = true
+	cfg.Unsealed = opts.Unsealed
+
+	// One golden run per target, shared read-only by its cells.
+	goldens := make([]*sim.Result, len(targets))
+	for i, t := range targets {
+		g, err := Golden(t.Prog, cfg, opts.Sch, t.Specs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recovery: golden %s: %w", t.Name, err)
+		}
+		goldens[i] = g
+	}
+
+	type cellID struct {
+		target, k int
+		seed      int64
+		spec      string
+	}
+	var ids []cellID
+	var cells []runner.Cell[*FaultResult]
+	for ti, t := range targets {
+		ti, t := ti, t
+		for k := 0; k < opts.CellsPerTarget; k++ {
+			seed := cellPlanSeed(opts.Seed, t.Name, k)
+			plan := faults.NewPlan(seed, faults.GenOptions{Depth: opts.Depth, Points: opts.Points})
+			spec := plan.Spec()
+			ids = append(ids, cellID{ti, k, seed, spec})
+			cells = append(cells, runner.Cell[*FaultResult]{
+				Key: runner.Key{
+					Kind:     "torture",
+					Workload: t.Name,
+					Scheme:   fmt.Sprintf("%+v", opts.Sch),
+					CfgSig:   fmt.Sprintf("%+v|specs=%+v|plan=%s", cfg, t.Specs, spec),
+				},
+				Run: func() (*FaultResult, error) {
+					return CheckFaults(t.Prog, cfg, opts.Sch, t.Specs, plan, goldens[ti])
+				},
+			})
+		}
+	}
+
+	pool := runner.NewPool[*FaultResult](runner.Options{Jobs: opts.Jobs, Store: opts.Store, Reuse: opts.Store != nil})
+	results, err := pool.Run(cells)
+	if err != nil {
+		return nil, pool.Progress(), err
+	}
+	if err := pool.Close(); err != nil {
+		return nil, pool.Progress(), err
+	}
+
+	rep := &TortureReport{
+		SchemaVersion: TortureReportSchemaVersion,
+		Seed:          opts.Seed,
+		Depth:         opts.Depth,
+		Points:        opts.Points,
+		Unsealed:      opts.Unsealed,
+		Scheme:        opts.Sch.Name,
+	}
+	for i, r := range results {
+		id := ids[i]
+		rep.Cells = append(rep.Cells, TortureCell{
+			Workload:    targets[id.target].Name,
+			Cell:        id.k,
+			PlanSeed:    id.seed,
+			Faults:      id.spec,
+			FaultResult: *r,
+		})
+		rep.Totals.Cells++
+		rep.Totals.Crashes += int64(len(r.Crashes))
+		for _, inj := range r.Injected {
+			if inj.Skipped {
+				rep.Totals.Skipped++
+			} else {
+				rep.Totals.Injected++
+			}
+		}
+		switch r.Outcome {
+		case OutcomeClean:
+			rep.Totals.Clean++
+		case OutcomeDetected:
+			rep.Totals.Detected++
+		case OutcomeDiverged:
+			rep.Totals.Diverged++
+		case OutcomeError:
+			rep.Totals.Errors++
+		}
+	}
+	return rep, pool.Progress(), nil
+}
+
+// Shrink reduces a failing plan to a minimal reproducer: greedily drop
+// fault points, then trailing crashes, then walk the failing crash cycles
+// earlier — each step re-runs the experiment and keeps the mutation only
+// if it still fails. Deterministic; returns the shrunk plan and its result
+// (the original, unchanged, if it no longer fails — e.g. a cached result
+// from a different code version).
+func Shrink(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, plan *faults.Plan, golden *sim.Result) (*faults.Plan, *FaultResult, error) {
+	fails := func(p *faults.Plan) (*FaultResult, bool) {
+		r, err := CheckFaults(prog, cfg, sch, specs, p, golden)
+		if err != nil {
+			return nil, false
+		}
+		return r, r.Failed()
+	}
+	cur := plan.Clone()
+	cur.Seed = 0 // shrunk plans are explicit, not RNG-derived
+	best, ok := fails(cur)
+	if !ok {
+		return plan, best, fmt.Errorf("recovery: plan does not fail; nothing to shrink")
+	}
+
+	// 1. Fewest fault points: repeatedly try removing each point.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Points); i++ {
+			cand := cur.Clone()
+			cand.Points = append(cand.Points[:i], cand.Points[i+1:]...)
+			if r, ok := fails(cand); ok {
+				cur, best, changed = cand, r, true
+				break
+			}
+		}
+	}
+
+	// 2. Fewest crashes: drop trailing crashes no remaining point needs.
+	for len(cur.Crashes) > 1 {
+		last := len(cur.Crashes) - 1
+		used := false
+		for _, pt := range cur.Points {
+			if pt.Crash == last {
+				used = true
+				break
+			}
+		}
+		cand := cur.Clone()
+		cand.Crashes = cand.Crashes[:last]
+		if used {
+			break
+		}
+		if r, ok := fails(cand); ok {
+			cur, best = cand, r
+			continue
+		}
+		break
+	}
+
+	// 3. Earliest crash cycles: halve each crash permille while the
+	// failure reproduces.
+	for i := range cur.Crashes {
+		for cur.Crashes[i] > 1 {
+			cand := cur.Clone()
+			cand.Crashes[i] /= 2
+			r, ok := fails(cand)
+			if !ok {
+				break
+			}
+			cur, best = cand, r
+		}
+	}
+	return cur, best, nil
+}

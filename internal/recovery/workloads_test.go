@@ -62,7 +62,7 @@ func TestRecoveryReExecutionIsShort(t *testing.T) {
 	}
 	// Crash in the last 10% of the run.
 	crash := g.Stats.Cycles * 9 / 10
-	r, err := Check(q, cfg, sim.CWSP(), specs, crash, g.NVM)
+	r, err := Check(q, cfg, sim.CWSP(), specs, crash, g)
 	if err != nil {
 		t.Fatal(err)
 	}

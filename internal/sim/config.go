@@ -66,6 +66,13 @@ type Config struct {
 	// needed for crash injection and recovery (costs memory; benchmarks
 	// leave it off).
 	Recoverable bool
+
+	// Unsealed disables recovery-side seal validation (undo-log record
+	// checksums, WPQ drain-ledger cross-checks, checkpoint-slot scrubbing).
+	// The zero value — validation on — is the shipped configuration; the
+	// torture harness flips this to demonstrate that an unvalidated build
+	// silently diverges under injected corruption.
+	Unsealed bool
 }
 
 // DefaultConfig is the scaled default machine: the paper's Skylake-class

@@ -493,10 +493,13 @@ func (m *Machine) memStore(c *core, addr, val int64) {
 		if c.cur != nil {
 			seq = c.cur.info.Seq
 		}
-		m.Journal = append(m.Journal, persist.Rec{
+		rec := persist.Rec{
 			Addr: addr, Old: old, New: val, Admit: admit,
 			Region: seq, Logged: logged, Core: c.id,
-		})
+			MC: mc, MCSeq: m.wpqs[mc].Admits,
+		}
+		rec.Seal = sealRec(&rec)
+		m.Journal = append(m.Journal, rec)
 	}
 }
 
@@ -517,10 +520,14 @@ func (m *Machine) syncStore(c *core, addr, val int64, logged bool, commit int64)
 		if c.cur != nil {
 			seq = c.cur.info.Seq
 		}
-		m.Journal = append(m.Journal, persist.Rec{
+		// Synchronous persists bypass the WPQ (MCSeq 0): the drain-ledger
+		// cross-check does not cover them, but their records are sealed.
+		rec := persist.Rec{
 			Addr: addr, Old: old, New: val, Admit: commit,
 			Region: seq, Logged: logged, Core: c.id,
-		})
+		}
+		rec.Seal = sealRec(&rec)
+		m.Journal = append(m.Journal, rec)
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"cwsp/internal/ir"
 )
@@ -27,6 +28,33 @@ func NewResumed(prog *ir.Program, cfg Config, sch Scheme, specs []ThreadSpec, cs
 	m.Mem = cs.NVM.Clone()
 	m.NVM = cs.NVM.Clone()
 
+	// Scrub the checkpoint area against the crash state's seal table before
+	// executing anything: a corrupted slot must surface as a typed error,
+	// not as silently wrong register state. (Config.Unsealed disables the
+	// scrub — the negative control the torture harness uses.)
+	if len(cs.Seals) > 0 && !cfg.Unsealed {
+		addrs := make([]int64, 0, len(cs.Seals))
+		for a := range cs.Seals {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			if SealWord(a, m.NVM.Load(a)) != cs.Seals[a] {
+				return nil, &CorruptionError{
+					Kind: "ckpt-slot", Addr: a, Index: -1,
+					Detail: fmt.Sprintf("recovered content %#x does not match its seal", m.NVM.Load(a)),
+				}
+			}
+		}
+	}
+
+	// The machine begins a fresh recovery epoch: drop the bootstrap region
+	// descriptors NewThreaded opened (rebuildCore re-opens the real restart
+	// regions) so a nested crash of this resumed machine scans only its own
+	// epoch's descriptor log and journal.
+	m.Regions = m.Regions[:0]
+	m.regionSeq = 0
+
 	for i, r := range cs.Restarts {
 		if i >= len(m.cores) {
 			break
@@ -35,6 +63,7 @@ func NewResumed(prog *ir.Program, cfg Config, sch Scheme, specs []ThreadSpec, cs
 		if r.Done {
 			c.done = true
 			c.frames = nil
+			c.cur = nil
 			continue
 		}
 		if err := m.rebuildCore(c, r.Region); err != nil {

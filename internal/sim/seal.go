@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+
+	"cwsp/internal/persist"
+)
+
+// This file is the integrity layer of the recovery protocol: every undo-log
+// record and every checkpoint-area slot the recovery runtime depends on is
+// sealed with a checksum when written, and validated when read back after a
+// power failure. Detection turns a would-be silent NVM divergence into a
+// typed CorruptionError — the survival criterion the torture harness
+// enforces (see internal/faults and DESIGN.md "Fault model").
+
+// CorruptionError reports a sealed record or slot whose content no longer
+// matches its seal (or a memory controller whose drain ledger disagrees
+// with the admitted write sequence). It names the faulted object precisely
+// so a torture campaign can attribute every detection.
+type CorruptionError struct {
+	// Kind is the validation site: "undo-log" (torn/corrupted journal
+	// record), "wpq-ledger" (dropped or reordered WPQ tail entry), or
+	// "ckpt-slot" (corrupted checkpoint-area word).
+	Kind string `json:"kind"`
+	// Addr is the NVM word address involved (0 for wpq-ledger gaps).
+	Addr int64 `json:"addr,omitempty"`
+	// Index is the journal record index ("undo-log"), or -1.
+	Index int `json:"index"`
+	// MC and Seq locate a WPQ ledger fault.
+	MC  int   `json:"mc,omitempty"`
+	Seq int64 `json:"seq,omitempty"`
+	// Detail is a human-readable diagnosis.
+	Detail string `json:"detail,omitempty"`
+}
+
+func (e *CorruptionError) Error() string {
+	switch e.Kind {
+	case "undo-log":
+		return fmt.Sprintf("sim: corruption detected: undo-log record %d (addr %#x) fails seal check: %s", e.Index, e.Addr, e.Detail)
+	case "wpq-ledger":
+		return fmt.Sprintf("sim: corruption detected: MC %d drain ledger inconsistent at seq %d: %s", e.MC, e.Seq, e.Detail)
+	case "ckpt-slot":
+		return fmt.Sprintf("sim: corruption detected: checkpoint slot %#x fails seal check: %s", e.Addr, e.Detail)
+	}
+	return fmt.Sprintf("sim: corruption detected (%s): %s", e.Kind, e.Detail)
+}
+
+// CrashFaults describes the hardware corruption injected at one power
+// failure. Indexes refer to the machine's persist-event journal; the
+// machine itself is never mutated, so the same machine state can be cut
+// cleanly and faultily. internal/faults resolves a seeded fault plan into
+// this concrete form against the journal at the crash cycle.
+type CrashFaults struct {
+	// TornOld XORs the stored old-value of an undo-log record (a torn
+	// 8-byte log write at power loss).
+	TornOld map[int]uint64
+	// Drop marks an admitted WPQ entry that never reached NVM media (a
+	// battery-backed drain guarantee violated at the tail).
+	Drop map[int]bool
+	// Reorder swaps the media drain order of two same-MC admitted entries.
+	Reorder [][2]int
+	// CkptXOR corrupts checkpoint-area words of the reconstructed image.
+	CkptXOR map[int64]uint64
+}
+
+// Empty reports whether the fault set injects nothing.
+func (f *CrashFaults) Empty() bool {
+	return f == nil ||
+		len(f.TornOld) == 0 && len(f.Drop) == 0 && len(f.Reorder) == 0 && len(f.CkptXOR) == 0
+}
+
+// sealMix folds words into a 64-bit checksum with a splitmix64-style
+// finalizer per word: cheap, deterministic, and far beyond the collision
+// odds a fault campaign can reach.
+func sealMix(words ...uint64) uint64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, w := range words {
+		z := h + w + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		h = z ^ (z >> 31)
+	}
+	return h
+}
+
+// sealRec computes an undo-log record's seal over every field the recovery
+// reconstruction reads.
+func sealRec(r *persist.Rec) uint64 {
+	logged := uint64(0)
+	if r.Logged {
+		logged = 1
+	}
+	return sealMix(uint64(r.Addr), uint64(r.Old), uint64(r.New), uint64(r.Admit),
+		uint64(r.Region), logged, uint64(r.Core), uint64(r.MC), uint64(r.MCSeq))
+}
+
+// SealWord computes a checkpoint-slot seal over (address, content). The
+// recovery runtime re-derives it from the recovered NVM image and compares
+// against the seal table carried in the CrashState.
+func SealWord(addr, val int64) uint64 {
+	return sealMix(uint64(addr), uint64(val))
+}

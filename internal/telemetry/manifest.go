@@ -36,6 +36,21 @@ type RunnerInfo struct {
 	CellLatencyUS *HistSummary `json:"cell_latency_us,omitempty"`
 }
 
+// FaultInfo aggregates a fault-injection campaign (cwsptorture): cell and
+// crash counts, how many fault points actually landed vs found no eligible
+// victim, and the outcome tally. The survival criterion is
+// Diverged == 0 && Errors == 0.
+type FaultInfo struct {
+	Cells    int64 `json:"cells"`
+	Crashes  int64 `json:"crashes"`
+	Injected int64 `json:"injected"`
+	Skipped  int64 `json:"skipped,omitempty"`
+	Clean    int64 `json:"clean"`
+	Detected int64 `json:"detected"`
+	Diverged int64 `json:"diverged"`
+	Errors   int64 `json:"errors"`
+}
+
 // BenchRow is one labelled row of a benchmark report.
 type BenchRow struct {
 	Label string    `json:"label"`
@@ -76,6 +91,9 @@ type Manifest struct {
 	// Runner reports the parallel-sweep execution profile when the run went
 	// through internal/runner (cwspbench -jobs / -cache-dir).
 	Runner *RunnerInfo `json:"runner,omitempty"`
+
+	// Faults reports a fault-injection campaign (cwsptorture).
+	Faults *FaultInfo `json:"faults,omitempty"`
 }
 
 // NewManifest builds a manifest stamped with the current schema version.
