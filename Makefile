@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-smoke torture-smoke torture lint repro repro-quick examples trace metrics clean
+.PHONY: all build test test-short bench bench-smoke bench-kernel fuzz-smoke torture-smoke torture lint repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -27,6 +27,17 @@ bench-smoke:
 	$(GO) run ./cmd/cwspbench -exp fig06 -scale smoke -jobs 4 -cache-dir .cwsp-cache-smoke
 	$(GO) run ./cmd/cwspbench -exp fig06 -scale smoke -jobs 4 -cache-dir .cwsp-cache-smoke
 	rm -rf .cwsp-cache-smoke
+
+# Simulation-kernel microbenchmarks (quick-scale workloads × schemes ×
+# core counts) with allocation counts; see EXPERIMENTS.md "Kernel
+# benchmarks" for the recorded before/after numbers.
+bench-kernel:
+	$(GO) test ./internal/simtest -run xxx -bench RunUntil -benchmem -benchtime 10x
+
+# Short differential-fuzz pass over the kernel-equivalence target: progen
+# seed × scheme × crash point, both kernels must agree byte-for-byte.
+fuzz-smoke:
+	$(GO) test ./internal/simtest -run xxx -fuzz FuzzKernelEquivalence -fuzztime 20s
 
 # Small seeded fault-injection campaign with nested crash-during-recovery
 # (depth 2). A failure prints the shrunk `cwsprecover -faults '<spec>'`

@@ -42,6 +42,7 @@ func main() {
 		metOut  = flag.String("metrics-out", "", "write a versioned run manifest (config, stats, histograms, series) to this JSON file")
 		tsOut   = flag.String("timeseries", "", "write the sampled telemetry time series as CSV to this file")
 		smplIv  = flag.Int64("sample-interval", 4096, "telemetry sampling interval in cycles (with -metrics-out/-timeseries)")
+		kernel  = flag.String("kernel", "fast", "simulation kernel: fast, or reference (the legacy per-cycle stepper; bit-identical, for cross-checking)")
 	)
 	flag.Parse()
 	if *wName == "" && *mt == 0 && *irFile == "" {
@@ -54,6 +55,13 @@ func main() {
 	}
 
 	cfg := sim.DefaultConfig().PersistPathGBs(*bw)
+	switch *kernel {
+	case "fast":
+	case "reference":
+		cfg.ReferenceKernel = true
+	default:
+		fatal(fmt.Errorf("unknown kernel %q (want fast or reference)", *kernel))
+	}
 	if t, ok := nvmtech.All[*tech]; ok {
 		cfg = cfg.WithNVM(t)
 	} else {

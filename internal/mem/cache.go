@@ -9,7 +9,9 @@ type Cache struct {
 	lineShift uint
 	sets      int
 	ways      int
-	// tags[set*ways+way] = line tag (address >> lineShift), -1 empty.
+	// tags[set*ways+way] = line tag (address >> lineShift) + 1, 0 empty.
+	// The +1 bias makes a freshly zeroed slice all-empty, so construction
+	// needs no sentinel fill pass.
 	tags  []int64
 	dirty []bool
 	// lru[set*ways+way] = recency counter; higher = more recent.
@@ -29,7 +31,7 @@ func NewCache(name string, sizeBytes, ways, lineBytes int) *Cache {
 	if sets < 1 {
 		sets = 1
 	}
-	c := &Cache{
+	return &Cache{
 		name:      name,
 		lineShift: log2(lineBytes),
 		sets:      sets,
@@ -38,10 +40,6 @@ func NewCache(name string, sizeBytes, ways, lineBytes int) *Cache {
 		dirty:     make([]bool, sets*ways),
 		lru:       make([]int64, sets*ways),
 	}
-	for i := range c.tags {
-		c.tags[i] = -1
-	}
-	return c
 }
 
 func log2(v int) uint {
@@ -62,7 +60,7 @@ func (c *Cache) Lookup(addr int64) bool {
 	line := c.Line(addr)
 	base := c.set(line) * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == line {
+		if c.tags[base+w] == line+1 {
 			return true
 		}
 	}
@@ -83,8 +81,9 @@ func (c *Cache) Access(addr int64, write bool) (hit bool, ev Evicted) {
 	line := c.Line(addr)
 	base := c.set(line) * c.ways
 	c.lruTick++
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == line {
+	tags := c.tags[base : base+c.ways]
+	for w, t := range tags {
+		if t == line+1 {
 			c.lru[base+w] = c.lruTick
 			if write {
 				c.dirty[base+w] = true
@@ -96,21 +95,22 @@ func (c *Cache) Access(addr int64, write bool) (hit bool, ev Evicted) {
 	c.Misses++
 	// Fill: choose an empty way or the LRU victim.
 	victim := base
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == -1 {
+	lru := c.lru[base : base+c.ways]
+	for w, t := range tags {
+		if t == 0 {
 			victim = base + w
 			goto fill
 		}
-		if c.lru[base+w] < c.lru[victim] {
+		if lru[w] < c.lru[victim] {
 			victim = base + w
 		}
 	}
-	if c.tags[victim] != -1 {
-		ev = Evicted{Valid: true, Line: c.tags[victim], Dirty: c.dirty[victim]}
+	if c.tags[victim] != 0 {
+		ev = Evicted{Valid: true, Line: c.tags[victim] - 1, Dirty: c.dirty[victim]}
 		c.Evictions++
 	}
 fill:
-	c.tags[victim] = line
+	c.tags[victim] = line + 1
 	c.dirty[victim] = write
 	c.lru[victim] = c.lruTick
 	return false, ev
@@ -120,9 +120,9 @@ fill:
 func (c *Cache) InvalidateLine(line int64) (present, dirty bool) {
 	base := c.set(line) * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == line {
+		if c.tags[base+w] == line+1 {
 			present, dirty = true, c.dirty[base+w]
-			c.tags[base+w] = -1
+			c.tags[base+w] = 0
 			c.dirty[base+w] = false
 			return
 		}
@@ -140,7 +140,8 @@ func (c *Cache) MissRate() float64 {
 }
 
 // DRAMCache is the direct-mapped DRAM cache (LLC) used in PMEM memory mode
-// and the CXL configurations: one tag per set, write-back.
+// and the CXL configurations: one tag per set, write-back. Tags carry the
+// same +1 bias as Cache (0 = empty) so construction needs no fill pass.
 type DRAMCache struct {
 	lineShift uint
 	sets      int
@@ -157,16 +158,12 @@ func NewDRAMCache(sizeBytes, lineBytes int) *DRAMCache {
 	if sets < 1 {
 		sets = 1
 	}
-	d := &DRAMCache{
+	return &DRAMCache{
 		lineShift: log2(lineBytes),
 		sets:      sets,
 		tags:      make([]int64, sets),
 		dirty:     make([]bool, sets),
 	}
-	for i := range d.tags {
-		d.tags[i] = -1
-	}
-	return d
 }
 
 // Access performs an access, returning hit status and whether a dirty line
@@ -175,7 +172,7 @@ func NewDRAMCache(sizeBytes, lineBytes int) *DRAMCache {
 func (d *DRAMCache) Access(addr int64, write bool) (hit bool, victimDirty bool, victimLine int64) {
 	line := addr >> d.lineShift
 	set := int(uint64(line) % uint64(d.sets))
-	if d.tags[set] == line {
+	if d.tags[set] == line+1 {
 		d.Hits++
 		if write {
 			d.dirty[set] = true
@@ -183,9 +180,9 @@ func (d *DRAMCache) Access(addr int64, write bool) (hit bool, victimDirty bool, 
 		return true, false, 0
 	}
 	d.Misses++
-	victimDirty = d.dirty[set] && d.tags[set] != -1
-	victimLine = d.tags[set]
-	d.tags[set] = line
+	victimDirty = d.dirty[set] && d.tags[set] != 0
+	victimLine = d.tags[set] - 1
+	d.tags[set] = line + 1
 	d.dirty[set] = write
 	return false, victimDirty, victimLine
 }

@@ -5,17 +5,30 @@
 // stale-read race (paper Section V-A1).
 package mem
 
+import "sort"
+
 const (
 	pageShift = 9 // 512 words (4 KiB) per page
 	pageWords = 1 << pageShift
 	pageMask  = pageWords - 1
 )
 
+// pcEntries is the size of the per-image direct-mapped page-pointer
+// cache that short-circuits the page map on the hot Load/Store paths.
+const pcEntries = 256
+
 // PagedMem is a sparse, word-granularity memory image. Addresses are byte
 // addresses; accesses are aligned 8-byte words. Pages are allocated on
-// first write, so multi-megabyte footprints stay cheap.
+// first write, so multi-megabyte footprints stay cheap. A small
+// direct-mapped cache of page pointers keeps the simulator's hot
+// load/store loops off the map hash for the (overwhelmingly common)
+// repeated-page accesses; it is transparent — the map remains the sole
+// owner of every page.
 type PagedMem struct {
 	pages map[int64]*[pageWords]int64
+
+	cacheKey  [pcEntries]int64
+	cachePage [pcEntries]*[pageWords]int64
 }
 
 // NewPagedMem returns an empty image.
@@ -23,10 +36,24 @@ func NewPagedMem() *PagedMem {
 	return &PagedMem{pages: map[int64]*[pageWords]int64{}}
 }
 
+// page returns the resident page for key (nil when absent), consulting
+// the pointer cache first.
+func (m *PagedMem) page(key int64) *[pageWords]int64 {
+	i := key & (pcEntries - 1)
+	if p := m.cachePage[i]; p != nil && m.cacheKey[i] == key {
+		return p
+	}
+	p := m.pages[key]
+	if p != nil {
+		m.cacheKey[i], m.cachePage[i] = key, p
+	}
+	return p
+}
+
 // Load reads the word at addr (0 if the page was never written).
 func (m *PagedMem) Load(addr int64) int64 {
 	w := addr >> 3
-	p := m.pages[w>>pageShift]
+	p := m.page(w >> pageShift)
 	if p == nil {
 		return 0
 	}
@@ -37,10 +64,12 @@ func (m *PagedMem) Load(addr int64) int64 {
 func (m *PagedMem) Store(addr, val int64) {
 	w := addr >> 3
 	key := w >> pageShift
-	p := m.pages[key]
+	p := m.page(key)
 	if p == nil {
 		p = new([pageWords]int64)
 		m.pages[key] = p
+		i := key & (pcEntries - 1)
+		m.cacheKey[i], m.cachePage[i] = key, p
 	}
 	p[w&pageMask] = val
 }
@@ -140,3 +169,46 @@ func (m *PagedMem) EqualWhere(o *PagedMem, keep func(addr int64) bool) bool {
 
 // Pages returns the number of resident pages (for footprint assertions).
 func (m *PagedMem) Pages() int { return len(m.pages) }
+
+// Digest returns a 64-bit FNV-1a digest of the image's logical contents.
+// Pages are hashed in sorted key order and all-zero pages are skipped, so
+// two images that compare Equal always digest identically regardless of
+// their allocation histories.
+func (m *PagedMem) Digest() uint64 {
+	keys := make([]int64, 0, len(m.pages))
+	for k := range m.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, k := range keys {
+		p := m.pages[k]
+		zero := true
+		for _, v := range p {
+			if v != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		word(uint64(k))
+		for _, v := range p {
+			word(uint64(v))
+		}
+	}
+	return h
+}

@@ -7,8 +7,12 @@ package mem
 // which the line's persist-path copies are all in NVM.
 type WriteBuffer struct {
 	cap int
-	// drainDone[i] is the cycle entry i (FIFO order) finishes draining.
+	// drainDone is a FIFO ring of entry drain-completion times. Insert's
+	// full-buffer stall bounds the entry count by cap, so the ring never
+	// grows.
 	drainDone []int64
+	head      int
+	len       int
 	drainLat  int64
 
 	// Occupancy statistics: integral of entry-residency cycles, divided by
@@ -24,17 +28,20 @@ type WriteBuffer struct {
 // NewWriteBuffer builds a buffer of capacity entries whose entries take
 // drainLat cycles to write to L2 once released.
 func NewWriteBuffer(capacity int, drainLat int64) *WriteBuffer {
-	return &WriteBuffer{cap: capacity, drainLat: drainLat}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &WriteBuffer{cap: capacity, drainDone: make([]int64, capacity), drainLat: drainLat}
 }
 
 func (w *WriteBuffer) gc(now int64) {
-	i := 0
-	for i < len(w.drainDone) && w.drainDone[i] <= now {
-		i++
-	}
-	if i > 0 {
-		w.Drained += int64(i)
-		w.drainDone = w.drainDone[i:]
+	for w.len > 0 && w.drainDone[w.head] <= now {
+		w.head++
+		if w.head == w.cap {
+			w.head = 0
+		}
+		w.len--
+		w.Drained++
 	}
 }
 
@@ -56,25 +63,36 @@ func (w *WriteBuffer) account(now, drainDone int64) {
 // the core may proceed (now, unless the buffer was full).
 func (w *WriteBuffer) Insert(now int64, persistReady int64) int64 {
 	w.gc(now)
-	if len(w.drainDone) >= w.cap {
+	if w.len >= w.cap {
 		// Stall until the head drains.
-		head := w.drainDone[0]
+		head := w.drainDone[w.head]
 		w.FullStall += head - now
 		now = head
 		w.gc(now)
 	}
 	start := now
-	if n := len(w.drainDone); n > 0 && w.drainDone[n-1] > start {
-		start = w.drainDone[n-1]
+	if w.len > 0 {
+		last := w.head + w.len - 1
+		if last >= w.cap {
+			last -= w.cap
+		}
+		if w.drainDone[last] > start {
+			start = w.drainDone[last]
+		}
 	}
 	if persistReady > start {
 		w.Delayed++
 		start = persistReady
 	}
 	done := start + w.drainLat
-	w.drainDone = append(w.drainDone, done)
-	if len(w.drainDone) > w.PeakOcc {
-		w.PeakOcc = len(w.drainDone)
+	tail := w.head + w.len
+	if tail >= w.cap {
+		tail -= w.cap
+	}
+	w.drainDone[tail] = done
+	w.len++
+	if w.len > w.PeakOcc {
+		w.PeakOcc = w.len
 	}
 	w.account(now, done)
 	return now
@@ -92,5 +110,5 @@ func (w *WriteBuffer) AvgOccupancy() float64 {
 // Occupancy returns the current entry count at cycle now.
 func (w *WriteBuffer) Occupancy(now int64) int {
 	w.gc(now)
-	return len(w.drainDone)
+	return w.len
 }

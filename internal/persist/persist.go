@@ -28,7 +28,19 @@ type WPQ struct {
 
 	// pending maps word address -> drain time, for the load-delay check
 	// (paper Section V-A2).
-	pending map[int64]int64
+	pending *addrTable
+	// pendAddr/pendDrain form a growable ring of pending puts in admission
+	// order. Drains are strictly monotone, so the ring is drain-sorted and
+	// Sweep can pop just the stale prefix instead of scanning the whole
+	// table. Records whose table entry was since overwritten or collected
+	// are skipped by a recheck, so the deletions Sweep performs are exactly
+	// the map's range-and-delete set.
+	pendAddr   []int64
+	pendDrain  []int64
+	pendHead   int
+	pendLen    int
+	pendSpareA []int64
+	pendSpareD []int64
 
 	Admits       int64
 	FullWait     int64 // total cycles arrivals waited for a free slot
@@ -47,7 +59,7 @@ func NewWPQ(capacity int, bytesPerCycle float64) *WPQ {
 		cap:           capacity,
 		bytesPerCycle: bytesPerCycle,
 		drainDone:     make([]int64, capacity),
-		pending:       map[int64]int64{},
+		pending:       newAddrTable(),
 	}
 }
 
@@ -82,9 +94,75 @@ func (w *WPQ) Admit(arrival int64, addr int64, bytes int) (admit, drain int64) {
 	w.BytesDrained += int64(bytes)
 
 	if addr != 0 {
-		w.pending[addr&^7] = drain
+		w.pending.put(addr&^7, drain)
+		w.pendPush(addr&^7, drain)
 	}
 	return admit, drain
+}
+
+// pendPush appends a put record to the drain-ordered ring, rebuilding
+// when full: orphaned records (entries since overwritten or collected)
+// are dropped, so the ring stays proportional to the live table. Every
+// live table entry keeps exactly its current-drain record, so a rebuild
+// cannot change which entries a future Sweep deletes.
+func (w *WPQ) pendPush(addr, drain int64) {
+	if w.pendLen == len(w.pendAddr) {
+		w.pendRebuild()
+	}
+	t := w.pendHead + w.pendLen
+	if t >= len(w.pendAddr) {
+		t -= len(w.pendAddr)
+	}
+	w.pendAddr[t], w.pendDrain[t] = addr, drain
+	w.pendLen++
+}
+
+func (w *WPQ) pendRebuild() {
+	n := len(w.pendAddr)
+	match := func(j int) bool {
+		v, ok := w.pending.get(w.pendAddr[j])
+		return ok && v == w.pendDrain[j]
+	}
+	keep := 0
+	for i := 0; i < w.pendLen; i++ {
+		j := w.pendHead + i
+		if j >= n {
+			j -= n
+		}
+		if match(j) {
+			keep++
+		}
+	}
+	size := n
+	if size < 64 {
+		size = 64
+	}
+	for 2*keep >= size {
+		size *= 2
+	}
+	na, nd := w.pendSpareA, w.pendSpareD
+	if len(na) != size {
+		na = make([]int64, size)
+		nd = make([]int64, size)
+	}
+	out := 0
+	for i := 0; i < w.pendLen; i++ {
+		j := w.pendHead + i
+		if j >= n {
+			j -= n
+		}
+		if match(j) {
+			na[out], nd[out] = w.pendAddr[j], w.pendDrain[j]
+			out++
+		}
+	}
+	if n == size {
+		// Same-size swap: retain the old buffers so the steady state never
+		// allocates.
+		w.pendSpareA, w.pendSpareD = w.pendAddr, w.pendDrain
+	}
+	w.pendAddr, w.pendDrain = na, nd
+	w.pendHead, w.pendLen = 0, out
 }
 
 // Occupancy returns the number of entries still in flight (admitted but
@@ -116,25 +194,34 @@ func (w *WPQ) Backlog(now int64) int64 {
 // on query.
 func (w *WPQ) PendingUntil(addr, now int64) int64 {
 	key := addr &^ 7
-	d, ok := w.pending[key]
+	d, ok := w.pending.get(key)
 	if !ok {
 		return 0
 	}
 	if d <= now {
-		delete(w.pending, key)
+		w.pending.del(key)
 		return 0
 	}
 	return d
 }
 
-// Sweep drops drained pending-address entries (bounds map growth).
+// Sweep drops drained pending-address entries (bounds table growth). The
+// ring is drain-sorted, so popping the <=now prefix and deleting each
+// record's still-matching table entry performs exactly the deletions a
+// full range-and-delete over the table would.
 func (w *WPQ) Sweep(now int64) {
-	if len(w.pending) < 4*w.cap {
+	if w.pending.live < 4*w.cap {
 		return
 	}
-	for k, d := range w.pending {
-		if d <= now {
-			delete(w.pending, k)
+	for w.pendLen > 0 && w.pendDrain[w.pendHead] <= now {
+		a := w.pendAddr[w.pendHead]
+		w.pendHead++
+		if w.pendHead == len(w.pendAddr) {
+			w.pendHead = 0
+		}
+		w.pendLen--
+		if v, ok := w.pending.get(a); ok && v <= now {
+			w.pending.del(a)
 		}
 	}
 }
@@ -150,13 +237,16 @@ type Path struct {
 	// so the bandwidth interval applies to every send after the first.
 	sent     bool
 	lastSend int64
-	// ackFree is a FIFO of entry deallocation times (monotone: the PB
-	// frees entries head-first, so each entry's free time is the running
-	// max of acknowledgment times).
+	// ackFree is a FIFO ring of entry deallocation times (monotone: the
+	// PB frees entries head-first, so each entry's free time is the
+	// running max of acknowledgment times). Send's full-PB wait bounds the
+	// entry count by pbCap, so the ring never grows.
 	ackFree []int64
+	ackHead int
+	ackLen  int
 	// linePersist maps line address -> latest persist (admit) time of any
 	// entry in that line still potentially in flight, for the WB check.
-	linePersist map[int64]int64
+	linePersist *addrTable
 
 	Sends     int64
 	PBStall   int64 // cycles the core stalled on a full PB
@@ -176,17 +266,18 @@ func NewPath(pbCap int, bytesPerCycle float64, oneWayLat int64) *Path {
 		pbCap:         pbCap,
 		bytesPerCycle: bytesPerCycle,
 		oneWayLat:     oneWayLat,
-		linePersist:   map[int64]int64{},
+		ackFree:       make([]int64, pbCap),
+		linePersist:   newAddrTable(),
 	}
 }
 
 func (p *Path) gc(now int64) {
-	i := 0
-	for i < len(p.ackFree) && p.ackFree[i] <= now {
-		i++
-	}
-	if i > 0 {
-		p.ackFree = p.ackFree[i:]
+	for p.ackLen > 0 && p.ackFree[p.ackHead] <= now {
+		p.ackHead++
+		if p.ackHead == p.pbCap {
+			p.ackHead = 0
+		}
+		p.ackLen--
 	}
 }
 
@@ -198,9 +289,10 @@ func (p *Path) gc(now int64) {
 func (p *Path) Send(commit int64, addr int64, bytes int, w *WPQ, numaExtra int64, logBytes int) (proceed, admit int64) {
 	proceed = commit
 	p.gc(proceed)
-	if len(p.ackFree) >= p.pbCap {
-		// Wait until enough head entries deallocate.
-		free := p.ackFree[len(p.ackFree)-p.pbCap]
+	if p.ackLen >= p.pbCap {
+		// Wait until the head entry deallocates (ackLen == pbCap exactly,
+		// since the full-PB wait below keeps the ring from overfilling).
+		free := p.ackFree[p.ackHead]
 		if free > proceed {
 			p.PBStall += free - proceed
 			proceed = free
@@ -226,21 +318,28 @@ func (p *Path) Send(commit int64, addr int64, bytes int, w *WPQ, numaExtra int64
 
 	ack := admit + p.oneWayLat
 	// FIFO dealloc: the PB frees entries in order, so monotonize.
-	if n := len(p.ackFree); n > 0 && p.ackFree[n-1] > ack {
-		ack = p.ackFree[n-1]
+	if p.ackLen > 0 {
+		last := p.ackHead + p.ackLen - 1
+		if last >= p.pbCap {
+			last -= p.pbCap
+		}
+		if p.ackFree[last] > ack {
+			ack = p.ackFree[last]
+		}
 	}
-	p.ackFree = append(p.ackFree, ack)
+	tail := p.ackHead + p.ackLen
+	if tail >= p.pbCap {
+		tail -= p.pbCap
+	}
+	p.ackFree[tail] = ack
+	p.ackLen++
 
 	line := addr &^ 63
-	if admit > p.linePersist[line] {
-		p.linePersist[line] = admit
+	if prev, ok := p.linePersist.get(line); !ok || admit > prev {
+		p.linePersist.put(line, admit)
 	}
-	if len(p.linePersist) > 8*p.pbCap {
-		for k, t := range p.linePersist {
-			if t <= commit {
-				delete(p.linePersist, k)
-			}
-		}
+	if p.linePersist.live > 8*p.pbCap {
+		p.linePersist.sweepBelow(commit)
 	}
 
 	p.Sends++
@@ -252,12 +351,12 @@ func (p *Path) Send(commit int64, addr int64, bytes int, w *WPQ, numaExtra int64
 // covering the 64-byte line of addr (0 when none) — the PB check the WB
 // performs before releasing a dirty line to L2.
 func (p *Path) LinePersistTime(addr, now int64) int64 {
-	t, ok := p.linePersist[addr&^63]
+	t, ok := p.linePersist.get(addr &^ 63)
 	if !ok {
 		return 0
 	}
 	if t <= now {
-		delete(p.linePersist, addr&^63)
+		p.linePersist.del(addr &^ 63)
 		return 0
 	}
 	return t
@@ -266,7 +365,7 @@ func (p *Path) LinePersistTime(addr, now int64) int64 {
 // Occupancy returns the current PB entry count at cycle now.
 func (p *Path) Occupancy(now int64) int {
 	p.gc(now)
-	return len(p.ackFree)
+	return p.ackLen
 }
 
 // SendBacklog returns how many cycles of persist-path send bandwidth are
@@ -283,8 +382,13 @@ func (p *Path) SendBacklog(now int64) int64 {
 // retire times. Its capacity bounds how many regions may persist
 // concurrently (the speculation depth).
 type RBT struct {
-	cap    int
-	retire []int64 // monotone non-decreasing
+	cap int
+	// retire is a FIFO ring of retire times, monotone non-decreasing.
+	// Push's full-table wait bounds the entry count by cap, so the ring
+	// never grows.
+	retire []int64
+	head   int
+	len    int
 
 	FullStall int64
 	Retired   int64
@@ -295,18 +399,26 @@ func NewRBT(capacity int) *RBT {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &RBT{cap: capacity}
+	return &RBT{cap: capacity, retire: make([]int64, capacity)}
 }
 
 func (r *RBT) gc(now int64) {
-	i := 0
-	for i < len(r.retire) && r.retire[i] <= now {
-		i++
+	for r.len > 0 && r.retire[r.head] <= now {
+		r.head++
+		if r.head == r.cap {
+			r.head = 0
+		}
+		r.len--
+		r.Retired++
 	}
-	if i > 0 {
-		r.Retired += int64(i)
-		r.retire = r.retire[i:]
+}
+
+func (r *RBT) last() int64 {
+	i := r.head + r.len - 1
+	if i >= r.cap {
+		i -= r.cap
 	}
+	return r.retire[i]
 }
 
 // Push records a region whose stores all persist by persistDone, committed
@@ -316,8 +428,8 @@ func (r *RBT) gc(now int64) {
 func (r *RBT) Push(now, persistDone int64) (proceed, retireTime int64) {
 	proceed = now
 	r.gc(proceed)
-	if len(r.retire) >= r.cap {
-		free := r.retire[len(r.retire)-r.cap]
+	if r.len >= r.cap {
+		free := r.retire[r.head]
 		if free > proceed {
 			r.FullStall += free - proceed
 			proceed = free
@@ -328,26 +440,33 @@ func (r *RBT) Push(now, persistDone int64) (proceed, retireTime int64) {
 	if retireTime < proceed {
 		retireTime = proceed
 	}
-	if n := len(r.retire); n > 0 && r.retire[n-1] > retireTime {
-		retireTime = r.retire[n-1]
+	if r.len > 0 {
+		if last := r.last(); last > retireTime {
+			retireTime = last
+		}
 	}
-	r.retire = append(r.retire, retireTime)
+	tail := r.head + r.len
+	if tail >= r.cap {
+		tail -= r.cap
+	}
+	r.retire[tail] = retireTime
+	r.len++
 	return proceed, retireTime
 }
 
 // DrainTime returns the cycle by which every tracked region has retired.
 func (r *RBT) DrainTime(now int64) int64 {
 	r.gc(now)
-	if len(r.retire) == 0 {
+	if r.len == 0 {
 		return now
 	}
-	return r.retire[len(r.retire)-1]
+	return r.last()
 }
 
 // Occupancy returns the number of unretired regions at cycle now.
 func (r *RBT) Occupancy(now int64) int {
 	r.gc(now)
-	return len(r.retire)
+	return r.len
 }
 
 // Rec is one journaled persist event: the recovery runtime uses the journal

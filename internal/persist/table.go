@@ -1,0 +1,178 @@
+package persist
+
+import "math"
+
+// addrTable is an open-addressed int64→int64 hash table specialized for
+// the address-indexed persist schedules (WPQ pending drains, persist-path
+// line times). It replaces the Go maps the hot path used to hit on every
+// admitted store and every NVM read.
+//
+// Faithfulness matters more than raw speed here: the structures' sweep
+// triggers fire on entry counts, and a sweep's deletions are observable
+// (another core can query an address the sweep dropped), so the table
+// mirrors map semantics exactly — deletions are real (tombstoned) and
+// `live` equals what len(map) would be after the same operation sequence.
+// Internal rebuilds drop only tombstones, never live entries, and reuse a
+// spare buffer pair so a steady-state rebuild allocates nothing.
+type addrTable struct {
+	keys []int64
+	vals []int64
+	// spare buffers for same-size rebuilds (lazily sized).
+	spareKeys []int64
+	spareVals []int64
+	mask      uint64
+	live      int // occupied, non-tombstone slots == len() of the mirrored map
+	used      int // occupied slots including tombstones
+	// minVal is a lower bound on the smallest live value. A sweepBelow whose
+	// limit is under this bound would delete nothing — and a sweep that
+	// deletes nothing is unobservable — so it can be skipped outright, which
+	// keeps the per-NVM-read WPQ sweep from rescanning a saturated table.
+	minVal int64
+}
+
+const (
+	tblEmpty = math.MinInt64     // no entry ever occupied this slot
+	tblTomb  = math.MinInt64 + 1 // deleted entry; probes continue past it
+)
+
+func newAddrTable() *addrTable {
+	t := &addrTable{}
+	t.init(64)
+	return t
+}
+
+func (t *addrTable) init(size int) {
+	t.keys = make([]int64, size)
+	t.vals = make([]int64, size)
+	for i := range t.keys {
+		t.keys[i] = tblEmpty
+	}
+	t.mask = uint64(size - 1)
+	t.live, t.used = 0, 0
+	t.minVal = math.MaxInt64
+}
+
+func (t *addrTable) slot(key int64) uint64 {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return (h ^ (h >> 29)) & t.mask
+}
+
+// get returns the value stored under key.
+func (t *addrTable) get(key int64) (int64, bool) {
+	i := t.slot(key)
+	for {
+		switch t.keys[i] {
+		case key:
+			return t.vals[i], true
+		case tblEmpty:
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// put inserts or overwrites key.
+func (t *addrTable) put(key, val int64) {
+	if val < t.minVal {
+		t.minVal = val
+	}
+	i := t.slot(key)
+	ins := -1
+	for {
+		switch t.keys[i] {
+		case key:
+			t.vals[i] = val
+			return
+		case tblTomb:
+			if ins < 0 {
+				ins = int(i)
+			}
+		case tblEmpty:
+			if ins >= 0 {
+				t.keys[ins], t.vals[ins] = key, val
+			} else {
+				t.keys[i], t.vals[i] = key, val
+				t.used++
+			}
+			t.live++
+			if 4*t.used >= 3*len(t.keys) {
+				t.rebuild()
+			}
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// del removes key (mirrors delete(map, key)).
+func (t *addrTable) del(key int64) {
+	i := t.slot(key)
+	for {
+		switch t.keys[i] {
+		case key:
+			t.keys[i] = tblTomb
+			t.live--
+			return
+		case tblEmpty:
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// rebuild rehashes the live entries, dropping tombstones. The size grows
+// only when the live set genuinely needs it, and same-size rebuilds swap
+// into the retained spare buffers, so a steady-state table never
+// allocates.
+func (t *addrTable) rebuild() {
+	size := len(t.keys)
+	for 4*t.live >= 3*(size/2) && size < 1<<30 {
+		size *= 2
+	}
+	oldK, oldV := t.keys, t.vals
+	if size == len(t.spareKeys) {
+		t.keys, t.vals = t.spareKeys, t.spareVals
+		for i := range t.keys {
+			t.keys[i] = tblEmpty
+		}
+	} else {
+		t.keys = make([]int64, size)
+		t.vals = make([]int64, size)
+		for i := range t.keys {
+			t.keys[i] = tblEmpty
+		}
+	}
+	if len(oldK) == size {
+		t.spareKeys, t.spareVals = oldK, oldV
+	}
+	t.mask = uint64(size - 1)
+	t.live, t.used = 0, 0
+	for i, k := range oldK {
+		if k != tblEmpty && k != tblTomb {
+			t.put(k, oldV[i])
+		}
+	}
+}
+
+// sweepBelow deletes every entry with value <= limit (mirrors the map
+// range-and-delete sweeps). Sweeps that provably delete nothing are
+// skipped; a scan refreshes the exact minimum so the next skip window is
+// as wide as possible.
+func (t *addrTable) sweepBelow(limit int64) {
+	if limit < t.minVal {
+		return
+	}
+	newMin := int64(math.MaxInt64)
+	for i, k := range t.keys {
+		if k == tblEmpty || k == tblTomb {
+			continue
+		}
+		if t.vals[i] <= limit {
+			t.keys[i] = tblTomb
+			t.live--
+		} else if t.vals[i] < newMin {
+			newMin = t.vals[i]
+		}
+	}
+	t.minVal = newMin
+}

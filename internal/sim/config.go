@@ -73,6 +73,15 @@ type Config struct {
 	// torture harness flips this to demonstrate that an unvalidated build
 	// silently diverges under injected corruption.
 	Unsealed bool
+
+	// ReferenceKernel forces the legacy one-instruction-per-scan stepper
+	// (reference.go) instead of the batched fast kernel. The two are
+	// behavior-identical (enforced by internal/simtest's differential
+	// harness and FuzzKernelEquivalence); the flag exists as an escape
+	// hatch and as the oracle the equivalence tests run against. Machines
+	// with telemetry or tracing attached take the reference path
+	// automatically, since only it carries the per-instruction probes.
+	ReferenceKernel bool
 }
 
 // DefaultConfig is the scaled default machine: the paper's Skylake-class

@@ -85,8 +85,17 @@ func (m *Machine) CrashAtFaults(cycle int64, cf *CrashFaults) (*CrashState, erro
 		}
 		faulty := m.NVM.Clone()
 		m.reconstruct(faulty, cycle, retired, cf)
-		for addr, x := range cf.CkptXOR {
-			faulty.Store(addr, faulty.Load(addr)^int64(x))
+		// Apply checkpoint-word corruption in sorted address order: the final
+		// image is order-independent (each word is XORed once), but the store
+		// order must not inherit map iteration order — every observable side
+		// effect of a crash has to be bit-reproducible across runs.
+		xaddrs := make([]int64, 0, len(cf.CkptXOR))
+		for addr := range cf.CkptXOR {
+			xaddrs = append(xaddrs, addr)
+		}
+		sort.Slice(xaddrs, func(a, b int) bool { return xaddrs[a] < xaddrs[b] })
+		for _, addr := range xaddrs {
+			faulty.Store(addr, faulty.Load(addr)^int64(cf.CkptXOR[addr]))
 		}
 		cs.NVM = faulty
 	}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// manifestBytes runs q on a fresh machine and returns the serialized run
+// manifest — the full externally visible output of a run (config, raw
+// stats, and the Derived metric map).
+func manifestBytes(t *testing.T, seed int64) []byte {
+	t.Helper()
+	q := compiledProgram(t, seed)
+	m := mustMachine(t, q, recoverableCfg())
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := m.BuildManifest("determinism-test", "progen", "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func recoverableCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Recoverable = true
+	return cfg
+}
+
+// TestManifestSerializationDeterministic: two identical runs must produce
+// byte-identical serialized manifests. Guards the map-valued fields
+// (Stats.Derived, and by extension every map ranged into run output)
+// against iteration-order leakage.
+func TestManifestSerializationDeterministic(t *testing.T) {
+	a := manifestBytes(t, 11)
+	b := manifestBytes(t, 11)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs serialized differently:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestCrashFaultsDeterministic: the faulted crash-state reconstruction —
+// including the map-driven checkpoint-corruption overlay — must be
+// bit-reproducible: same NVM digest, same serialized restart points, same
+// serialized seal table on every run.
+func TestCrashFaultsDeterministic(t *testing.T) {
+	q := compiledProgram(t, 11)
+	cfg := recoverableCfg()
+	crash := midCrashCycle(t, q, cfg)
+
+	// Scout for checkpoint-area words to corrupt; multi-entry CkptXOR is
+	// the point (a single entry cannot expose iteration order).
+	scout := mustMachine(t, q, cfg)
+	if err := scout.RunUntil(crash); err != nil {
+		t.Fatal(err)
+	}
+	addrs := scout.SealedCkptAddrs()
+	if len(addrs) < 2 {
+		t.Skip("fewer than two checkpoint-area writes by this crash cycle")
+	}
+	if len(addrs) > 8 {
+		addrs = addrs[:8]
+	}
+	cf := &CrashFaults{CkptXOR: map[int64]uint64{}}
+	for i, a := range addrs {
+		cf.CkptXOR[a] = 0x1111 << uint(i%4)
+	}
+
+	type shot struct {
+		digest   uint64
+		restarts []byte
+		seals    []byte
+	}
+	take := func() shot {
+		m := mustMachine(t, q, cfg)
+		cs, err := m.CrashAtFaults(crash, cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := json.Marshal(cs.Restarts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := json.Marshal(cs.Seals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return shot{cs.NVM.Digest(), rr, sr}
+	}
+
+	a, b := take(), take()
+	if a.digest != b.digest {
+		t.Fatalf("faulted NVM digests differ: %#x vs %#x", a.digest, b.digest)
+	}
+	if !bytes.Equal(a.restarts, b.restarts) {
+		t.Fatalf("restart points serialized differently:\n%s\n---\n%s", a.restarts, b.restarts)
+	}
+	if !bytes.Equal(a.seals, b.seals) {
+		t.Fatalf("seal tables serialized differently:\n%s\n---\n%s", a.seals, b.seals)
+	}
+}
+
+// TestDerivedStableKeySet: Derived must expose every stall cause even at
+// zero, and two calls on the same Stats must serialize identically — a
+// diffing tool depends on a stable key set and stable rendering.
+func TestDerivedStableKeySet(t *testing.T) {
+	s := Stats{Cycles: 100, Instrs: 250, Regions: 5, WPQHits: 3,
+		PBStallCyc: 10, DrainStallCyc: 4, L1DAccs: 80, L1DMisses: 8}
+	a, err := json.Marshal(s.Derived())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(s.Derived())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Derived serialized differently across calls:\n%s\n---\n%s", a, b)
+	}
+	for _, key := range []string{"stall_frac.pb", "stall_frac.rbt", "stall_frac.wb",
+		"stall_frac.drain", "stall_frac.boundary", "stall_frac.wpq_load"} {
+		if !bytes.Contains(a, []byte(`"`+key+`"`)) {
+			t.Errorf("Derived output missing %q:\n%s", key, a)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+
+	"cwsp/internal/ir"
+)
+
+// This file is the fast simulation kernel. It is semantically identical
+// to the reference stepper (reference.go) — internal/simtest's
+// differential harness and FuzzKernelEquivalence enforce byte-identical
+// results, stats, crash states, and recovery outcomes — but restructured
+// for speed:
+//
+//   - Batched scheduling: instead of rescanning every core per
+//     instruction, the scheduler picks the minimum-(cycle, id) runnable
+//     core once and steps it for as long as it stays strictly below the
+//     next core's (cycle, id). While one core steps, no other core's
+//     cycle moves, so every one of those steps is exactly the core the
+//     reference scan would have picked.
+//   - Inlined instruction dispatch: the hot straight-line ops execute in
+//     one switch without the ir.Exec Effect-struct round trip, and
+//     without the per-instruction telemetry probes (machines with
+//     telemetry or tracing attached run the reference kernel instead).
+//
+// Any op the fast switch does not inline falls back to ir.Exec with the
+// reference kernel's exact sequencing, so the two kernels share one
+// definition of every rare path (and of all persist/region/call
+// machinery, which lives in machine.go and is common to both).
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runFast advances the machine with the batched minimum-cycle scheduler.
+func (m *Machine) runFast(crash int64) error {
+	// Single-core machines (most sweeps) need no scheduling at all.
+	if len(m.cores) == 1 {
+		c := m.cores[0]
+		for !c.done && c.cycle < crash {
+			if err := m.stepFast(c); err != nil {
+				return err
+			}
+		}
+		m.halted = true
+		return nil
+	}
+	for {
+		// One scan: the reference kernel's argmin, plus the runner-up
+		// threshold that bounds how long the winner may keep stepping.
+		var c *core
+		var nextCycle int64
+		nextID := 0
+		haveNext := false
+		for _, cc := range m.cores {
+			if cc.done || cc.cycle >= crash {
+				continue
+			}
+			if c == nil || cc.cycle < c.cycle {
+				if c != nil {
+					nextCycle, nextID, haveNext = c.cycle, c.id, true
+				}
+				c = cc
+			} else if !haveNext || cc.cycle < nextCycle {
+				nextCycle, nextID, haveNext = cc.cycle, cc.id, true
+			}
+		}
+		if c == nil {
+			m.halted = true
+			return nil
+		}
+		if !haveNext {
+			// Sole runnable core: run it out.
+			for !c.done && c.cycle < crash {
+				if err := m.stepFast(c); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Step while this core is still the strict (cycle, id) minimum —
+		// exactly the iterations on which the reference scan picks it.
+		for !c.done && c.cycle < crash &&
+			(c.cycle < nextCycle || (c.cycle == nextCycle && c.id < nextID)) {
+			if err := m.stepFast(c); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// stepFast executes one instruction with the reference kernel's exact
+// sequencing (stats order, cycle advancement, control transfer) but with
+// the common ops inlined.
+func (m *Machine) stepFast(c *core) error {
+	if m.stats.Instrs >= m.Cfg.MaxSteps {
+		return fmt.Errorf("sim: exceeded %d instructions (livelock?)", m.Cfg.MaxSteps)
+	}
+	f := c.frames[len(c.frames)-1]
+	blk := f.fn.Blocks[f.blk]
+	in := &blk.Instrs[f.pc]
+	m.stats.Instrs++
+	c.instrs++
+	regs := f.regs
+
+	switch in.Op {
+	case ir.OpConst:
+		regs[in.Dst] = in.A.Imm
+	case ir.OpMov:
+		regs[in.Dst] = opVal(in.A, regs)
+	case ir.OpAdd:
+		regs[in.Dst] = opVal(in.A, regs) + opVal(in.B, regs)
+	case ir.OpSub:
+		regs[in.Dst] = opVal(in.A, regs) - opVal(in.B, regs)
+	case ir.OpMul:
+		regs[in.Dst] = opVal(in.A, regs) * opVal(in.B, regs)
+	case ir.OpDiv:
+		if b := opVal(in.B, regs); b == 0 {
+			regs[in.Dst] = 0
+		} else {
+			regs[in.Dst] = opVal(in.A, regs) / b
+		}
+	case ir.OpRem:
+		if b := opVal(in.B, regs); b == 0 {
+			regs[in.Dst] = 0
+		} else {
+			regs[in.Dst] = opVal(in.A, regs) % b
+		}
+	case ir.OpAnd:
+		regs[in.Dst] = opVal(in.A, regs) & opVal(in.B, regs)
+	case ir.OpOr:
+		regs[in.Dst] = opVal(in.A, regs) | opVal(in.B, regs)
+	case ir.OpXor:
+		regs[in.Dst] = opVal(in.A, regs) ^ opVal(in.B, regs)
+	case ir.OpShl:
+		regs[in.Dst] = opVal(in.A, regs) << (uint64(opVal(in.B, regs)) & 63)
+	case ir.OpShr:
+		regs[in.Dst] = int64(uint64(opVal(in.A, regs)) >> (uint64(opVal(in.B, regs)) & 63))
+	case ir.OpCmpEQ:
+		regs[in.Dst] = b2i(opVal(in.A, regs) == opVal(in.B, regs))
+	case ir.OpCmpNE:
+		regs[in.Dst] = b2i(opVal(in.A, regs) != opVal(in.B, regs))
+	case ir.OpCmpLT:
+		regs[in.Dst] = b2i(opVal(in.A, regs) < opVal(in.B, regs))
+	case ir.OpCmpLE:
+		regs[in.Dst] = b2i(opVal(in.A, regs) <= opVal(in.B, regs))
+	case ir.OpCmpGT:
+		regs[in.Dst] = b2i(opVal(in.A, regs) > opVal(in.B, regs))
+	case ir.OpCmpGE:
+		regs[in.Dst] = b2i(opVal(in.A, regs) >= opVal(in.B, regs))
+	case ir.OpSelect:
+		if opVal(in.A, regs) != 0 {
+			regs[in.Dst] = opVal(in.B, regs)
+		} else {
+			regs[in.Dst] = opVal(in.C, regs)
+		}
+	case ir.OpLoad:
+		regs[in.Dst] = m.memLoad(c, (opVal(in.A, regs)+in.Off)&^7)
+		c.cycle++
+		m.stats.Loads++
+		f.pc++
+		return nil
+	case ir.OpStore:
+		m.memStore(c, (opVal(in.B, regs)+in.Off)&^7, opVal(in.A, regs))
+		c.cycle++
+		m.stats.Stores++
+		f.pc++
+		return nil
+	case ir.OpJmp:
+		c.cycle++
+		m.stats.Branches++
+		f.blk, f.pc = in.Then, 0
+		return nil
+	case ir.OpBr:
+		c.cycle++
+		m.stats.Branches++
+		if opVal(in.A, regs) != 0 {
+			f.blk, f.pc = in.Then, 0
+		} else {
+			f.blk, f.pc = in.Else, 0
+		}
+		return nil
+	case ir.OpRet:
+		c.cycle++
+		if in.HasVal {
+			m.handleRet(c, ir.Effect{Kind: ir.CtrlRet, RetVal: opVal(in.A, regs), HasRet: true})
+		} else {
+			m.handleRet(c, ir.Effect{Kind: ir.CtrlRet})
+		}
+		return nil
+
+	case ir.OpBoundary:
+		m.stats.Boundaries++
+		m.handleBoundary(c, f, in)
+		f.pc++
+		return nil
+	case ir.OpCkpt:
+		m.stats.Ckpts++
+		slot := CkptSlot(c.id, f.depth, in.A.Reg)
+		m.memStore(c, slot, regs[in.A.Reg])
+		c.cycle++
+		f.pc++
+		return nil
+	case ir.OpAtomicCAS, ir.OpAtomicAdd, ir.OpAtomicXchg, ir.OpFence, ir.OpAlloc, ir.OpEmit:
+		m.stats.Atomics++
+		m.handleSyncGroup(c, f, in)
+		return nil
+	case ir.OpCall:
+		m.stats.Calls++
+		m.handleCall(c, f, in)
+		return nil
+
+	default:
+		// Rare or future op: take the reference path exactly.
+		eff := ir.Exec(in, regs, coreEnv{m, c})
+		c.cycle++
+		switch eff.Kind {
+		case ir.CtrlNext:
+			f.pc++
+		case ir.CtrlJump:
+			f.blk, f.pc = eff.Target, 0
+		case ir.CtrlRet:
+			m.handleRet(c, eff)
+		case ir.CtrlCall:
+			return fmt.Errorf("sim: unexpected call effect")
+		}
+		return nil
+	}
+
+	// Straight-line register op: advance and fall through.
+	c.cycle++
+	f.pc++
+	return nil
+}

@@ -1,0 +1,79 @@
+package sim
+
+// lineSet is the per-core dedup-line tracker for DedupLines schemes: the
+// set of cache lines the current region has already sent down the persist
+// path. It replaces the per-region map[int64]bool the hot store path used
+// to allocate and hash into. Clearing is O(1) — opening a region bumps
+// the epoch, invalidating every slot — so one table serves every region a
+// core ever runs (a core has exactly one open region at a time).
+type lineSet struct {
+	keys  []int64
+	epoch []uint32
+	cur   uint32
+	mask  uint64
+	live  int
+}
+
+func newLineSet() *lineSet {
+	const size = 256
+	return &lineSet{
+		keys:  make([]int64, size),
+		epoch: make([]uint32, size),
+		cur:   1,
+		mask:  size - 1,
+	}
+}
+
+// reset empties the set (start of a region).
+func (s *lineSet) reset() {
+	s.cur++
+	s.live = 0
+	if s.cur == 0 {
+		// Epoch counter wrapped: invalidate every slot explicitly once per
+		// 2^32 regions.
+		for i := range s.epoch {
+			s.epoch[i] = 0
+		}
+		s.cur = 1
+	}
+}
+
+func (s *lineSet) slot(key int64) uint64 {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return (h ^ (h >> 29)) & s.mask
+}
+
+// insert adds key to the set and reports whether it was already present.
+func (s *lineSet) insert(key int64) bool {
+	i := s.slot(key)
+	for {
+		if s.epoch[i] != s.cur {
+			s.keys[i] = key
+			s.epoch[i] = s.cur
+			s.live++
+			if 4*s.live >= 3*len(s.keys) {
+				s.grow()
+			}
+			return false
+		}
+		if s.keys[i] == key {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *lineSet) grow() {
+	oldK, oldE, oldCur := s.keys, s.epoch, s.cur
+	size := 2 * len(oldK)
+	s.keys = make([]int64, size)
+	s.epoch = make([]uint32, size)
+	s.mask = uint64(size - 1)
+	s.cur = 1
+	s.live = 0
+	for i, e := range oldE {
+		if e == oldCur {
+			s.insert(oldK[i])
+		}
+	}
+}

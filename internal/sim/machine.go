@@ -55,7 +55,6 @@ type frame struct {
 type regionState struct {
 	info       *RegionInfo
 	persistMax int64
-	lines      map[int64]bool // for DedupLines schemes
 
 	// Telemetry-only bookkeeping (region length and checkpoint density).
 	startInstrs int64
@@ -76,8 +75,19 @@ type core struct {
 	frames   []*frame
 	stackPtr int64
 	cur      *regionState
+	// lines tracks the current region's persisted cache lines for
+	// DedupLines schemes (nil otherwise); openRegion resets it.
+	lines *lineSet
 
 	instrs int64
+
+	// Free lists keeping the steady-state step allocation-free: popped
+	// frames and closed regions are recycled instead of re-allocated.
+	// RegionInfo descriptors are recycled only when the machine is not
+	// Recoverable (otherwise they escape into the Regions log).
+	freeFrames  []*frame
+	freeRegions []*regionState
+	freeInfos   []*RegionInfo
 }
 
 // Machine is one configured simulation instance. Create with New, run with
@@ -108,6 +118,10 @@ type Machine struct {
 
 	funcNames []string
 	funcIdx   map[string]int
+	// fnNum and callees are pointer-keyed mirrors of funcIdx and
+	// Prog.Funcs, precomputed so the call path never hashes a string.
+	fnNum   map[*ir.Function]int
+	callees map[*ir.Instr]*ir.Function
 
 	Output []int64
 
@@ -191,6 +205,19 @@ func NewThreaded(prog *ir.Program, cfg Config, sch Scheme, specs []ThreadSpec) (
 	for i, n := range m.funcNames {
 		m.funcIdx[n] = i
 	}
+	m.fnNum = make(map[*ir.Function]int, len(m.funcNames))
+	m.callees = map[*ir.Instr]*ir.Function{}
+	for _, n := range m.funcNames {
+		fn := prog.Funcs[n]
+		m.fnNum[fn] = m.funcIdx[n]
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpCall {
+					m.callees[&b.Instrs[i]] = prog.Funcs[b.Instrs[i].Callee]
+				}
+			}
+		}
+	}
 
 	// The heap break lives in NVM.
 	m.initWord(BrkAddr, HeapBase)
@@ -210,6 +237,9 @@ func NewThreaded(prog *ir.Program, cfg Config, sch Scheme, specs []ThreadSpec) (
 			path:     persist.NewPath(cfg.PBSize, cfg.PPBytesBPC, cfg.PPOneWayLat),
 			rbt:      persist.NewRBT(cfg.RBTSize),
 			stackPtr: StackStart(i),
+		}
+		if sch.DedupLines {
+			c.lines = newLineSet()
 		}
 		f := &frame{fn: fn, regs: make([]int64, fn.NumRegs), dst: ir.NoReg}
 		copy(f.regs, spec.Args)
@@ -237,7 +267,14 @@ func (m *Machine) initWord(addr, val int64) {
 
 func (m *Machine) openRegion(c *core, fn string, staticID int, ref ir.InstrRef, depth int, sp int64, start int64) *regionState {
 	m.regionSeq++
-	ri := &RegionInfo{
+	var ri *RegionInfo
+	if n := len(c.freeInfos); n > 0 {
+		ri = c.freeInfos[n-1]
+		c.freeInfos = c.freeInfos[:n-1]
+	} else {
+		ri = &RegionInfo{}
+	}
+	*ri = RegionInfo{
 		Seq: m.regionSeq, Core: c.id, Fn: fn, StaticID: staticID,
 		Ref: ref, Depth: depth, StackPtr: sp, Start: start,
 		Retire: math.MaxInt64,
@@ -245,11 +282,28 @@ func (m *Machine) openRegion(c *core, fn string, staticID int, ref ir.InstrRef, 
 	if m.Cfg.Recoverable {
 		m.Regions = append(m.Regions, ri)
 	}
-	rs := &regionState{info: ri, startInstrs: c.instrs}
+	var rs *regionState
+	if n := len(c.freeRegions); n > 0 {
+		rs = c.freeRegions[n-1]
+		c.freeRegions = c.freeRegions[:n-1]
+	} else {
+		rs = &regionState{}
+	}
+	*rs = regionState{info: ri, startInstrs: c.instrs}
 	if m.Sch.DedupLines {
-		rs.lines = map[int64]bool{}
+		c.lines.reset()
 	}
 	return rs
+}
+
+// releaseRegion recycles a closed region's state (and, when the machine
+// keeps no descriptor log, its RegionInfo) onto the core's free lists.
+func (m *Machine) releaseRegion(c *core, rs *regionState) {
+	if !m.Cfg.Recoverable {
+		c.freeInfos = append(c.freeInfos, rs.info)
+	}
+	rs.info = nil
+	c.freeRegions = append(c.freeRegions, rs)
 }
 
 // Run executes to completion (or error) with no crash.
@@ -261,25 +315,18 @@ func (m *Machine) Run() (*Result, error) {
 }
 
 // RunUntil executes until every core is done or frozen at the crash cycle.
+//
+// Two behavior-identical kernels implement it: the batched fast kernel
+// (kernel.go) and the legacy reference stepper (reference.go). The
+// reference path is taken when Config.ReferenceKernel is set or when
+// telemetry/tracing is attached — only it carries the per-instruction
+// probes. internal/simtest's differential harness and fuzz target hold
+// the two byte-identical.
 func (m *Machine) RunUntil(crash int64) error {
-	for {
-		var c *core
-		for _, cc := range m.cores {
-			if cc.done || cc.cycle >= crash {
-				continue
-			}
-			if c == nil || cc.cycle < c.cycle {
-				c = cc
-			}
-		}
-		if c == nil {
-			m.halted = true
-			return nil
-		}
-		if err := m.step(c); err != nil {
-			return err
-		}
+	if m.Cfg.ReferenceKernel || m.tel != nil || m.tracer != nil {
+		return m.runReference(crash)
 	}
+	return m.runFast(crash)
 }
 
 func (m *Machine) result() *Result {
@@ -433,12 +480,11 @@ func (m *Machine) memStore(c *core, addr, val int64) {
 	}
 	if m.Sch.DedupLines && c.cur != nil {
 		line := addr &^ int64(m.Cfg.LineBytes-1)
-		if c.cur.lines[line] {
+		if c.lines.insert(line) {
 			// Coalesced into an already-buffered redo line.
 			m.NVM.Store(addr, val)
 			return
 		}
-		c.cur.lines[line] = true
 	}
 
 	logged := false
@@ -459,10 +505,13 @@ func (m *Machine) memStore(c *core, addr, val int64) {
 	}
 
 	mc := m.mcOf(addr)
-	old := m.NVM.Load(addr)
 	commit := c.cycle
 	proceed, admit := c.path.Send(commit, addr, bytes, m.wpqs[mc], int64(mc)*m.Cfg.NUMAStep, logBytes)
 	c.cycle = proceed
+	var old int64
+	if m.Cfg.Recoverable {
+		old = m.NVM.Load(addr) // journal needs the pre-store NVM word
+	}
 	m.NVM.Store(addr, val)
 	if m.tel != nil {
 		m.tel.PersistLat.Observe(admit - commit)
@@ -513,7 +562,10 @@ func (m *Machine) syncStore(c *core, addr, val int64, logged bool, commit int64)
 	if !m.Sch.Persist {
 		return
 	}
-	old := m.NVM.Load(addr)
+	var old int64
+	if m.Cfg.Recoverable {
+		old = m.NVM.Load(addr)
+	}
 	m.NVM.Store(addr, val)
 	if m.Cfg.Recoverable {
 		seq := int64(0)
@@ -543,69 +595,6 @@ func (e coreEnv) Store(addr, val int64)  { e.m.memStore(e.c, addr, val) }
 func (e coreEnv) Alloc(size int64) int64 { panic("sim: alloc must take the sync path") }
 func (e coreEnv) Emit(v int64)           { panic("sim: emit must take the sync path") }
 
-func (m *Machine) step(c *core) error {
-	if m.stats.Instrs >= m.Cfg.MaxSteps {
-		return fmt.Errorf("sim: exceeded %d instructions (livelock?)", m.Cfg.MaxSteps)
-	}
-	f := c.frames[len(c.frames)-1]
-	blk := f.fn.Blocks[f.blk]
-	in := &blk.Instrs[f.pc]
-	m.stats.Instrs++
-	c.instrs++
-	if m.tel != nil && m.tel.Sampler.Due(c.cycle) {
-		m.tel.sample(c.cycle)
-	}
-
-	switch in.Op {
-	case ir.OpBoundary:
-		m.stats.Boundaries++
-		m.handleBoundary(c, f, in)
-		f.pc++
-		return nil
-	case ir.OpCkpt:
-		m.stats.Ckpts++
-		if m.tel != nil && c.cur != nil {
-			c.cur.ckpts++
-		}
-		slot := CkptSlot(c.id, f.depth, in.A.Reg)
-		m.memStore(c, slot, f.regs[in.A.Reg])
-		c.cycle++
-		f.pc++
-		return nil
-	case ir.OpAtomicCAS, ir.OpAtomicAdd, ir.OpAtomicXchg, ir.OpFence, ir.OpAlloc, ir.OpEmit:
-		m.stats.Atomics++
-		m.handleSyncGroup(c, f, in)
-		return nil
-	case ir.OpCall:
-		m.stats.Calls++
-		m.handleCall(c, f, in)
-		return nil
-	}
-
-	eff := ir.Exec(in, f.regs, coreEnv{m, c})
-	c.cycle++
-	switch in.Op {
-	case ir.OpLoad:
-		m.stats.Loads++
-	case ir.OpStore:
-		m.stats.Stores++
-	case ir.OpBr, ir.OpJmp:
-		m.stats.Branches++
-	}
-
-	switch eff.Kind {
-	case ir.CtrlNext:
-		f.pc++
-	case ir.CtrlJump:
-		f.blk, f.pc = eff.Target, 0
-	case ir.CtrlRet:
-		m.handleRet(c, eff)
-	case ir.CtrlCall:
-		return fmt.Errorf("sim: unexpected call effect")
-	}
-	return nil
-}
-
 // handleBoundary commits a region boundary: the running region closes and
 // a new one opens with this boundary as its recovery point.
 func (m *Machine) handleBoundary(c *core, f *frame, in *ir.Instr) {
@@ -631,6 +620,7 @@ func (m *Machine) closeRegion(c *core) {
 	if !m.Sch.Persist {
 		cur.info.Retire = c.cycle
 		m.finishRegion(c, cur, closeCycle)
+		m.releaseRegion(c, cur)
 		c.cur = nil
 		return
 	}
@@ -661,6 +651,7 @@ func (m *Machine) closeRegion(c *core) {
 		cur.info.Retire = r
 	}
 	m.finishRegion(c, cur, closeCycle)
+	m.releaseRegion(c, cur)
 	c.cur = nil
 }
 
@@ -806,6 +797,7 @@ func (m *Machine) handleSyncGroup(c *core, f *frame, in *ir.Instr) {
 			if cur := c.cur; cur != nil {
 				cur.info.Retire = commit
 				m.finishRegion(c, cur, commit)
+				m.releaseRegion(c, cur)
 				c.cur = nil
 			}
 			c.cycle++
@@ -838,16 +830,33 @@ func (m *Machine) handleCall(c *core, f *frame, in *ir.Instr) {
 		c.cycle++
 	}
 	rec := base + int64(len(spills))*8
-	m.memStore(c, rec, int64(m.funcIdx[f.fn.Name]))
+	m.memStore(c, rec, int64(m.fnNum[f.fn]))
 	m.memStore(c, rec+8, int64(f.blk)<<32|int64(f.pc))
 	m.memStore(c, rec+16, base)
 	m.memStore(c, rec+24, int64(len(in.Args)))
 	c.cycle += 2
 
-	callee := m.Prog.Funcs[in.Callee]
-	nf := &frame{
+	callee := m.callees[in]
+	if callee == nil {
+		callee = m.Prog.Funcs[in.Callee]
+	}
+	var nf *frame
+	if n := len(c.freeFrames); n > 0 {
+		nf = c.freeFrames[n-1]
+		c.freeFrames = c.freeFrames[:n-1]
+	} else {
+		nf = &frame{}
+	}
+	regs := nf.regs
+	if cap(regs) < callee.NumRegs {
+		regs = make([]int64, callee.NumRegs)
+	} else {
+		regs = regs[:callee.NumRegs]
+		clear(regs)
+	}
+	*nf = frame{
 		fn:        callee,
-		regs:      make([]int64, callee.NumRegs),
+		regs:      regs,
 		dst:       in.Dst,
 		depth:     f.depth + 1,
 		spillBase: base,
@@ -903,6 +912,10 @@ func (m *Machine) handleRet(c *core, eff ir.Effect) {
 		m.trace(TraceEvent{Kind: TraceRet, Core: c.id, Cycle: c.cycle,
 			Info: fmt.Sprintf("%s <- %s", parent.fn.Name, fin.fn.Name)})
 	}
+	// Recycle the popped frame (spillList belongs to the function's
+	// LiveAcross table, so only the frame record itself is reused).
+	fin.spillList = nil
+	c.freeFrames = append(c.freeFrames, fin)
 }
 
 // Halted reports whether the machine has drained every runnable core

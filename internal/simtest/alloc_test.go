@@ -1,0 +1,86 @@
+package simtest
+
+import (
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/schemes"
+	"cwsp/internal/sim"
+)
+
+// steadyBufBase is the fixed 64-word buffer the steady-state loop cycles
+// over: a bounded working set, so every pool and table in the machine
+// reaches its high-water mark during warmup.
+const steadyBufBase = int64(0x2200_0000)
+
+// buildSteadyLoop returns steady(iters): for i < iters { buf[i&63] = i },
+// compiled so region boundaries and the persist path are exercised on
+// every iteration.
+func buildSteadyLoop(t testing.TB) *ir.Program {
+	fb := ir.NewFunc("steady", 1)
+	iters := fb.Param(0)
+	fb.NewBlock("entry")
+	i := fb.Reg()
+	fb.ConstInto(i, 0)
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.R(iters))
+	fb.Br(ir.R(c), body, exit)
+	fb.SetBlock(body)
+	slot := fb.Bin(ir.OpAnd, ir.R(i), ir.Imm(63))
+	off := fb.Bin(ir.OpShl, ir.R(slot), ir.Imm(3))
+	addr := fb.Add(ir.Imm(steadyBufBase), ir.R(off))
+	fb.Store(ir.R(i), ir.R(addr), 0)
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+	fb.Ret(ir.R(i))
+
+	p := ir.NewProgram("steady")
+	p.Add(fb.MustDone())
+	p.Entry = "steady"
+	cp, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestSteadyStateZeroAllocs pins the fast kernel's allocation-free steady
+// state: once a machine is warm (pools filled, tables at size), continued
+// stepping through loads, stores, region turnover, and the persist path
+// must not touch the heap.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	sch, ok := schemes.ByName("cwsp")
+	if !ok {
+		t.Fatal("cwsp scheme missing")
+	}
+	cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
+	p := buildSteadyLoop(t)
+	m, err := sim.NewThreaded(p, cfg, sch, []sim.ThreadSpec{{Fn: "steady", Args: []int64{50_000_000}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := int64(300_000)
+	if err := m.RunUntil(target); err != nil {
+		t.Fatal(err)
+	}
+	before := m.CollectStats().Instrs
+
+	avg := testing.AllocsPerRun(50, func() {
+		target += 2_000
+		if err := m.RunUntil(target); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state RunUntil allocated %.1f times per 2k-cycle window, want 0", avg)
+	}
+	if after := m.CollectStats().Instrs; after <= before {
+		t.Fatalf("machine stopped stepping during measurement (instrs %d -> %d)", before, after)
+	}
+}

@@ -1,0 +1,159 @@
+package simtest
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/schemes"
+	"cwsp/internal/sim"
+	"cwsp/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden snapshots")
+
+// checkGolden compares got against testdata/golden/<name>, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with: go test ./internal/simtest -run Golden -update): %v", name, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden snapshot\n%s", name, firstDiff(string(want), got))
+	}
+}
+
+// firstDiff renders the first differing line of two snapshots.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line count: golden %d, got %d", len(wl), len(gl))
+}
+
+// goldenCases spans the structural variety of the scheme space: no
+// persistence (base), the full cWSP stack, tiny persist buffers with group
+// commit (capri), region dedup (ido), and the idealized PSP upper bound.
+var goldenSchemes = []string{"base", "cwsp", "capri", "ido", "psp-ideal"}
+
+// goldenWorkloads covers streaming stores (lbm), transactional read/write
+// mixes (tatp), pointer+compute (kmeans), and a red-black tree's
+// allocation-heavy call pattern (rb).
+var goldenWorkloads = []string{"tatp", "lbm", "kmeans", "rb"}
+
+// buildWorkload constructs a workload at smoke scale in raw and compiled
+// forms, cached per test run.
+func buildWorkload(t testing.TB, name string) (raw, compiled *ir.Program) {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = w.Build(workloads.Smoke)
+	compiled, _, err = compiler.Compile(raw, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, compiled
+}
+
+func TestGoldenWorkloads(t *testing.T) {
+	for _, wn := range goldenWorkloads {
+		raw, compiled := buildWorkload(t, wn)
+		for _, sn := range goldenSchemes {
+			t.Run(wn+"_"+sn, func(t *testing.T) {
+				sch, ok := schemes.ByName(sn)
+				if !ok {
+					t.Fatalf("unknown scheme %s", sn)
+				}
+				p := raw
+				if schemes.NeedsCompiledProgram(sch) {
+					p = compiled
+				}
+				cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
+				rec, err := Run(p, cfg, sch, []sim.ThreadSpec{{Fn: p.Entry}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, "run_"+wn+"_"+sn+".json", Canon(rec))
+			})
+		}
+	}
+}
+
+func TestGoldenMultiCore(t *testing.T) {
+	p := workloads.BuildMTWorker()
+	p, _, err := compiler.Compile(p, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{2, 4} {
+		t.Run(fmt.Sprintf("mt%d_cwsp", cores), func(t *testing.T) {
+			sch, _ := schemes.ByName("cwsp")
+			cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
+			var specs []sim.ThreadSpec
+			for i := 0; i < cores; i++ {
+				specs = append(specs, sim.ThreadSpec{Fn: "worker", Args: []int64{int64(i), 8}})
+			}
+			rec, err := Run(p, cfg, sch, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, fmt.Sprintf("run_mt%d_cwsp.json", cores), Canon(rec))
+		})
+	}
+}
+
+// TestGoldenCrash freezes crash states and recovery outcomes: a progen
+// program crashed at the midpoint of its golden run under the recoverable
+// schemes that support resume.
+func TestGoldenCrash(t *testing.T) {
+	for _, seed := range []int64{3, 7} {
+		cp, err := GenProgram(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sn := range []string{"cwsp", "ido"} {
+			t.Run(fmt.Sprintf("p%d_%s", seed, sn), func(t *testing.T) {
+				sch, _ := schemes.ByName(sn)
+				cfg := schemes.ConfigFor(sch, TestConfig())
+				p := cp.ProgramFor(sch)
+				specs := []sim.ThreadSpec{{Fn: p.Entry}}
+				full, err := Run(p, cfg, sch, specs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := CrashRecover(p, cfg, sch, specs, full.Stats.Cycles/2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, fmt.Sprintf("crash_p%d_%s.json", seed, sn), Canon(rec))
+			})
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package simtest
+
+import (
+	"fmt"
+	"testing"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/schemes"
+	"cwsp/internal/sim"
+	"cwsp/internal/workloads"
+)
+
+// The differential harness: every test in this file runs the same program
+// on the fast kernel and on the reference kernel and requires the
+// canonical records (stats, return values, output, memory and NVM
+// digests, crash states, recovery outcomes) to be byte-identical.
+
+// corpusSeeds is the number of progen programs the full-run equivalence
+// sweep covers (ISSUE 5 acceptance floor: 200).
+const corpusSeeds = 200
+
+func refKernel(cfg sim.Config) sim.Config {
+	cfg.ReferenceKernel = true
+	return cfg
+}
+
+// requireEqual compares fast-vs-reference canonical JSON.
+func requireEqual(t *testing.T, label string, fast, ref interface{}) {
+	t.Helper()
+	fj, rj := Canon(fast), Canon(ref)
+	if fj != rj {
+		t.Errorf("%s: fast kernel diverged from reference\n%s", label, firstDiff(rj, fj))
+	}
+}
+
+// runBoth runs one cell on both kernels and requires identical records.
+func runBoth(t *testing.T, label string, p *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec) *RunRecord {
+	t.Helper()
+	fast, err := Run(p, cfg, sch, specs)
+	if err != nil {
+		t.Fatalf("%s: fast: %v", label, err)
+	}
+	ref, err := Run(p, refKernel(cfg), sch, specs)
+	if err != nil {
+		t.Fatalf("%s: reference: %v", label, err)
+	}
+	requireEqual(t, label, fast, ref)
+	return fast
+}
+
+// crashPoints returns the ≥3 mid-run crash cycles the harness probes:
+// quarter, half, and three-quarter points of the golden run.
+func crashPoints(goldenCycles int64) []int64 {
+	return []int64{goldenCycles / 4, goldenCycles / 2, 3 * goldenCycles / 4}
+}
+
+// crashBoth crashes one cell at the given cycle on both kernels (resuming
+// when the scheme supports it) and requires identical crash records. A
+// resume that fails (some crash points land where the frame-record walk
+// cannot reconstruct a core — a pre-existing recovery limitation) must
+// fail identically on both kernels.
+func crashBoth(t *testing.T, label string, cp *Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, crash int64) {
+	t.Helper()
+	p := cp.ProgramFor(sch)
+	resume := schemes.NeedsCompiledProgram(sch)
+	one := func(c sim.Config) (*CrashRecord, error) {
+		if resume {
+			return CrashRecover(p, c, sch, specs, crash)
+		}
+		rec, _, err := Crash(p, c, sch, specs, crash)
+		return rec, err
+	}
+	fast, fastErr := one(cfg)
+	ref, refErr := one(refKernel(cfg))
+	lab := fmt.Sprintf("%s@%d", label, crash)
+	switch {
+	case fastErr == nil && refErr == nil:
+		requireEqual(t, lab, fast, ref)
+	case fastErr != nil && refErr != nil:
+		if fastErr.Error() != refErr.Error() {
+			t.Errorf("%s: kernels failed differently\n  fast: %v\n  ref:  %v", lab, fastErr, refErr)
+		}
+	default:
+		t.Errorf("%s: one kernel failed\n  fast: %v\n  ref:  %v", lab, fastErr, refErr)
+	}
+}
+
+// TestKernelEquivalence is the headline sweep: corpusSeeds progen
+// programs × all 11 schemes, full-run records byte-identical between
+// kernels.
+func TestKernelEquivalence(t *testing.T) {
+	seeds := int64(corpusSeeds)
+	if testing.Short() {
+		seeds = 25
+	}
+	cases := AllSchemes(TestConfig())
+	for seed := int64(0); seed < seeds; seed++ {
+		cp, err := GenProgram(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range cases {
+			p := cp.ProgramFor(sc.Sch)
+			label := fmt.Sprintf("p%d/%s", seed, sc.Name)
+			runBoth(t, label, p, sc.Cfg, sc.Sch, []sim.ThreadSpec{{Fn: p.Entry}})
+		}
+	}
+}
+
+// TestKernelEquivalenceCrash sweeps the same corpus through mid-run
+// crashes: every scheme, three crash points per run, crash states (and,
+// for resumable schemes, recovery outcomes) byte-identical.
+func TestKernelEquivalenceCrash(t *testing.T) {
+	seeds := int64(corpusSeeds)
+	if testing.Short() {
+		seeds = 10
+	}
+	cases := AllSchemes(TestConfig())
+	for seed := int64(0); seed < seeds; seed++ {
+		cp, err := GenProgram(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range cases {
+			p := cp.ProgramFor(sc.Sch)
+			specs := []sim.ThreadSpec{{Fn: p.Entry}}
+			cfg := sc.Cfg
+			cfg.Recoverable = true
+			full, err := Run(p, cfg, sc.Sch, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, crash := range crashPoints(full.Stats.Cycles) {
+				if crash == 0 {
+					continue
+				}
+				crashBoth(t, fmt.Sprintf("p%d/%s", seed, sc.Name), cp, sc.Cfg, sc.Sch, specs, crash)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceMultiCore exercises the batched scheduler's
+// tie-breaking: progen programs placed on two cores, and the mt spinlock
+// worker on 2 and 4 cores, across all schemes.
+func TestKernelEquivalenceMultiCore(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 8
+	}
+	cases := AllSchemes(TestConfig())
+	for seed := int64(0); seed < seeds; seed++ {
+		cp, err := GenProgram(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range cases {
+			p := cp.ProgramFor(sc.Sch)
+			specs := []sim.ThreadSpec{{Fn: p.Entry}, {Fn: p.Entry}}
+			runBoth(t, fmt.Sprintf("p%d/%s/x2", seed, sc.Name), p, sc.Cfg, sc.Sch, specs)
+		}
+	}
+
+	mt, _, err := compiler.Compile(workloads.BuildMTWorker(), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{2, 4} {
+		var specs []sim.ThreadSpec
+		for i := 0; i < cores; i++ {
+			specs = append(specs, sim.ThreadSpec{Fn: "worker", Args: []int64{int64(i), 6}})
+		}
+		for _, sc := range cases {
+			runBoth(t, fmt.Sprintf("mt/%s/x%d", sc.Name, cores), mt, sc.Cfg, sc.Sch, specs)
+		}
+	}
+}
+
+// TestKernelEquivalenceMultiCoreCrash crashes two-core placements at
+// three points under the full cWSP scheme and requires identical crash
+// states and recovery outcomes.
+func TestKernelEquivalenceMultiCoreCrash(t *testing.T) {
+	seeds := int64(15)
+	if testing.Short() {
+		seeds = 4
+	}
+	sch, _ := schemes.ByName("cwsp")
+	cfg := schemes.ConfigFor(sch, TestConfig())
+	for seed := int64(0); seed < seeds; seed++ {
+		cp, err := GenProgram(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := cp.Compiled
+		specs := []sim.ThreadSpec{{Fn: p.Entry}, {Fn: p.Entry}}
+		rcfg := cfg
+		rcfg.Recoverable = true
+		full, err := Run(p, rcfg, sch, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, crash := range crashPoints(full.Stats.Cycles) {
+			if crash == 0 {
+				continue
+			}
+			crashBoth(t, fmt.Sprintf("p%d/cwsp/x2", seed), cp, cfg, sch, specs, crash)
+		}
+	}
+}
+
+// TestKernelEquivalenceWorkloads runs real workloads (smoke scale)
+// through both kernels across the golden scheme set — a denser program
+// mix than progen reaches.
+func TestKernelEquivalenceWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, wn := range goldenWorkloads {
+		raw, compiled := buildWorkload(t, wn)
+		for _, sn := range goldenSchemes {
+			sch, _ := schemes.ByName(sn)
+			p := raw
+			if schemes.NeedsCompiledProgram(sch) {
+				p = compiled
+			}
+			cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
+			runBoth(t, wn+"/"+sn, p, cfg, sch, []sim.ThreadSpec{{Fn: p.Entry}})
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// render builds the same table from the same inputs and returns its
+// serialized form; called twice by the determinism test below.
+func render() string {
+	t := NewTable("app", "slowdown", "ipc", "note")
+	t.AddF("tatp", 1.2345, 0.87, "ok")
+	t.AddF("lbm", int64(3), math.Pi, "")
+	t.AddF("sps", 0.5, 42, "tail")
+	return t.String()
+}
+
+// TestTableRenderDeterministic: rendering identical data twice must give
+// byte-identical output. The table is the terminal serialization for every
+// experiment report, so any iteration-order or formatting instability here
+// would make reports diff against themselves.
+func TestTableRenderDeterministic(t *testing.T) {
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("identical tables rendered differently:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestAggregatesDeterministic: the scalar aggregates must be exactly
+// reproducible on the same input slice — no map-ordered accumulation.
+func TestAggregatesDeterministic(t *testing.T) {
+	xs := []float64{3.5, 1.25, 9, 0.125, 7.75, 2.5, 6.125, 4}
+	type snap struct{ gm, mean, p50, p99, min, max float64 }
+	take := func() snap {
+		return snap{
+			gm:   GMean(xs),
+			mean: Mean(xs),
+			p50:  Percentile(xs, 50),
+			p99:  Percentile(xs, 99),
+			min:  Min(xs),
+			max:  Max(xs),
+		}
+	}
+	if a, b := take(), take(); a != b {
+		t.Fatalf("aggregate snapshots differ: %+v vs %+v", a, b)
+	}
+}
