@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-smoke bench-kernel fuzz-smoke torture-smoke torture lint repro repro-quick examples trace metrics clean
+.PHONY: all build test test-short bench bench-smoke bench-check bench-baseline bench-kernel fuzz-smoke torture-smoke torture lint repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -21,12 +21,30 @@ bench:
 
 # End-to-end exercise of the parallel experiment runner: one figure on a
 # 4-wide pool with a persistent cache, run twice — the second invocation
-# must be served entirely from the store.
+# must be served entirely from the store. The cold run emits the bench
+# trajectory record BENCH_smoke.json (gitignored; gate it with
+# `make bench-check`, refresh the committed baseline with
+# `make bench-baseline`).
 bench-smoke:
 	rm -rf .cwsp-cache-smoke
-	$(GO) run ./cmd/cwspbench -exp fig06 -scale smoke -jobs 4 -cache-dir .cwsp-cache-smoke
+	$(GO) run ./cmd/cwspbench -exp fig06 -scale smoke -jobs 4 -cache-dir .cwsp-cache-smoke -bench-out BENCH_smoke.json
 	$(GO) run ./cmd/cwspbench -exp fig06 -scale smoke -jobs 4 -cache-dir .cwsp-cache-smoke
 	rm -rf .cwsp-cache-smoke
+
+# Gate the freshest BENCH_smoke.json against the committed baseline:
+# structural metrics (cell counts) always enforced; latency quantiles
+# enforced when the host fingerprint matches the baseline's; wall-clock
+# advisory. Exit 1 on regression beyond the 15% tolerance.
+bench-check: BENCH_smoke.json
+	$(GO) run ./cmd/cwspbench -bench-in BENCH_smoke.json -bench-check baselines/BENCH_smoke.json
+
+BENCH_smoke.json:
+	$(MAKE) bench-smoke
+
+# Refresh the committed baseline from a fresh cold run on this machine.
+bench-baseline:
+	$(MAKE) bench-smoke
+	cp BENCH_smoke.json baselines/BENCH_smoke.json
 
 # Simulation-kernel microbenchmarks (quick-scale workloads × schemes ×
 # core counts) with allocation counts; see EXPERIMENTS.md "Kernel

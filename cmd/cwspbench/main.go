@@ -15,17 +15,30 @@
 //
 //	cwspbench -exp all -jobs 8 -cache-dir .cwsp-cache
 //	cwspbench -exp fig21 -cache-dir .cwsp-cache -resume=false  # refresh
+//
+// A running sweep is observable over HTTP (-http): Prometheus /metrics,
+// a JSON /progress snapshot, an SSE /events stream, and /debug/pprof.
+// The bench trajectory is tracked with -bench-out (emit a versioned
+// BENCH_<name>.json record) and -bench-check (gate a record against a
+// committed baseline; see `make bench-check`):
+//
+//	cwspbench -exp all -jobs 8 -http :8080
+//	cwspbench -exp fig06 -bench-out BENCH_smoke.json
+//	cwspbench -bench-in BENCH_smoke.json -bench-check baselines/BENCH_smoke.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"cwsp/internal/bench"
 	"cwsp/internal/telemetry"
+	"cwsp/internal/telemetry/benchfmt"
+	"cwsp/internal/telemetry/live"
 	"cwsp/internal/workloads"
 )
 
@@ -41,6 +54,12 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "parallel simulation cells (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir = flag.String("cache-dir", "", "persistent per-cell result cache; repeated sweeps become cache hits")
 		resume   = flag.Bool("resume", true, "serve cells from an existing cache (false recomputes and refreshes it)")
+		httpAddr = flag.String("http", "", "serve the live observability endpoint (/metrics, /progress, /events, /debug/pprof) on this address")
+		benchOut = flag.String("bench-out", "", "emit a benchfmt trajectory record (BENCH_<name>.json) for this sweep")
+		benchIn  = flag.String("bench-in", "", "with -bench-check: compare this existing record instead of running experiments")
+		checkVs  = flag.String("bench-check", "", "gate the sweep's record against this baseline record; exit 1 on regression")
+		strict   = flag.Bool("bench-strict", false, "enforce wall-clock gates even across differing host fingerprints")
+		tol      = flag.Float64("bench-tol", 0.15, "fractional regression tolerance for bench-check")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -50,6 +69,18 @@ func main() {
 			fmt.Printf("%-9s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	// Compare-only mode: gate an existing record without simulating.
+	if *benchIn != "" {
+		if *checkVs == "" {
+			fatal(fmt.Errorf("-bench-in needs -bench-check <baseline>"))
+		}
+		cur, err := benchfmt.ReadFile(*benchIn)
+		if err != nil {
+			fatal(err)
+		}
+		os.Exit(checkRecord(cur, *checkVs, *tol, *strict))
 	}
 
 	opt := bench.Options{
@@ -62,7 +93,24 @@ func main() {
 	if *verbose {
 		opt.Log = os.Stderr
 	}
+
+	var srv *live.Server
+	liveAddr := ""
+	if *httpAddr != "" {
+		srv = live.NewServer(live.NewBus())
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		liveAddr = addr
+		opt.Bus = srv.Bus()
+		fmt.Fprintf(os.Stderr, "cwspbench: live endpoint on http://%s (/metrics /progress /events /debug/pprof)\n", addr)
+		defer srv.Close()
+	}
 	h := bench.NewHarness(opt)
+	if srv != nil {
+		srv.RegisterHistograms(h.LiveHistograms)
+	}
 
 	var ids []string
 	switch {
@@ -76,6 +124,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cwspbench: need -exp <id>, -exp all, or -all (see -list)")
 		os.Exit(2)
 	}
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 
 	var reports []telemetry.BenchReport
 	for _, id := range ids {
@@ -110,6 +161,8 @@ func main() {
 	if *metOut != "" {
 		man := telemetry.NewManifest("cwspbench")
 		man.Scale = opt.Scale.Name
+		man.Salt = bench.ResultsSalt
+		man.LiveAddr = liveAddr
 		man.Reports = reports
 		man.Runner = h.RunnerSummary()
 		fh, err := os.Create(*metOut)
@@ -123,6 +176,53 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if *benchOut != "" || *checkVs != "" {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		name := "smoke"
+		if *benchOut != "" {
+			name = benchfmt.NameFromPath(*benchOut)
+		} else if *checkVs != "" {
+			name = benchfmt.NameFromPath(*checkVs)
+		}
+		rec := benchfmt.New(name, "cwspbench")
+		rec.Salt = bench.ResultsSalt
+		rec.Scale = opt.Scale.Name
+		rec.Experiments = ids
+		rec.FromRunner(h.RunnerSummary())
+		rec.Allocs = memAfter.Mallocs - memBefore.Mallocs
+		rec.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+		if *benchOut != "" {
+			if err := rec.WriteFile(*benchOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "cwspbench: wrote trajectory record %s\n", *benchOut)
+		}
+		if *checkVs != "" {
+			os.Exit(checkRecord(rec, *checkVs, *tol, *strict))
+		}
+	}
+}
+
+// checkRecord gates cur against the baseline at path; returns the exit
+// code (0 pass, 1 regression).
+func checkRecord(cur *benchfmt.Record, baselinePath string, tol float64, strict bool) int {
+	base, err := benchfmt.ReadFile(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cmp, err := benchfmt.Compare(base, cur, benchfmt.CompareOptions{Tol: tol, Strict: strict})
+	if err != nil {
+		fatal(err)
+	}
+	cmp.Write(os.Stdout)
+	if cmp.Failed() {
+		fmt.Fprintln(os.Stderr, "cwspbench: bench-check FAILED: enforced metric regressed beyond tolerance")
+		return 1
+	}
+	fmt.Println("bench-check: ok")
+	return 0
 }
 
 func scaleOf(s string) workloads.Scale {

@@ -35,6 +35,7 @@ import (
 	"cwsp/internal/progen"
 	"cwsp/internal/recovery"
 	"cwsp/internal/sim"
+	"cwsp/internal/telemetry/live"
 	"cwsp/internal/workloads"
 )
 
@@ -48,8 +49,21 @@ func main() {
 		jobs     = flag.Int("jobs", 1, "parallel crash points (0 = GOMAXPROCS, 1 = serial)")
 		spec     = flag.String("faults", "", "fault plan spec to replay (see cwsptorture)")
 		unsealed = flag.Bool("unsealed", false, "disable seal validation (negative control)")
+		httpAddr = flag.String("http", "", "serve the live observability endpoint (/metrics, /progress, /events, /debug/pprof) on this address")
 	)
 	flag.Parse()
+
+	var bus *live.Bus
+	if *httpAddr != "" {
+		bus = live.NewBus()
+		srv := live.NewServer(bus)
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cwsprecover: live endpoint on http://%s (/metrics /progress /events /debug/pprof)\n", addr)
+		defer srv.Close()
+	}
 
 	var prog *ir.Program
 	switch {
@@ -117,7 +131,7 @@ func main() {
 	if *jobs == 1 {
 		fail, checked, err = recovery.Sweep(compiled, cfg, sim.CWSP(), specs, *sweep)
 	} else {
-		fail, checked, err = recovery.SweepParallel(compiled, cfg, sim.CWSP(), specs, *sweep, *jobs)
+		fail, checked, err = recovery.SweepParallel(compiled, cfg, sim.CWSP(), specs, *sweep, *jobs, bus)
 	}
 	if err != nil {
 		fatal(err)

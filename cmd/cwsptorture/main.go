@@ -28,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"cwsp/internal/compiler"
 	"cwsp/internal/faults"
@@ -35,6 +36,7 @@ import (
 	"cwsp/internal/runner"
 	"cwsp/internal/sim"
 	"cwsp/internal/telemetry"
+	"cwsp/internal/telemetry/live"
 	"cwsp/internal/workloads"
 )
 
@@ -52,6 +54,8 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persistent cell-result cache directory")
 		unsealed = flag.Bool("unsealed", false, "disable seal validation (negative control; campaign should fail)")
 		noShrink = flag.Bool("no-shrink", false, "skip shrinking the first failing cell")
+		httpAddr = flag.String("http", "", "serve the live observability endpoint (/metrics, /progress, /events, /debug/pprof) on this address")
+		progress = flag.Bool("progress", true, "live one-line progress/ETA ticker on stderr")
 	)
 	flag.Parse()
 
@@ -90,17 +94,43 @@ func main() {
 		Unsealed:       *unsealed,
 		Jobs:           *jobs,
 	}
+
+	// The ticker and the -http endpoint render the same bus, so the
+	// terminal line and a /progress scrape can never disagree.
+	var bus *live.Bus
+	liveAddr := ""
+	if *httpAddr != "" || *progress {
+		bus = live.NewBus()
+		opts.Bus = bus
+	}
+	if *httpAddr != "" {
+		srv := live.NewServer(bus)
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		liveAddr = addr
+		fmt.Fprintf(os.Stderr, "cwsptorture: live endpoint on http://%s (/metrics /progress /events /debug/pprof)\n", addr)
+		defer srv.Close()
+	}
+
 	if *cacheDir != "" {
 		st, err := runner.OpenStore(*cacheDir)
 		if err != nil {
 			fatal(err)
 		}
+		st.SetBus(bus)
 		opts.Store = st
 	}
 
 	fmt.Printf("campaign: seed %d, %d workloads x %d cells, depth %d, %d points%s\n",
 		*seed, len(targets), *n, *depth, *points, sealNote(*unsealed))
+	var tick *live.Ticker
+	if *progress {
+		tick = live.StartTicker(os.Stderr, bus, 500*time.Millisecond)
+	}
 	rep, prog, err := recovery.RunTorture(targets, opts)
+	tick.Stop()
 	if err != nil {
 		fatal(err)
 	}
@@ -126,6 +156,7 @@ func main() {
 		m.Workload = *wList
 		m.Scheme = opts.Sch.Name
 		m.Scale = *scale
+		m.LiveAddr = liveAddr
 		totals := t
 		m.Faults = &totals
 		width := *jobs

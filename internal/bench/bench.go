@@ -19,6 +19,7 @@ import (
 	"cwsp/internal/schemes"
 	"cwsp/internal/sim"
 	"cwsp/internal/stats"
+	"cwsp/internal/telemetry/live"
 	"cwsp/internal/workloads"
 )
 
@@ -40,6 +41,9 @@ type Options struct {
 	// NoResume disables serving cells from an existing cache: everything is
 	// recomputed and the store refreshed in place.
 	NoResume bool
+	// Bus, when set, receives live cell/flush/sim-progress events for the
+	// -http observability endpoint (see internal/telemetry/live).
+	Bus *live.Bus
 }
 
 // DefaultOptions runs at quick scale, silently.
@@ -336,6 +340,9 @@ func (h *Harness) simulate(w workloads.Workload, cfg sim.Config, sch sim.Scheme,
 	if err != nil {
 		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, sch.Name, err)
 	}
+	// Long cells report instruction progress to the live endpoint; a nil
+	// bus keeps the kernel's disabled path branch-identical to before.
+	m.SetLiveBus(h.Opt.Bus)
 	res, err := m.Run()
 	if err != nil {
 		return sim.Stats{}, fmt.Errorf("%s/%s: %w", w.Name, sch.Name, err)

@@ -9,11 +9,14 @@ import (
 	"cwsp/internal/workloads"
 )
 
-// resultsSalt is the code-version component of every cell's cache key. Bump
+// ResultsSalt is the code-version component of every cell's cache key. Bump
 // it whenever the simulator, compiler, or workload generators change
 // results: every previously cached cell is invalidated at once (old shards
-// are orphaned by signature, not deleted).
-const resultsSalt = "cwsp-sim-v1"
+// are orphaned by signature, not deleted). It is exported so run manifests
+// and bench-trajectory records can tie a sweep to its cache generation.
+const ResultsSalt = "cwsp-sim-v1"
+
+const resultsSalt = ResultsSalt
 
 // simPool is the cell executor every experiment of one harness shares.
 type simPool = *runner.Pool[sim.Stats]
@@ -72,6 +75,7 @@ func (h *Harness) ensurePool() (simPool, error) {
 			Jobs:  h.jobs(),
 			Reuse: !h.Opt.NoResume,
 			Log:   h.Opt.Log,
+			Bus:   h.Opt.Bus,
 		}
 		if h.Opt.CacheDir != "" {
 			store, err := runner.OpenStore(h.Opt.CacheDir)
@@ -79,11 +83,31 @@ func (h *Harness) ensurePool() (simPool, error) {
 				h.poolErr = err
 				return
 			}
+			store.SetBus(h.Opt.Bus)
 			opts.Store = store
 		}
-		h.pool = runner.NewPool[sim.Stats](opts)
+		pool := runner.NewPool[sim.Stats](opts)
+		h.mu.Lock()
+		h.pool = pool
+		h.mu.Unlock()
 	})
 	return h.pool, h.poolErr
+}
+
+// LiveHistograms is the live.HistSource behind the -http /metrics
+// endpoint: the pool's per-cell latency histogram, snapshotted per scrape
+// so an HTTP client never races the workers. Nil before any experiment
+// has gone through the pool.
+func (h *Harness) LiveHistograms() map[string]*telemetry.Histogram {
+	h.mu.Lock()
+	pool := h.pool
+	h.mu.Unlock()
+	if pool == nil {
+		return nil
+	}
+	return map[string]*telemetry.Histogram{
+		"cell_latency_us": pool.Progress().LatencySnapshot(),
+	}
 }
 
 // RunExperiment runs one experiment, fanning its simulation cells out to

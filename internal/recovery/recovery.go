@@ -13,6 +13,7 @@ import (
 	"cwsp/internal/ir"
 	"cwsp/internal/runner"
 	"cwsp/internal/sim"
+	"cwsp/internal/telemetry/live"
 )
 
 // CheckResult reports one crash/recovery experiment.
@@ -136,8 +137,10 @@ func sweepCycle(total int64, i, n int) int64 {
 // campaign scales with cores. Results are examined in crash-cycle order
 // regardless of completion order: the reported failure and checked count
 // are exactly what the serial Sweep would report, except that later crash
-// points have also been verified by the time it returns.
-func SweepParallel(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, n, jobs int) (*CheckResult, int, error) {
+// points have also been verified by the time it returns. A non-nil bus
+// receives the pool's cell events plus one RecoveryOutcome per verified
+// crash point (clean on match, diverged on mismatch).
+func SweepParallel(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, n, jobs int, bus *live.Bus) (*CheckResult, int, error) {
 	g, err := Golden(prog, cfg, sch, specs)
 	if err != nil {
 		return nil, 0, err
@@ -154,11 +157,19 @@ func SweepParallel(prog *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim
 				CfgSig:   fmt.Sprintf("%+v|specs=%+v|crash=%d", cfg, specs, crash),
 			},
 			Run: func() (*CheckResult, error) {
-				return Check(prog, cfg, sch, specs, crash, g)
+				r, err := Check(prog, cfg, sch, specs, crash, g)
+				if err == nil && bus != nil {
+					outcome := "clean"
+					if !r.Match {
+						outcome = "diverged"
+					}
+					bus.Publish(live.Event{Kind: live.RecoveryOutcome, Outcome: outcome, Crash: crash})
+				}
+				return r, err
 			},
 		})
 	}
-	pool := runner.NewPool[*CheckResult](runner.Options{Jobs: jobs})
+	pool := runner.NewPool[*CheckResult](runner.Options{Jobs: jobs, Bus: bus})
 	results, err := pool.Run(cells)
 	if err != nil {
 		return nil, 0, err

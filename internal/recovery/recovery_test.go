@@ -289,7 +289,7 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	failP, checkedP, err := SweepParallel(prog, cfg, sim.CWSP(), specs, 8, 4)
+	failP, checkedP, err := SweepParallel(prog, cfg, sim.CWSP(), specs, 8, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,8 +7,9 @@ import (
 	"cwsp/internal/faults"
 	"cwsp/internal/ir"
 	"cwsp/internal/runner"
-	"cwsp/internal/telemetry"
 	"cwsp/internal/sim"
+	"cwsp/internal/telemetry"
+	"cwsp/internal/telemetry/live"
 )
 
 // TortureReportSchemaVersion versions the campaign report format.
@@ -44,6 +45,11 @@ type TortureOptions struct {
 	// memoizes cells across invocations.
 	Jobs  int
 	Store *runner.Store
+	// Bus, when set, receives live campaign events: pool cell transitions
+	// plus one CrashInjected per resolved fault point and one
+	// RecoveryOutcome per completed cell (the -http endpoint and the
+	// progress ticker read from it). Nil disables at zero cost.
+	Bus *live.Bus
 }
 
 // TortureCell is one campaign cell's deterministic record.
@@ -160,13 +166,33 @@ func RunTorture(targets []TortureTarget, opts TortureOptions) (*TortureReport, *
 					CfgSig:   fmt.Sprintf("%+v|specs=%+v|plan=%s", cfg, t.Specs, spec),
 				},
 				Run: func() (*FaultResult, error) {
-					return CheckFaults(t.Prog, cfg, opts.Sch, t.Specs, plan, goldens[ti])
+					r, err := CheckFaults(t.Prog, cfg, opts.Sch, t.Specs, plan, goldens[ti])
+					if err == nil && opts.Bus != nil {
+						// Cached cells skip this path (they publish
+						// CellCached from the pool instead), so the bus
+						// counts only the faults actually re-injected
+						// this run.
+						for _, inj := range r.Injected {
+							opts.Bus.Publish(live.Event{
+								Kind:    live.CrashInjected,
+								Fault:   string(inj.Kind),
+								Crash:   int64(inj.Crash),
+								Skipped: inj.Skipped,
+							})
+						}
+						opts.Bus.Publish(live.Event{
+							Kind:    live.RecoveryOutcome,
+							Outcome: string(r.Outcome),
+							Crash:   int64(len(r.Crashes)),
+						})
+					}
+					return r, err
 				},
 			})
 		}
 	}
 
-	pool := runner.NewPool[*FaultResult](runner.Options{Jobs: opts.Jobs, Store: opts.Store, Reuse: opts.Store != nil})
+	pool := runner.NewPool[*FaultResult](runner.Options{Jobs: opts.Jobs, Store: opts.Store, Reuse: opts.Store != nil, Bus: opts.Bus})
 	results, err := pool.Run(cells)
 	if err != nil {
 		return nil, pool.Progress(), err

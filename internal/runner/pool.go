@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"cwsp/internal/telemetry/live"
 )
 
 // Options configure a pool.
@@ -27,6 +29,10 @@ type Options struct {
 	FlushEvery int
 	// Log, when set, receives one line per executed cell.
 	Log io.Writer
+	// Bus, when set, receives live cell/occupancy events (the substrate
+	// behind the -http observability endpoint). A nil bus costs one
+	// predictable branch per cell transition.
+	Bus *live.Bus
 }
 
 // Cell is one independent work unit: a content signature plus the function
@@ -86,6 +92,10 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 	start := time.Now()
 	defer func() { p.prog.addWall(time.Since(start)) }()
 	p.prog.addCells(len(cells))
+	bus := p.opts.Bus
+	bus.AddTotal(len(cells))
+	bus.Publish(live.Event{Kind: live.PoolOccupancy})
+	defer bus.Publish(live.Event{Kind: live.PoolOccupancy})
 
 	out := make([]R, len(cells))
 	errs := make([]error, len(cells))
@@ -112,6 +122,9 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 			if raw, ok := p.opts.Store.Get(cells[i].Key.Signature()); ok {
 				if err := json.Unmarshal(raw, &out[i]); err == nil {
 					p.prog.cellHit(true)
+					if bus != nil {
+						bus.Publish(live.Event{Kind: live.CellCached, Worker: -1, Cell: cells[i].Key.String()})
+					}
 					continue
 				}
 				// An undecodable record (result type changed without a salt
@@ -143,7 +156,7 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 		}
 		for w := 0; w < jobs; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for i := range queue {
 					select {
@@ -151,10 +164,23 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 						return
 					default:
 					}
+					var cellStart time.Time
+					if bus != nil {
+						cellStart = time.Now()
+						bus.Publish(live.Event{Kind: live.CellStarted, Worker: worker, Cell: cells[i].Key.String()})
+					}
 					if err := p.runCell(&cells[i], &out[i]); err != nil {
 						errs[i] = err
+						if bus != nil {
+							bus.Publish(live.Event{Kind: live.CellFinished, Worker: worker,
+								Cell: cells[i].Key.String(), DurUS: time.Since(cellStart).Microseconds(), Err: err.Error()})
+						}
 						stopOnce.Do(func() { close(stop) })
 						continue
+					}
+					if bus != nil {
+						bus.Publish(live.Event{Kind: live.CellFinished, Worker: worker,
+							Cell: cells[i].Key.String(), DurUS: time.Since(cellStart).Microseconds()})
 					}
 					if p.opts.Store != nil {
 						raw, err := json.Marshal(out[i])
@@ -173,7 +199,7 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 						flushMu.Unlock()
 					}
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 		for _, i := range leaders {
@@ -196,6 +222,9 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 		if leaderOf[i] != i {
 			out[i] = out[leaderOf[i]]
 			p.prog.cellHit(false)
+			if bus != nil {
+				bus.Publish(live.Event{Kind: live.CellCached, Worker: -1, Cell: cells[i].Key.String()})
+			}
 		}
 	}
 	return out, nil

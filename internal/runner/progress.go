@@ -117,6 +117,16 @@ func (p *Progress) Occupancy() *telemetry.Sampler { return p.occ }
 // Latency returns the per-executed-cell latency histogram (microseconds).
 func (p *Progress) Latency() *telemetry.Histogram { return p.lat }
 
+// LatencySnapshot returns a point-in-time copy of the latency histogram,
+// safe to read (e.g. render to /metrics) while workers keep observing —
+// the live Latency() pointer is only safe after every Run returned.
+func (p *Progress) LatencySnapshot() *telemetry.Histogram {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := *p.lat
+	return &h
+}
+
 // Info digests the progress for a run manifest.
 func (p *Progress) Info(jobs int) telemetry.RunnerInfo {
 	p.mu.Lock()

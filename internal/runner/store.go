@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"cwsp/internal/telemetry/live"
 )
 
 // storeVersion is embedded in every shard filename; bumping it orphans (but
@@ -37,6 +39,15 @@ type Store struct {
 	entries map[string]record   // signature → record (disk + pending)
 	dirty   map[string]struct{} // shards with unflushed entries
 	loaded  int                 // records read from disk at Open
+	bus     *live.Bus           // optional flush-event sink
+}
+
+// SetBus attaches a live event bus; every completed Flush publishes a
+// StoreFlush event (shards rewritten, records now on disk).
+func (s *Store) SetBus(b *live.Bus) {
+	s.mu.Lock()
+	s.bus = b
+	s.mu.Unlock()
 }
 
 // OpenStore opens (creating if needed) the cache directory and loads every
@@ -171,6 +182,9 @@ func (s *Store) Flush() error {
 			return fmt.Errorf("runner: flush: %w", err)
 		}
 		delete(s.dirty, sh)
+	}
+	if len(shards) > 0 && s.bus != nil {
+		s.bus.Publish(live.Event{Kind: live.StoreFlush, Shards: len(shards), Records: len(s.entries)})
 	}
 	return nil
 }

@@ -37,12 +37,27 @@ func b2i(b bool) int64 {
 
 // runFast advances the machine with the batched minimum-cycle scheduler.
 func (m *Machine) runFast(crash int64) error {
-	// Single-core machines (most sweeps) need no scheduling at all.
+	// Single-core machines (most sweeps) need no scheduling at all. The
+	// loop is written twice so that with no live bus attached the hot
+	// path carries zero extra per-instruction work — the simtest
+	// steady-state guards pin that path allocation-free and the bench
+	// trajectory pins its wall time.
 	if len(m.cores) == 1 {
 		c := m.cores[0]
-		for !c.done && c.cycle < crash {
-			if err := m.stepFast(c); err != nil {
-				return err
+		if m.lbus == nil {
+			for !c.done && c.cycle < crash {
+				if err := m.stepFast(c); err != nil {
+					return err
+				}
+			}
+		} else {
+			for !c.done && c.cycle < crash {
+				if err := m.stepFast(c); err != nil {
+					return err
+				}
+				if m.stats.Instrs >= m.liveNext {
+					m.publishSimProgress(c.cycle)
+				}
 			}
 		}
 		m.halted = true
@@ -72,11 +87,28 @@ func (m *Machine) runFast(crash int64) error {
 			m.halted = true
 			return nil
 		}
+		// Progress reporting piggybacks on the scheduling quantum: one
+		// check per scan (plus one per run-out batch below), never one
+		// per instruction, so the multicore hot loops stay untouched.
+		if m.lbus != nil && m.stats.Instrs >= m.liveNext {
+			m.publishSimProgress(c.cycle)
+		}
 		if !haveNext {
 			// Sole runnable core: run it out.
-			for !c.done && c.cycle < crash {
-				if err := m.stepFast(c); err != nil {
-					return err
+			if m.lbus == nil {
+				for !c.done && c.cycle < crash {
+					if err := m.stepFast(c); err != nil {
+						return err
+					}
+				}
+			} else {
+				for !c.done && c.cycle < crash {
+					if err := m.stepFast(c); err != nil {
+						return err
+					}
+					if m.stats.Instrs >= m.liveNext {
+						m.publishSimProgress(c.cycle)
+					}
 				}
 			}
 			continue

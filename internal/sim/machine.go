@@ -19,6 +19,7 @@ import (
 	"cwsp/internal/ir"
 	"cwsp/internal/mem"
 	"cwsp/internal/persist"
+	"cwsp/internal/telemetry/live"
 )
 
 // RegionInfo describes one dynamic region for the recovery runtime. The
@@ -131,6 +132,16 @@ type Machine struct {
 	// stays allocation-free.
 	tel   *Telemetry
 	stats Stats
+	// lbus is the optional live event bus (SetLiveBus): the fast kernel
+	// reports instruction/cycle progress deltas every liveSimEvery
+	// instructions so a campaign endpoint can watch long cells advance.
+	// Unlike tel/tracer it does NOT force the reference kernel — the
+	// probe sits outside the per-instruction hot path and is nil-guarded,
+	// preserving the zero-alloc steady state (see internal/simtest).
+	lbus       *live.Bus
+	liveNext   int64 // instruction count that triggers the next report
+	liveInstrs int64 // last reported cumulative instructions
+	liveCycles int64 // last reported core-local cycle
 	// halted records that RunUntil drained every runnable core (all done
 	// or frozen at the crash cycle).
 	halted bool
@@ -327,6 +338,35 @@ func (m *Machine) RunUntil(crash int64) error {
 		return m.runReference(crash)
 	}
 	return m.runFast(crash)
+}
+
+// liveSimEvery is how many instructions the fast kernel executes between
+// SimProgress reports. Coarse on purpose: the check is hoisted out of the
+// per-instruction path wherever possible, and one event per ~4M
+// instructions is ample resolution for a progress endpoint.
+const liveSimEvery = 4 << 20
+
+// SetLiveBus attaches a live event bus. The fast kernel publishes
+// SimProgress deltas (instructions and core-local cycles advanced since
+// the previous report); a nil bus restores the exact disabled path. The
+// attachment never changes simulation results — it only reads counters.
+func (m *Machine) SetLiveBus(b *live.Bus) {
+	m.lbus = b
+	m.liveNext = m.stats.Instrs + liveSimEvery
+	m.liveInstrs = m.stats.Instrs
+}
+
+// publishSimProgress emits one SimProgress delta and re-arms the trigger.
+func (m *Machine) publishSimProgress(cycle int64) {
+	d := m.stats.Instrs - m.liveInstrs
+	dc := cycle - m.liveCycles
+	if dc < 0 {
+		dc = 0 // a different core's local clock may lag the last reporter
+	}
+	m.liveInstrs = m.stats.Instrs
+	m.liveCycles = cycle
+	m.liveNext = m.stats.Instrs + liveSimEvery
+	m.lbus.Publish(live.Event{Kind: live.SimProgress, Instrs: d, Cycles: dc})
 }
 
 func (m *Machine) result() *Result {

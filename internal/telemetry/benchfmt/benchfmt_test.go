@@ -1,0 +1,240 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cwsp/internal/telemetry"
+)
+
+// sample returns a plausible smoke record; tests mutate copies of it.
+func sample() *Record {
+	r := New("smoke", "cwspbench")
+	r.Salt = "cwsp-sim-v1"
+	r.Scale = "smoke"
+	r.Experiments = []string{"fig06"}
+	r.Jobs = 4
+	r.WallMS = 2000
+	r.Cells = 40
+	r.CacheHits = 10
+	r.Executed = 30
+	r.CellsPerSec = 15
+	r.Allocs = 1_000_000
+	r.AllocBytes = 64_000_000
+	r.CellLatencyUS = Quantiles{P50: 50_000, P95: 90_000, P99: 120_000}
+	return r
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	r := sample()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "smoke" || back.Cells != 40 || back.CellLatencyUS != r.CellLatencyUS {
+		t.Fatalf("round trip mangled the record: %+v", back)
+	}
+	if back.Host.GoVersion == "" || back.Host.OS == "" {
+		t.Fatalf("host fingerprint missing: %+v", back.Host)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	r := sample()
+	r.SchemaVersion = 99
+	if err := r.Validate(); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	r = sample()
+	r.Name = ""
+	if err := r.Validate(); err == nil {
+		t.Fatal("nameless record accepted")
+	}
+}
+
+func TestNameFromPath(t *testing.T) {
+	for path, want := range map[string]string{
+		"BENCH_smoke.json":          "smoke",
+		"baselines/BENCH_full.json": "full",
+		"/tmp/x/BENCH_kernel.json":  "kernel",
+		"custom.json":               "custom",
+		"BENCH_multi_word.json":     "multi_word",
+	} {
+		if got := NameFromPath(path); got != want {
+			t.Fatalf("NameFromPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	base, cur := sample(), sample()
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		var sb strings.Builder
+		cmp.Write(&sb)
+		t.Fatalf("identical records failed:\n%s", sb.String())
+	}
+	if !cmp.HostsMatch {
+		t.Fatal("same-host records reported as differing hosts")
+	}
+}
+
+// TestCompareLatencyRegression: a >tol latency regression past the noise
+// floor fails on a matching host.
+func TestCompareLatencyRegression(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.CellLatencyUS.P50 = base.CellLatencyUS.P50 * 1.5 // +50%, +25ms
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() {
+		t.Fatal("50% p50 regression passed")
+	}
+	// The same regression on a different host is advisory only.
+	cur.Host.CPU = "other-cpu"
+	cmp, err = Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		t.Fatal("cross-host wall regression enforced without Strict")
+	}
+	// ... unless Strict.
+	cmp, err = Compare(base, cur, CompareOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() {
+		t.Fatal("Strict did not enforce the cross-host regression")
+	}
+}
+
+// TestCompareNoiseFloor: a big ratio on a tiny absolute delta must pass —
+// millisecond-scale smoke cells jitter more than 15%.
+func TestCompareNoiseFloor(t *testing.T) {
+	base, cur := sample(), sample()
+	base.CellLatencyUS = Quantiles{P50: 800, P95: 1500, P99: 1800}
+	cur.CellLatencyUS = Quantiles{P50: 1300, P95: 2600, P99: 3100} // +62% but < 2ms absolute
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		var sb strings.Builder
+		cmp.Write(&sb)
+		t.Fatalf("sub-noise-floor latency delta failed the gate:\n%s", sb.String())
+	}
+}
+
+// TestCompareCellsMismatch: the tracked sweep silently changing shape is
+// always an error, regardless of host.
+func TestCompareCellsMismatch(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.Cells = 39
+	cur.Host.CPU = "other-cpu"
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() {
+		t.Fatal("cell-count mismatch passed")
+	}
+}
+
+// TestCompareFullyCached: a warm rerun (nothing executed) has no latency
+// signal; the gate must not fail on the zero quantiles.
+func TestCompareFullyCached(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.Executed = 0
+	cur.CacheHits = cur.Cells
+	cur.CellsPerSec = 0
+	cur.CellLatencyUS = Quantiles{}
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		var sb strings.Builder
+		cmp.Write(&sb)
+		t.Fatalf("fully cached rerun failed:\n%s", sb.String())
+	}
+}
+
+// TestComparePersistCycles: simulated-cycle quantiles are deterministic,
+// so they gate without a noise floor and across hosts.
+func TestComparePersistCycles(t *testing.T) {
+	base, cur := sample(), sample()
+	base.PersistLatCycles = &Quantiles{P50: 100, P95: 200, P99: 300}
+	cur.PersistLatCycles = &Quantiles{P50: 120, P95: 200, P99: 300} // +20%
+	cur.Host.CPU = "other-cpu"
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() {
+		t.Fatal("20% persist-cycle regression passed")
+	}
+}
+
+func TestCompareDifferentTrajectories(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.Name = "full"
+	if _, err := Compare(base, cur, CompareOptions{}); err == nil {
+		t.Fatal("cross-trajectory compare accepted")
+	}
+}
+
+// TestCompareSaltChange: a salt change is surfaced as an advisory delta,
+// never a hard failure (the comparison's job is performance, the salt's
+// job is cache identity).
+func TestCompareSaltChange(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.Salt = "cwsp-sim-v2"
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		t.Fatal("salt change failed the gate")
+	}
+	found := false
+	for _, d := range cmp.Deltas {
+		if d.Metric == "salt" && d.Regressed && !d.Enforced {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("salt change not surfaced: %+v", cmp.Deltas)
+	}
+}
+
+// TestFromRunner maps a manifest runner digest onto the record.
+func TestFromRunner(t *testing.T) {
+	r := New("smoke", "cwspbench")
+	r.FromRunner(&telemetry.RunnerInfo{
+		Jobs: 8, Cells: 100, CacheHits: 40, Shared: 10, Executed: 50, WallMS: 5000,
+		CellLatencyUS: &telemetry.HistSummary{P50: 1, P95: 2, P99: 3},
+	})
+	if r.Jobs != 8 || r.Cells != 100 || r.Executed != 50 {
+		t.Fatalf("runner fields: %+v", r)
+	}
+	if r.CellsPerSec != 10 {
+		t.Fatalf("cells/sec %v, want 10", r.CellsPerSec)
+	}
+	if r.CellLatencyUS != (Quantiles{P50: 1, P95: 2, P99: 3}) {
+		t.Fatalf("latency quantiles: %+v", r.CellLatencyUS)
+	}
+	r.FromRunner(nil) // must be a no-op, not a panic
+	if r.Jobs != 8 {
+		t.Fatal("nil RunnerInfo mutated the record")
+	}
+}

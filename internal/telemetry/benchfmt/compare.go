@@ -1,0 +1,186 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+)
+
+// CompareOptions tune the regression gate.
+type CompareOptions struct {
+	// Tol is the fractional regression tolerance for enforced performance
+	// metrics (default 0.15: fail on >15% regression).
+	Tol float64
+	// Strict enforces wall-clock metrics even across differing host
+	// fingerprints (off by default: a baseline recorded on one machine is
+	// only advisory on another).
+	Strict bool
+	// MinLatencyUS is the absolute noise floor for latency gates: a
+	// quantile must regress by both Tol *and* this many microseconds to
+	// fail (default 2000). Smoke sweeps run millisecond-scale cells whose
+	// scheduler jitter alone can exceed a pure ratio gate.
+	MinLatencyUS float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Tol <= 0 {
+		o.Tol = 0.15
+	}
+	if o.MinLatencyUS <= 0 {
+		o.MinLatencyUS = 2000
+	}
+	return o
+}
+
+// Delta is one compared metric.
+type Delta struct {
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Ratio is New/Old oriented so that > 1 means worse (latency grew or
+	// throughput shrank); 0 when Old is 0.
+	Ratio float64 `json:"ratio"`
+	// Enforced deltas can fail the comparison; advisory ones only report.
+	Enforced  bool   `json:"enforced"`
+	Regressed bool   `json:"regressed"`
+	Note      string `json:"note,omitempty"`
+}
+
+// Comparison is the outcome of one baseline-vs-current check.
+type Comparison struct {
+	Baseline string  `json:"baseline"`
+	Current  string  `json:"current"`
+	Tol      float64 `json:"tol"`
+	// HostsMatch records whether wall-clock gates were enforceable.
+	HostsMatch bool    `json:"hosts_match"`
+	Deltas     []Delta `json:"deltas"`
+}
+
+// Failed reports whether any enforced metric regressed.
+func (c *Comparison) Failed() bool {
+	for _, d := range c.Deltas {
+		if d.Enforced && d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Write renders the comparison as a human-readable table.
+func (c *Comparison) Write(w io.Writer) {
+	fmt.Fprintf(w, "bench-check: %s vs baseline %s (tol %.0f%%, hosts match: %v)\n",
+		c.Current, c.Baseline, c.Tol*100, c.HostsMatch)
+	for _, d := range c.Deltas {
+		status := "ok"
+		switch {
+		case d.Regressed && d.Enforced:
+			status = "REGRESSED"
+		case d.Regressed:
+			status = "regressed (advisory)"
+		case !d.Enforced:
+			status = "advisory"
+		}
+		note := d.Note
+		if note != "" {
+			note = " — " + note
+		}
+		fmt.Fprintf(w, "  %-22s %12.2f -> %-12.2f x%-6.3f %s%s\n",
+			d.Metric, d.Old, d.New, d.Ratio, status, note)
+	}
+}
+
+// Compare gates cur against base. The structural metrics (cell counts:
+// the sweep must still be the same sweep) are always enforced; latency
+// quantiles are enforced when both records executed cells and the host
+// fingerprints match (or Strict); pure wall-clock metrics (wall_ms,
+// cells/sec) are advisory unless Strict, since they fold in scheduler and
+// I/O noise that the per-cell latency median does not.
+func Compare(base, cur *Record, opt CompareOptions) (*Comparison, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := cur.Validate(); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if base.Name != cur.Name {
+		return nil, fmt.Errorf("benchfmt: comparing different trajectories: %q vs %q", base.Name, cur.Name)
+	}
+	opt = opt.withDefaults()
+	c := &Comparison{Baseline: base.Name, Current: cur.Name, Tol: opt.Tol,
+		HostsMatch: base.Host.Equal(cur.Host)}
+	timed := opt.Strict || c.HostsMatch
+	ran := base.Executed > 0 && cur.Executed > 0
+
+	// Structure: the tracked sweep must not silently shrink or grow.
+	cells := Delta{Metric: "cells", Old: float64(base.Cells), New: float64(cur.Cells), Enforced: true}
+	if base.Cells > 0 {
+		cells.Ratio = float64(cur.Cells) / float64(base.Cells)
+	}
+	cells.Regressed = base.Cells != cur.Cells
+	if cells.Regressed {
+		cells.Note = "cell count changed; refresh the baseline (make bench-baseline)"
+	}
+	c.Deltas = append(c.Deltas, cells)
+
+	if base.Salt != cur.Salt {
+		c.Deltas = append(c.Deltas, Delta{
+			Metric: "salt", Enforced: false, Regressed: true,
+			Note: fmt.Sprintf("code-version salt changed (%s -> %s): cache populations are incomparable", base.Salt, cur.Salt),
+		})
+	}
+
+	// Latency quantiles: robust to load, enforced with a noise floor.
+	lat := func(metric string, old, new float64, enforced bool, floorMul float64) {
+		d := Delta{Metric: metric, Old: old, New: new, Enforced: enforced}
+		if old > 0 {
+			d.Ratio = new / old
+		}
+		d.Regressed = old > 0 && new > old*(1+opt.Tol) && new-old > opt.MinLatencyUS*floorMul
+		if !ran {
+			d.Enforced = false
+			d.Note = "sweep fully cached; no executed-cell latencies"
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	lat("cell_latency_us.p50", base.CellLatencyUS.P50, cur.CellLatencyUS.P50, timed, 1)
+	lat("cell_latency_us.p95", base.CellLatencyUS.P95, cur.CellLatencyUS.P95, timed, 2.5)
+	lat("cell_latency_us.p99", base.CellLatencyUS.P99, cur.CellLatencyUS.P99, false, 1)
+
+	if base.PersistLatCycles != nil && cur.PersistLatCycles != nil {
+		// Simulated cycles are deterministic: no noise floor needed.
+		p := func(metric string, old, new float64) {
+			d := Delta{Metric: metric, Old: old, New: new, Enforced: true}
+			if old > 0 {
+				d.Ratio = new / old
+			}
+			d.Regressed = old > 0 && new > old*(1+opt.Tol)
+			c.Deltas = append(c.Deltas, d)
+		}
+		p("persist_lat_cycles.p50", base.PersistLatCycles.P50, cur.PersistLatCycles.P50)
+		p("persist_lat_cycles.p95", base.PersistLatCycles.P95, cur.PersistLatCycles.P95)
+		p("persist_lat_cycles.p99", base.PersistLatCycles.P99, cur.PersistLatCycles.P99)
+	}
+
+	// Wall-clock: advisory unless Strict (noise-dominated in CI).
+	wall := Delta{Metric: "wall_ms", Old: float64(base.WallMS), New: float64(cur.WallMS), Enforced: opt.Strict}
+	if base.WallMS > 0 {
+		wall.Ratio = float64(cur.WallMS) / float64(base.WallMS)
+	}
+	wall.Regressed = ran && base.WallMS > 0 && float64(cur.WallMS) > float64(base.WallMS)*(1+opt.Tol)
+	c.Deltas = append(c.Deltas, wall)
+
+	cps := Delta{Metric: "cells_per_sec", Old: base.CellsPerSec, New: cur.CellsPerSec, Enforced: opt.Strict}
+	if cur.CellsPerSec > 0 {
+		cps.Ratio = base.CellsPerSec / cur.CellsPerSec // >1 = slower now
+	}
+	cps.Regressed = ran && base.CellsPerSec > 0 && cur.CellsPerSec < base.CellsPerSec/(1+opt.Tol)
+	c.Deltas = append(c.Deltas, cps)
+
+	allocs := Delta{Metric: "allocs", Old: float64(base.Allocs), New: float64(cur.Allocs), Enforced: false}
+	if base.Allocs > 0 {
+		allocs.Ratio = float64(cur.Allocs) / float64(base.Allocs)
+	}
+	allocs.Regressed = ran && base.Allocs > 0 && float64(cur.Allocs) > float64(base.Allocs)*(1+opt.Tol)
+	c.Deltas = append(c.Deltas, allocs)
+
+	return c, nil
+}

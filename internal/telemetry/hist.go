@@ -93,14 +93,37 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns an upper bound on the p-th percentile (0..100) at
 // bucket resolution: the upper bound of the bucket holding the
-// nearest-rank sample, clamped to the observed max. Empty histograms
-// return 0.
+// nearest-rank sample, clamped to the observed max.
+//
+// Edge semantics are pinned (tests and the Prometheus renderer rely on
+// them): an empty histogram returns 0 for every p, and a histogram whose
+// samples all landed in one bucket returns that bucket's midpoint clamped
+// to the observed [min, max] — the upper bound would systematically
+// overstate a narrow distribution by up to 2x, which a regression gate
+// comparing quantiles must not inherit.
 func (h *Histogram) Quantile(p float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
 	if p <= 0 {
 		return float64(h.Min())
+	}
+	for b := 0; b < numBuckets; b++ {
+		if h.counts[b] == 0 {
+			continue
+		}
+		if h.counts[b] == h.count {
+			lo, hi := BucketBounds(b)
+			mid := (float64(lo) + float64(hi)) / 2
+			if mid < float64(h.min) {
+				mid = float64(h.min)
+			}
+			if mid > float64(h.max) {
+				mid = float64(h.max)
+			}
+			return mid
+		}
+		break
 	}
 	rank := int64(p / 100 * float64(h.count))
 	if float64(rank) < p/100*float64(h.count) {

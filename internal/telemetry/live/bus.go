@@ -1,0 +1,239 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// subBuf is the default per-subscriber ring depth. A subscriber that
+// cannot drain this many events between two publishes starts losing
+// events (counted, never blocking the publisher).
+const subBuf = 256
+
+// Sub is one bus subscription: a buffered event channel plus its drop
+// counter. Receive from C; call the bus's Unsubscribe when done.
+type Sub struct {
+	C       chan Event
+	dropped atomic.Int64
+}
+
+// Dropped returns how many events this subscriber lost to a full buffer.
+func (s *Sub) Dropped() int64 { return s.dropped.Load() }
+
+// Bus is the live event fan-out point. Publish is lock-free on the hot
+// path: running totals are atomics, the subscriber list is an atomically
+// swapped copy-on-write slice, and a slow subscriber's full channel drops
+// the event for that subscriber rather than blocking the publisher — the
+// hot path (a pool worker between simulation cells, or the simulation
+// kernel itself) never waits on an HTTP client. A nil *Bus is a valid
+// disabled bus: every method is a nil-guarded no-op.
+type Bus struct {
+	seq     atomic.Uint64
+	startNS atomic.Int64 // unix nanos of the first event (ETA base)
+
+	total    atomic.Int64 // cells submitted (AddTotal)
+	done     atomic.Int64 // cached + executed
+	cached   atomic.Int64 // served without executing
+	executed atomic.Int64
+	active   atomic.Int64 // cells currently running
+	failed   atomic.Int64 // finished with Err
+
+	crashes  atomic.Int64 // fault points landed
+	skipped  atomic.Int64 // fault points with no eligible victim
+	clean    atomic.Int64
+	detected atomic.Int64
+	diverged atomic.Int64
+	errored  atomic.Int64
+
+	flushes      atomic.Int64
+	flushRecords atomic.Int64 // records on disk after the latest flush
+
+	simInstrs atomic.Int64 // cumulative simulated instructions
+	simCycles atomic.Int64
+
+	counts  [numKinds]atomic.Int64
+	dropped atomic.Int64 // events lost across all subscribers
+
+	mu      sync.Mutex // guards subs swap and the worker table
+	subs    atomic.Pointer[[]*Sub]
+	workers map[int]workerView
+}
+
+// workerView is the latest known state of one pool worker.
+type workerView struct {
+	cell    string
+	startNS int64 // 0 = idle
+	done    int64 // cells this worker completed
+}
+
+// NewBus builds an enabled bus.
+func NewBus() *Bus { return &Bus{workers: map[int]workerView{}} }
+
+// Enabled reports whether publishing reaches anything.
+func (b *Bus) Enabled() bool { return b != nil }
+
+// AddTotal announces n more expected cells (the denominator of /progress).
+func (b *Bus) AddTotal(n int) {
+	if b == nil || n == 0 {
+		return
+	}
+	b.startNS.CompareAndSwap(0, time.Now().UnixNano())
+	b.total.Add(int64(n))
+}
+
+// Publish stamps and fans out one event. Safe for concurrent use; a nil
+// bus ignores the call. The running totals stamped onto the event are the
+// post-update values, so a subscriber can render progress from any single
+// event without further queries.
+func (b *Bus) Publish(e Event) {
+	if b == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	b.startNS.CompareAndSwap(0, now)
+	e.Seq = b.seq.Add(1)
+	e.TimeUnixNS = now
+	if int(e.Kind) < len(b.counts) {
+		b.counts[e.Kind].Add(1)
+	}
+
+	switch e.Kind {
+	case CellStarted:
+		b.active.Add(1)
+	case CellFinished:
+		b.active.Add(-1)
+		b.done.Add(1)
+		b.executed.Add(1)
+		if e.Err != "" {
+			b.failed.Add(1)
+		}
+	case CellCached:
+		b.done.Add(1)
+		b.cached.Add(1)
+	case CrashInjected:
+		if e.Skipped {
+			b.skipped.Add(1)
+		} else {
+			b.crashes.Add(1)
+		}
+	case RecoveryOutcome:
+		switch e.Outcome {
+		case "clean":
+			b.clean.Add(1)
+		case "detected":
+			b.detected.Add(1)
+		case "diverged":
+			b.diverged.Add(1)
+		default:
+			b.errored.Add(1)
+		}
+	case StoreFlush:
+		b.flushes.Add(1)
+		b.flushRecords.Store(int64(e.Records))
+	case SimProgress:
+		b.simInstrs.Add(e.Instrs)
+		b.simCycles.Add(e.Cycles)
+	}
+
+	e.Active = b.active.Load()
+	e.Done = b.done.Load()
+	e.Total = b.total.Load()
+
+	switch e.Kind {
+	case CellStarted, CellFinished, CellCached:
+		b.updateWorker(e)
+	}
+
+	if subs := b.subs.Load(); subs != nil {
+		for _, s := range *subs {
+			select {
+			case s.C <- e:
+			default:
+				s.dropped.Add(1)
+				b.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// updateWorker maintains the per-worker state table behind /progress.
+// Only cell events (a few per millisecond at most — cells are whole
+// simulations) take this lock; the simulation kernel's SimProgress path
+// never does.
+func (b *Bus) updateWorker(e Event) {
+	b.mu.Lock()
+	w := b.workers[e.Worker]
+	switch e.Kind {
+	case CellStarted:
+		w.cell, w.startNS = e.Cell, e.TimeUnixNS
+	case CellFinished, CellCached:
+		w.cell, w.startNS = "", 0
+		w.done++
+	}
+	b.workers[e.Worker] = w
+	b.mu.Unlock()
+}
+
+// Subscribe registers a new subscriber with the default buffer depth.
+func (b *Bus) Subscribe() *Sub { return b.SubscribeBuf(subBuf) }
+
+// SubscribeBuf registers a subscriber with an explicit buffer depth.
+// Returns nil on a nil bus.
+func (b *Bus) SubscribeBuf(depth int) *Sub {
+	if b == nil {
+		return nil
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s := &Sub{C: make(chan Event, depth)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var cur []*Sub
+	if p := b.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*Sub, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, s)
+	b.subs.Store(&next)
+	return s
+}
+
+// Unsubscribe removes a subscriber; its channel is not closed (a racing
+// Publish may still be sending), the subscriber simply stops receiving.
+func (b *Bus) Unsubscribe(s *Sub) {
+	if b == nil || s == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.subs.Load()
+	if p == nil {
+		return
+	}
+	next := make([]*Sub, 0, len(*p))
+	for _, cur := range *p {
+		if cur != s {
+			next = append(next, cur)
+		}
+	}
+	b.subs.Store(&next)
+}
+
+// Dropped returns the total events lost to slow subscribers.
+func (b *Bus) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped.Load()
+}
+
+// KindCount returns how many events of one kind were published.
+func (b *Bus) KindCount(k Kind) int64 {
+	if b == nil || int(k) >= len(b.counts) {
+		return 0
+	}
+	return b.counts[k].Load()
+}

@@ -1,0 +1,168 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+
+	"cwsp/internal/telemetry"
+)
+
+// HistSource supplies named histograms for /metrics scrapes. Providers
+// are called at scrape time, so the rendered buckets always reflect the
+// live state (telemetry.Histogram observation is single-writer in this
+// codebase; scraping reads a consistent-enough view for monitoring).
+type HistSource func() map[string]*telemetry.Histogram
+
+// WriteProm renders the bus counters and every provided histogram in the
+// Prometheus text exposition format (version 0.0.4). All series carry the
+// cwsp_ prefix so a shared scrape config can select them.
+func WriteProm(w io.Writer, b *Bus, sources []HistSource) error {
+	s := b.Snapshot()
+	pw := &promWriter{w: w}
+
+	pw.gauge("cwsp_cells_total", "Cells submitted to the pool.", float64(s.Total))
+	pw.gauge("cwsp_cells_done", "Cells completed (cached + executed).", float64(s.Done))
+	pw.gauge("cwsp_cells_active", "Cells currently executing.", float64(s.Active))
+	pw.counter("cwsp_cells_cached_total", "Cells served without executing.", float64(s.Cached))
+	pw.counter("cwsp_cells_executed_total", "Cells actually executed.", float64(s.Executed))
+	pw.counter("cwsp_cells_failed_total", "Cells that finished with an error.", float64(s.Failed))
+	pw.gauge("cwsp_cache_hit_ratio", "Cached/done cells.", s.HitRatio)
+	pw.gauge("cwsp_cells_per_sec", "Observed completion rate.", s.CellsPerSec)
+
+	pw.counter("cwsp_crashes_injected_total", "Fault points that landed.", float64(s.CrashesInjected))
+	pw.counter("cwsp_crashes_skipped_total", "Fault points with no eligible victim.", float64(s.CrashesSkipped))
+	pw.head("cwsp_recovery_outcomes_total", "Recovery experiment outcomes.", "counter")
+	for _, oc := range []struct {
+		label string
+		v     int64
+	}{{"clean", s.Clean}, {"detected", s.Detected}, {"diverged", s.Diverged}, {"error", s.Errors}} {
+		pw.line(fmt.Sprintf("cwsp_recovery_outcomes_total{outcome=%q} %s", oc.label, fnum(float64(oc.v))))
+	}
+
+	pw.counter("cwsp_store_flushes_total", "Persistent store shard flushes.", float64(s.StoreFlushes))
+	pw.gauge("cwsp_store_records", "Records on disk after the latest flush.", float64(s.StoreRecords))
+	pw.counter("cwsp_sim_instrs_total", "Simulated instructions reported by live machines.", float64(s.SimInstrs))
+	pw.counter("cwsp_sim_cycles_total", "Simulated cycles reported by live machines.", float64(s.SimCycles))
+
+	pw.counter("cwsp_events_published_total", "Events published on the bus.", float64(s.EventsPublished))
+	pw.counter("cwsp_events_dropped_total", "Events dropped at slow subscribers.", float64(s.EventsDropped))
+	if b != nil {
+		pw.head("cwsp_events_by_kind_total", "Events published, by kind.", "counter")
+		for k := Kind(1); k < numKinds; k++ {
+			pw.line(fmt.Sprintf("cwsp_events_by_kind_total{kind=%q} %s", k.String(), fnum(float64(b.KindCount(k)))))
+		}
+	}
+
+	pw.gauge("cwsp_goroutines", "Goroutines in the serving process.", float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pw.gauge("cwsp_heap_alloc_bytes", "Live heap bytes.", float64(ms.HeapAlloc))
+	pw.counter("cwsp_mallocs_total", "Cumulative heap objects allocated.", float64(ms.Mallocs))
+
+	for _, src := range sources {
+		if src == nil {
+			continue
+		}
+		hists := src()
+		names := make([]string, 0, len(hists))
+		for n := range hists {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			writeHist(pw, n, hists[n])
+		}
+	}
+	return pw.err
+}
+
+// writeHist renders one log2-bucketed telemetry.Histogram as a Prometheus
+// histogram (cumulative le series from the bucket upper bounds) plus
+// _p50/_p95/_p99 gauges computed by Histogram.Quantile — including its
+// pinned edge semantics: an empty histogram reports 0 and a single-bucket
+// histogram reports the clamped bucket midpoint.
+func writeHist(pw *promWriter, name string, h *telemetry.Histogram) {
+	if h == nil {
+		return
+	}
+	mn := "cwsp_" + promName(name)
+	pw.head(mn, "Log2-bucketed histogram "+name+".", "histogram")
+	cum := int64(0)
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		pw.line(fmt.Sprintf("%s_bucket{le=%q} %d", mn, fnum(float64(b.Hi)), cum))
+	}
+	pw.line(fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", mn, h.Count()))
+	pw.line(fmt.Sprintf("%s_sum %d", mn, h.Sum()))
+	pw.line(fmt.Sprintf("%s_count %d", mn, h.Count()))
+	for _, q := range []struct {
+		suffix string
+		p      float64
+	}{{"_p50", 50}, {"_p95", 95}, {"_p99", 99}} {
+		pw.gauge(mn+q.suffix, "", h.Quantile(q.p))
+	}
+}
+
+// promName maps internal histogram names (persist_lat, stall.pb,
+// cell_latency_us) onto the Prometheus name charset.
+func promName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promWriter accumulates the first write error instead of forcing error
+// checks at every exposition line.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) line(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s+"\n")
+}
+
+func (p *promWriter) head(name, help, typ string) {
+	if help != "" {
+		p.line("# HELP " + name + " " + help)
+	}
+	p.line("# TYPE " + name + " " + typ)
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	p.head(name, help, "gauge")
+	p.line(name + " " + fnum(v))
+}
+
+func (p *promWriter) counter(name, help string, v float64) {
+	p.head(name, help, "counter")
+	p.line(name + " " + fnum(v))
+}
+
+// fnum formats a sample value: integral values print without an exponent
+// or trailing zeros so the exposition stays human-diffable.
+func fnum(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,173 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the HTTP observability endpoint a campaign CLI mounts with
+// -http. Routes:
+//
+//	/metrics       Prometheus text-format counters, gauges, histograms
+//	/progress      JSON Snapshot (cells done/total, hit ratio, ETA, workers)
+//	/events        Server-Sent Events stream of the bus
+//	/debug/pprof/  net/http/pprof (profile a hot sweep while it runs)
+//	/              plain-text index of the above
+//
+// The server holds no campaign state of its own: everything is rendered
+// from the Bus (and registered histogram sources) at request time, so the
+// same server instance serves any number of sequential sweeps.
+type Server struct {
+	bus *Bus
+
+	mu      sync.Mutex
+	sources []HistSource
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer builds a server over the bus (which may be shared with any
+// number of publishers).
+func NewServer(b *Bus) *Server { return &Server{bus: b} }
+
+// Bus returns the server's bus.
+func (s *Server) Bus() *Bus { return s.bus }
+
+// RegisterHistograms adds a histogram source rendered into /metrics
+// (e.g. the runner pool's cell-latency histogram, or a simulator
+// telemetry attachment's persist-latency histograms).
+func (s *Server) RegisterHistograms(src HistSource) {
+	if s == nil || src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
+
+func (s *Server) sourcesCopy() []HistSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]HistSource(nil), s.sources...)
+}
+
+// Handler returns the route mux (exported for tests and for embedding
+// into a larger daemon mux — the cwspd service will mount it unchanged).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (":0" picks a free port) and serves in a background
+// goroutine, returning the bound address. Call Close to stop.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and any in-flight handlers (SSE streams see
+// their request context cancelled).
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "cwsp live observability endpoint\n\n")
+	fmt.Fprintf(w, "  /metrics       Prometheus text format\n")
+	fmt.Fprintf(w, "  /progress      JSON progress snapshot\n")
+	fmt.Fprintf(w, "  /events        SSE event stream\n")
+	fmt.Fprintf(w, "  /debug/pprof/  pprof profiles\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteProm(w, s.bus, s.sourcesCopy())
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.bus.Snapshot())
+}
+
+// handleEvents streams the bus over SSE. Each event is emitted as
+//
+//	event: <kind>
+//	id: <seq>
+//	data: <event JSON>
+//
+// A slow client loses events (the bus drops at the subscription buffer,
+// never blocking publishers) but the stream itself stays live; a comment
+// heartbeat keeps idle connections from timing out.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := s.bus.SubscribeBuf(1024)
+	if sub == nil {
+		http.Error(w, "no event bus attached", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.bus.Unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprintf(w, ": cwsp live events\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprintf(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case e := <-sub.C:
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", e.Kind, e.Seq, data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

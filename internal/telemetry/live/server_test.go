@@ -1,0 +1,241 @@
+package live_test
+
+// The server tests live in an external test package so they can drive the
+// real runner pool against the endpoint: internal/runner imports live, so
+// an in-package test importing runner would be an import cycle.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cwsp/internal/runner"
+	"cwsp/internal/telemetry"
+	"cwsp/internal/telemetry/live"
+)
+
+// get fetches a URL with a deadline and returns the body.
+func get(t *testing.T, url string) string {
+	t.Helper()
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestEndpointMidSweep is the acceptance integration test: while a runner
+// pool is mid-campaign (cells gated on a channel), /metrics and /progress
+// must serve live state — nonzero active cells, the campaign total, and a
+// running worker — and after release they must settle to the final tallies.
+func TestEndpointMidSweep(t *testing.T) {
+	bus := live.NewBus()
+	srv := live.NewServer(bus)
+	// Observed by concurrent workers and scraped by HTTP handlers, so —
+	// like the real bench harness — the source serves locked snapshots.
+	var histMu sync.Mutex
+	hist := telemetry.NewHistogram("cell_latency_us")
+	srv.RegisterHistograms(func() map[string]*telemetry.Histogram {
+		histMu.Lock()
+		defer histMu.Unlock()
+		snap := *hist
+		return map[string]*telemetry.Histogram{"cell_latency_us": &snap}
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	const n = 4
+	gate := make(chan struct{})
+	started := make(chan int, n)
+	cells := make([]runner.Cell[int], n)
+	for i := range cells {
+		i := i
+		cells[i] = runner.Cell[int]{
+			Key: runner.Key{Kind: "test", Workload: fmt.Sprintf("w%d", i)},
+			Run: func() (int, error) {
+				started <- i
+				<-gate
+				histMu.Lock()
+				hist.Observe(int64(1000 * (i + 1)))
+				histMu.Unlock()
+				return i * i, nil
+			},
+		}
+	}
+	pool := runner.NewPool[int](runner.Options{Jobs: 2, Bus: bus})
+	poolDone := make(chan error, 1)
+	var results []int
+	go func() {
+		var err error
+		results, err = pool.Run(cells)
+		poolDone <- err
+	}()
+
+	// Wait until both workers are inside a cell: the sweep is mid-flight.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatal("pool never started cells")
+		}
+	}
+
+	prog := get(t, base+"/progress")
+	for _, want := range []string{
+		`"cells_total": 4`,
+		`"cells_active": 2`,
+		`"state": "running"`,
+	} {
+		if !strings.Contains(prog, want) {
+			t.Fatalf("mid-sweep /progress missing %q:\n%s", want, prog)
+		}
+	}
+	metrics := get(t, base+"/metrics")
+	for _, want := range []string{
+		"cwsp_cells_total 4",
+		"cwsp_cells_active 2",
+		"# TYPE cwsp_recovery_outcomes_total counter",
+		`cwsp_events_by_kind_total{kind="cell_started"} 2`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("mid-sweep /metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	close(gate)
+	if err := <-poolDone; err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, r, i*i)
+		}
+	}
+
+	prog = get(t, base+"/progress")
+	for _, want := range []string{
+		`"cells_done": 4`,
+		`"cells_active": 0`,
+		`"eta_ms": 0`,
+	} {
+		if !strings.Contains(prog, want) {
+			t.Fatalf("final /progress missing %q:\n%s", want, prog)
+		}
+	}
+	metrics = get(t, base+"/metrics")
+	for _, want := range []string{
+		"cwsp_cells_done 4",
+		"cwsp_cells_executed_total 4",
+		// The registered histogram rendered with buckets and quantiles.
+		"# TYPE cwsp_cell_latency_us histogram",
+		`cwsp_cell_latency_us_bucket{le="+Inf"} 4`,
+		"cwsp_cell_latency_us_count 4",
+		"cwsp_cell_latency_us_p50",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("final /metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestEventsSSE subscribes to /events over HTTP and checks the SSE frame
+// shape of a published event.
+func TestEventsSSE(t *testing.T) {
+	bus := live.NewBus()
+	srv := live.NewServer(bus)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// The subscription is registered synchronously in the handler before
+	// the first write, so once the preamble arrives, publishes are seen.
+	rd := bufio.NewReader(resp.Body)
+	line, err := rd.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, ": cwsp live events") {
+		t.Fatalf("preamble %q, err %v", line, err)
+	}
+
+	bus.AddTotal(1)
+	bus.Publish(live.Event{Kind: live.CellStarted, Worker: 3, Cell: "sse-cell"})
+
+	deadline := time.After(5 * time.Second)
+	frame := map[string]string{}
+	for len(frame) < 3 {
+		lineCh := make(chan string, 1)
+		go func() {
+			l, err := rd.ReadString('\n')
+			if err != nil {
+				l = ""
+			}
+			lineCh <- l
+		}()
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for SSE frame, got %v", frame)
+		case l := <-lineCh:
+			l = strings.TrimRight(l, "\n")
+			if k, v, ok := strings.Cut(l, ": "); ok && !strings.HasPrefix(l, ":") {
+				frame[k] = v
+			}
+		}
+	}
+	if frame["event"] != "cell_started" {
+		t.Fatalf("SSE event name %q, want cell_started", frame["event"])
+	}
+	if frame["id"] != "1" {
+		t.Fatalf("SSE id %q, want 1", frame["id"])
+	}
+	for _, want := range []string{`"kind":"cell_started"`, `"worker":3`, `"cell":"sse-cell"`, `"total":1`} {
+		if !strings.Contains(frame["data"], want) {
+			t.Fatalf("SSE data missing %s: %s", want, frame["data"])
+		}
+	}
+}
+
+// TestIndexAndPprof: the index lists the routes and pprof answers.
+func TestIndexAndPprof(t *testing.T) {
+	srv := live.NewServer(live.NewBus())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	idx := get(t, "http://"+addr+"/")
+	for _, want := range []string{"/metrics", "/progress", "/events", "/debug/pprof/"} {
+		if !strings.Contains(idx, want) {
+			t.Fatalf("index missing %s:\n%s", want, idx)
+		}
+	}
+	if pp := get(t, "http://"+addr+"/debug/pprof/cmdline"); pp == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}

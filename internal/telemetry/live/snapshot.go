@@ -1,0 +1,129 @@
+package live
+
+import (
+	"sort"
+	"time"
+)
+
+// WorkerState is one pool worker's row in a /progress snapshot.
+type WorkerState struct {
+	Worker int    `json:"worker"`
+	State  string `json:"state"` // "idle" or "running"
+	Cell   string `json:"cell,omitempty"`
+	// RunningMS is how long the current cell has been executing.
+	RunningMS int64 `json:"running_ms,omitempty"`
+	// Done counts cells this worker has completed (or served cached).
+	Done int64 `json:"done"`
+}
+
+// Snapshot is the point-in-time progress digest served at /progress and
+// rendered by the campaign CLIs' live tickers. Every field is computed
+// from the bus's atomic counters, so taking a snapshot never blocks a
+// publisher (only the small worker table takes a lock).
+type Snapshot struct {
+	SchemaVersion int   `json:"schema_version"`
+	TimeUnixNS    int64 `json:"t_ns"`
+
+	// Cells.
+	Total    int64 `json:"cells_total"`
+	Done     int64 `json:"cells_done"`
+	Active   int64 `json:"cells_active"`
+	Cached   int64 `json:"cells_cached"`
+	Executed int64 `json:"cells_executed"`
+	Failed   int64 `json:"cells_failed"`
+	// HitRatio is Cached/Done (0 when nothing is done yet).
+	HitRatio float64 `json:"hit_ratio"`
+
+	// Pace. ETA extrapolates the remaining cells at the observed
+	// cells/sec; it is 0 until the first cell completes and -1 when the
+	// total is unknown (no AddTotal yet).
+	ElapsedMS   int64   `json:"elapsed_ms"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	ETAMS       int64   `json:"eta_ms"`
+
+	// Fault campaigns.
+	CrashesInjected int64 `json:"crashes_injected,omitempty"`
+	CrashesSkipped  int64 `json:"crashes_skipped,omitempty"`
+	Clean           int64 `json:"outcome_clean,omitempty"`
+	Detected        int64 `json:"outcome_detected,omitempty"`
+	Diverged        int64 `json:"outcome_diverged"`
+	Errors          int64 `json:"outcome_errors,omitempty"`
+
+	// Store / sim.
+	StoreFlushes int64 `json:"store_flushes,omitempty"`
+	StoreRecords int64 `json:"store_records,omitempty"`
+	SimInstrs    int64 `json:"sim_instrs,omitempty"`
+	SimCycles    int64 `json:"sim_cycles,omitempty"`
+
+	// Bus health.
+	EventsPublished uint64 `json:"events_published"`
+	EventsDropped   int64  `json:"events_dropped"`
+
+	Workers []WorkerState `json:"workers,omitempty"`
+}
+
+// SnapshotSchemaVersion versions the /progress JSON shape.
+const SnapshotSchemaVersion = 1
+
+// Snapshot digests the bus's current state. A nil bus returns the zero
+// snapshot (stamped with the schema version so readers can still parse it).
+func (b *Bus) Snapshot() Snapshot {
+	now := time.Now()
+	s := Snapshot{SchemaVersion: SnapshotSchemaVersion, TimeUnixNS: now.UnixNano(), ETAMS: -1}
+	if b == nil {
+		return s
+	}
+	s.Total = b.total.Load()
+	s.Done = b.done.Load()
+	s.Active = b.active.Load()
+	s.Cached = b.cached.Load()
+	s.Executed = b.executed.Load()
+	s.Failed = b.failed.Load()
+	if s.Done > 0 {
+		s.HitRatio = float64(s.Cached) / float64(s.Done)
+	}
+
+	if start := b.startNS.Load(); start != 0 {
+		s.ElapsedMS = (now.UnixNano() - start) / int64(time.Millisecond)
+	}
+	if s.ElapsedMS > 0 && s.Done > 0 {
+		s.CellsPerSec = float64(s.Done) / (float64(s.ElapsedMS) / 1000)
+	}
+	switch {
+	case s.Total <= 0:
+		s.ETAMS = -1 // unknown denominator
+	case s.Done >= s.Total:
+		s.ETAMS = 0
+	case s.CellsPerSec > 0:
+		s.ETAMS = int64(float64(s.Total-s.Done) / s.CellsPerSec * 1000)
+	}
+
+	s.CrashesInjected = b.crashes.Load()
+	s.CrashesSkipped = b.skipped.Load()
+	s.Clean = b.clean.Load()
+	s.Detected = b.detected.Load()
+	s.Diverged = b.diverged.Load()
+	s.Errors = b.errored.Load()
+
+	s.StoreFlushes = b.flushes.Load()
+	s.StoreRecords = b.flushRecords.Load()
+	s.SimInstrs = b.simInstrs.Load()
+	s.SimCycles = b.simCycles.Load()
+
+	s.EventsPublished = b.seq.Load()
+	s.EventsDropped = b.dropped.Load()
+
+	b.mu.Lock()
+	for id, w := range b.workers {
+		ws := WorkerState{Worker: id, State: "idle", Done: w.done}
+		if w.startNS != 0 {
+			ws.State = "running"
+			ws.Cell = w.cell
+			ws.RunningMS = (now.UnixNano() - w.startNS) / int64(time.Millisecond)
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	b.mu.Unlock()
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
+	return s
+}

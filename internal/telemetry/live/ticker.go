@@ -1,0 +1,110 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Ticker renders a one-line, carriage-return-refreshed progress/ETA line
+// from the same Snapshot code path /progress serves, so what a terminal
+// shows and what an HTTP client scrapes can never disagree. Start it once
+// the campaign's totals are on the bus; Stop prints the final state on
+// its own line.
+type Ticker struct {
+	w    io.Writer
+	bus  *Bus
+	tick *time.Ticker
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+	last int
+}
+
+// StartTicker begins refreshing every interval (min 100ms). Returns nil
+// on a nil bus or writer — callers may unconditionally Stop the result.
+func StartTicker(w io.Writer, b *Bus, interval time.Duration) *Ticker {
+	if w == nil || b == nil {
+		return nil
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	t := &Ticker{w: w, bus: b, tick: time.NewTicker(interval), done: make(chan struct{})}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			select {
+			case <-t.done:
+				return
+			case <-t.tick.C:
+				t.render(false)
+			}
+		}
+	}()
+	return t
+}
+
+// Stop halts refreshing and prints the final line. Safe on nil and safe
+// to call more than once.
+func (t *Ticker) Stop() {
+	if t == nil {
+		return
+	}
+	t.once.Do(func() {
+		t.tick.Stop()
+		close(t.done)
+		t.wg.Wait()
+		t.render(true)
+	})
+}
+
+func (t *Ticker) render(final bool) {
+	s := t.bus.Snapshot()
+	line := FormatProgress(s)
+	// Pad over the previous line so a shrinking line leaves no residue.
+	if pad := t.last - len(line); pad > 0 {
+		line += strings.Repeat(" ", pad)
+	}
+	t.last = len(line)
+	if final {
+		fmt.Fprintf(t.w, "\r%s\n", strings.TrimRight(line, " "))
+		return
+	}
+	fmt.Fprintf(t.w, "\r%s", line)
+}
+
+// FormatProgress renders one snapshot as the ticker line, e.g.
+//
+//	cells 37/500 (7.4%) | active 8 | cached 12 | diverged 0 | 41.2 cells/s | eta 56s
+func FormatProgress(s Snapshot) string {
+	var b strings.Builder
+	if s.Total > 0 {
+		fmt.Fprintf(&b, "cells %d/%d (%.1f%%)", s.Done, s.Total, 100*float64(s.Done)/float64(s.Total))
+	} else {
+		fmt.Fprintf(&b, "cells %d/?", s.Done)
+	}
+	fmt.Fprintf(&b, " | active %d", s.Active)
+	if s.Cached > 0 {
+		fmt.Fprintf(&b, " | cached %d", s.Cached)
+	}
+	if s.CrashesInjected+s.CrashesSkipped > 0 || s.Clean+s.Detected+s.Diverged+s.Errors > 0 {
+		fmt.Fprintf(&b, " | diverged %d", s.Diverged)
+		if s.Errors > 0 {
+			fmt.Fprintf(&b, " errors %d", s.Errors)
+		}
+	}
+	if s.CellsPerSec > 0 {
+		fmt.Fprintf(&b, " | %.1f cells/s", s.CellsPerSec)
+	}
+	switch {
+	case s.ETAMS > 0:
+		fmt.Fprintf(&b, " | eta %s", (time.Duration(s.ETAMS) * time.Millisecond).Round(time.Second))
+	case s.ETAMS == 0 && s.Total > 0:
+		fmt.Fprintf(&b, " | done in %s", (time.Duration(s.ElapsedMS) * time.Millisecond).Round(time.Millisecond))
+	}
+	return b.String()
+}

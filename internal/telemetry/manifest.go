@@ -78,6 +78,14 @@ type Manifest struct {
 	Workload      string `json:"workload,omitempty"`
 	Scheme        string `json:"scheme,omitempty"`
 	Scale         string `json:"scale,omitempty"`
+	// Salt is the runner's code-version cache salt (bench.ResultsSalt at
+	// the time of the run): two manifests with different salts drew their
+	// cells from incomparable cache generations.
+	Salt string `json:"salt,omitempty"`
+	// LiveAddr is the bound -http observability address when the run
+	// served one ("" otherwise) — a record of where the live endpoint
+	// was, for log correlation, not a promise it is still listening.
+	LiveAddr string `json:"live_addr,omitempty"`
 
 	Config  json.RawMessage    `json:"config,omitempty"`
 	Stats   json.RawMessage    `json:"stats,omitempty"`
