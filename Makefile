@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-smoke bench-check bench-baseline bench-kernel fuzz-smoke torture-smoke torture lint repro repro-quick examples trace metrics clean
+.PHONY: all build test test-short bench bench-smoke bench-check bench-baseline bench-kernel fuzz-smoke torture-smoke torture litmus-smoke litmus lint repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -52,10 +52,12 @@ bench-baseline:
 bench-kernel:
 	$(GO) test ./internal/simtest -run xxx -bench RunUntil -benchmem -benchtime 10x
 
-# Short differential-fuzz pass over the kernel-equivalence target: progen
-# seed × scheme × crash point, both kernels must agree byte-for-byte.
+# Short differential-fuzz passes: the kernel-equivalence target (progen
+# seed × scheme × crash point, both kernels must agree byte-for-byte) and
+# the litmus spec grammar round-trip (spec string → plan → spec).
 fuzz-smoke:
 	$(GO) test ./internal/simtest -run xxx -fuzz FuzzKernelEquivalence -fuzztime 20s
+	$(GO) test ./internal/litmus -run xxx -fuzz FuzzLitmusSpec -fuzztime 10s
 
 # Small seeded fault-injection campaign with nested crash-during-recovery
 # (depth 2). A failure prints the shrunk `cwsprecover -faults '<spec>'`
@@ -68,11 +70,29 @@ torture-smoke:
 torture:
 	$(GO) run ./cmd/cwsptorture -seed 1 -n 100 -depth 2 -points 3 -out torture-report.json
 
-# Static soundness verification: vet, then run the independent persistence
-# checker over the checked-in example and a fixed block of generated
-# programs (see DESIGN.md "Soundness checking" for the CWSP0xx codes).
+# Small seeded persistency-model litmus campaign: generated litmus shapes
+# crashed under the real persist path and judged against the allowed
+# outcome set derived from each scheme's ordering axioms. A failure
+# prints the shrunk `cwsplitmus -replay '<spec>'` reproducer.
+litmus-smoke:
+	$(GO) run ./cmd/cwsplitmus -seed 1 -n 5 -no-shrink -progress=false
+
+# Acceptance-scale litmus campaign: 50 shapes x 11 schemes x 2 kernels =
+# 1100 cells, every observed post-crash outcome inside the derived set.
+litmus:
+	$(GO) run ./cmd/cwsplitmus -seed 1 -n 50 -out litmus-report.json
+
+# Static soundness verification: vet, staticcheck (when installed; CI pins
+# it), then the independent persistence checker over the checked-in
+# example and a fixed block of generated programs (see DESIGN.md
+# "Soundness checking" for the CWSP0xx codes).
 lint:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 	$(GO) build -o bin/cwsplint ./cmd/cwsplint
 	./bin/cwsplint -seed 1 -count 25 examples/minic/btree.mc
 

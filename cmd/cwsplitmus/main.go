@@ -1,0 +1,242 @@
+// Command cwsplitmus runs persistency-model litmus campaigns: seeded tiny
+// programs of stores, fences, atomics, and call boundaries across cores
+// and memory controllers, each crashed under the real simulated persist
+// path and judged against the allowed post-crash outcome set derived
+// statically from the scheme's ordering axioms. It checks the memory
+// system the way cwsplint checks the compiler: an observed outcome outside
+// the derived set is a CWSP1xx diagnostic, shrunk to a one-flag
+// reproducer.
+//
+// Usage:
+//
+//	cwsplitmus -seed 1 -n 50                        # 50 shapes x all schemes x both kernels
+//	cwsplitmus -n 20 -schemes cwsp,capri -kernels fast
+//	cwsplitmus -seed 1 -n 10 -unsealed              # negative control: faults become violations
+//	cwsplitmus -replay 't0=S0.1,F,A2.3;t1=S1.2;sch=cwsp;kern=fast;crashes=350'
+//
+// A violating campaign prints the shrunk reproducer, e.g.:
+//
+//	cwsplitmus -replay 't0=S0.1,A2.3;sch=cwsp;kern=fast;crashes=175'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"cwsp/internal/litmus"
+	"cwsp/internal/runner"
+	"cwsp/internal/telemetry"
+	"cwsp/internal/telemetry/live"
+)
+
+func main() {
+	var (
+		replay   = flag.String("replay", "", "run one litmus spec instead of a campaign")
+		seed     = flag.Int64("seed", 1, "campaign master seed")
+		n        = flag.Int("n", 50, "generated litmus shapes (each runs under every scheme x kernel cell)")
+		schemes  = flag.String("schemes", strings.Join(litmus.AllSchemes, ","), "comma-separated schemes")
+		kernels  = flag.String("kernels", strings.Join(litmus.AllKernels, ","), "comma-separated kernels (fast, ref)")
+		cores    = flag.Int("cores", 2, "threads per litmus (1-3)")
+		events   = flag.Int("events", 5, "max events per thread")
+		points   = flag.Int("points", 2, "max fault points per litmus")
+		jobs     = flag.Int("jobs", 0, "worker pool width (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "write the JSON campaign report here")
+		metrics  = flag.String("metrics-out", "", "write a telemetry manifest here")
+		cacheDir = flag.String("cache-dir", "", "persistent cell-result cache directory")
+		unsealed = flag.Bool("unsealed", false, "disable seal validation (negative control; faults surface as violations)")
+		noShrink = flag.Bool("no-shrink", false, "skip shrinking violating cells")
+		httpAddr = flag.String("http", "", "serve the live observability endpoint (/metrics, /progress, /events, /debug/pprof) on this address")
+		progress = flag.Bool("progress", true, "live one-line progress/ETA ticker on stderr")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		replayOne(*replay, *unsealed)
+		return
+	}
+
+	opts := litmus.CampaignOptions{
+		Seed:     *seed,
+		Tests:    *n,
+		Gen:      litmus.GenOptions{Cores: *cores, Events: *events, Points: *points},
+		Schemes:  splitList(*schemes),
+		Kernels:  splitList(*kernels),
+		Unsealed: *unsealed,
+		Shrink:   !*noShrink,
+		Jobs:     *jobs,
+	}
+
+	var bus *live.Bus
+	liveAddr := ""
+	if *httpAddr != "" || *progress {
+		bus = live.NewBus()
+		opts.Bus = bus
+	}
+	if *httpAddr != "" {
+		srv := live.NewServer(bus)
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		liveAddr = addr
+		fmt.Fprintf(os.Stderr, "cwsplitmus: live endpoint on http://%s (/metrics /progress /events /debug/pprof)\n", addr)
+		defer srv.Close()
+	}
+	if *cacheDir != "" {
+		st, err := runner.OpenStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		st.SetBus(bus)
+		opts.Store = st
+	}
+
+	fmt.Printf("litmus campaign: seed %d, %d shapes x %d schemes x %d kernels = %d cells%s\n",
+		*seed, opts.Tests, len(opts.Schemes), len(opts.Kernels),
+		opts.Tests*len(opts.Schemes)*len(opts.Kernels), sealNote(*unsealed))
+	var tick *live.Ticker
+	if *progress {
+		tick = live.StartTicker(os.Stderr, bus, 500*time.Millisecond)
+	}
+	rep, prog, err := litmus.RunCampaign(opts)
+	tick.Stop()
+	if err != nil {
+		fatal(err)
+	}
+
+	t := rep.Totals
+	fmt.Printf("cells: %d  injected: %d (skipped %d)\n", t.Cells, t.Injected, t.Skipped)
+	fmt.Printf("outcomes: %d allowed, %d violations, %d detected, %d unjudged, %d errors\n",
+		t.Allowed, t.Violations, t.Detected, t.Unjudged, t.Errors)
+
+	if *out != "" {
+		b, err := rep.WriteJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report: %s\n", *out)
+	}
+	if *metrics != "" {
+		m := telemetry.NewManifest("cwsplitmus")
+		m.Workload = "litmus"
+		m.Scheme = *schemes
+		m.LiveAddr = liveAddr
+		width := *jobs
+		if width <= 0 {
+			width = runtime.GOMAXPROCS(0)
+		}
+		info := prog.Info(width)
+		m.Runner = &info
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("manifest: %s\n", *metrics)
+	}
+
+	failures := rep.Failures()
+	if t.Errors > 0 {
+		fmt.Printf("campaign FAILED: %d cell(s) erred\n", t.Errors)
+		os.Exit(1)
+	}
+	if len(failures) == 0 {
+		fmt.Println("campaign PASSED: every observed outcome inside the derived allowed set")
+		return
+	}
+
+	fmt.Printf("campaign FAILED: %d cell(s) outside the derived allowed set\n", len(failures))
+	fmt.Print(rep.CheckReport().String())
+	fc := failures[0]
+	fmt.Printf("first violation: test %d scheme %s kernel %s: %s %s\n",
+		fc.Test, fc.Scheme, fc.Kernel, fc.Code, fc.Msg)
+	if fc.Repro != "" {
+		fmt.Printf("reproduce with:\n  %s%s\n", fc.Repro, sealFlag(*unsealed))
+	} else {
+		fmt.Printf("reproduce with:\n  cwsplitmus -replay '%s'%s\n", fc.Result.Spec, sealFlag(*unsealed))
+	}
+	os.Exit(1)
+}
+
+// replayOne runs a single spec, printing its judgment; a violation shrinks
+// to a minimal reproducer and exits nonzero.
+func replayOne(specStr string, unsealed bool) {
+	spec, err := litmus.Parse(specStr)
+	if err != nil {
+		fatal(err)
+	}
+	opt := litmus.RunOptions{Unsealed: unsealed}
+	res, err := litmus.RunSpec(spec, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("spec: %s\n", res.Spec)
+	fmt.Printf("crash: cycle %d of %d  observed: %s  allowed set: %d per-core states\n",
+		res.Crash, res.GoldenCycles, res.Observed, res.AllowedCount)
+	for _, inj := range res.Injected {
+		state := "injected"
+		if inj.Skipped {
+			state = "skipped"
+		}
+		fmt.Printf("fault: %s %s\n", inj.Kind, state)
+	}
+	switch res.Outcome {
+	case litmus.ResAllowed:
+		fmt.Println("outcome: allowed")
+	case litmus.ResDetected:
+		fmt.Printf("outcome: detected (%v)\n", res.Detected)
+	case litmus.ResUnjudged:
+		fmt.Printf("outcome: unjudged (%s: %s)\n", res.Code, res.Msg)
+	case litmus.ResError:
+		fmt.Printf("outcome: error (%s)\n", res.Err)
+		os.Exit(1)
+	case litmus.ResViolation:
+		fmt.Printf("outcome: VIOLATION %s: %s\n", res.Code, res.Msg)
+		fmt.Println(res.Diag().String())
+		if shrunk, _, err := litmus.Shrink(spec, opt); err == nil {
+			fmt.Printf("shrunk reproducer:\n  %s%s\n", litmus.ReplayCommand(shrunk), sealFlag(unsealed))
+		}
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sealNote(unsealed bool) string {
+	if unsealed {
+		return " (UNSEALED: validation disabled)"
+	}
+	return ""
+}
+
+func sealFlag(unsealed bool) string {
+	if unsealed {
+		return " -unsealed"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cwsplitmus:", err)
+	os.Exit(1)
+}

@@ -32,6 +32,7 @@ import (
 
 	"cwsp/internal/compiler"
 	"cwsp/internal/faults"
+	"cwsp/internal/litmus"
 	"cwsp/internal/recovery"
 	"cwsp/internal/runner"
 	"cwsp/internal/sim"
@@ -196,7 +197,26 @@ func main() {
 	}
 	fmt.Printf("reproduce with:\n  cwsprecover -w %s -scale %s%s -faults '%s'\n",
 		fc.Workload, *scale, sealFlag(*unsealed), spec)
+	printLitmusRepro(spec, opts.Sch.Name, *unsealed)
 	os.Exit(1)
+}
+
+// printLitmusRepro prints the equivalent persistency-model litmus replay
+// when the failing cell's (shrunk) plan reduces to a litmus-shaped
+// interleaving — one crash, persist-path fault kinds only — so the same
+// schedule can be judged against the derived allowed outcome set with one
+// flag.
+func printLitmusRepro(spec, scheme string, unsealed bool) {
+	plan, err := faults.ParseSpec(spec)
+	if err != nil {
+		return
+	}
+	s, ok := litmus.FromFaultPlan(plan, scheme, litmus.KernelFast)
+	if !ok {
+		return
+	}
+	fmt.Printf("litmus-shaped plan; judge the same schedule against the derived outcome set with:\n  %s%s\n",
+		litmus.ReplayCommand(s), sealFlag(unsealed))
 }
 
 // shrink reduces the failing cell's plan to a minimal reproducer.

@@ -75,6 +75,21 @@ const (
 	CodeSliceMeta     = "CWSP043" // slice entry/region metadata inconsistent with the IR
 	CodeSliceStep     = "CWSP044" // slice step malformed (bad ALU opcode or register)
 	CodeNoConvergence = "CWSP090" // symbolic dataflow hit its iteration cap (results conservative)
+
+	// CWSP1xx: persistency-model violations, reported by the litmus engine
+	// (internal/litmus). Where CWSP0xx codes verify the *compiler's* output
+	// against the paper's recovery invariants, the 1xx codes verify the
+	// *memory system's* post-crash outcomes against the paper's ordering
+	// axioms (Section VIII): an observed crash-image outcome outside the
+	// statically derived allowed set carries the code of the first ordering
+	// axiom whose relaxation would re-admit it.
+	CodeLitmusOutcome    = "CWSP100" // post-crash outcome outside the derived allowed set (no single axiom explains it)
+	CodeLitmusSyncOrder  = "CWSP101" // a synchronization point committed while an earlier store of its core was lost
+	CodeLitmusFIFO       = "CWSP102" // same-core same-MC persist FIFO inverted (later store durable, earlier lost)
+	CodeLitmusBoundary   = "CWSP103" // a region boundary was crossed while a prior region's store was lost
+	CodeLitmusPhantom    = "CWSP104" // crash image holds a value no store ever wrote (torn/corrupt data)
+	CodeLitmusSyncAtomic = "CWSP105" // a synchronization group persisted partially (group atomicity broken)
+	CodeLitmusCap        = "CWSP190" // outcome enumeration hit its cap (allowed set conservative; cell not judged)
 )
 
 // Diagnostic is one finding, located by function, block, and instruction

@@ -1,0 +1,295 @@
+package litmus
+
+import (
+	"fmt"
+
+	"cwsp/internal/ir"
+	"cwsp/internal/sim"
+)
+
+// The model extraction pass: re-derive, from the *compiled* IR the machine
+// actually executes, the per-core event sequences the outcome derivation
+// reasons over. Reading the compiled program (not the litmus spec) is the
+// point — region boundaries, checkpoint placement, and call bracketing are
+// compiler decisions, and the allowed-outcome set must reflect the regions
+// the hardware really sees, the same way internal/check re-derives the
+// compiler's invariants from its output instead of its bookkeeping.
+
+// mKind classifies a model event.
+type mKind uint8
+
+const (
+	// mStore: an asynchronous persist-path store to a tracked word.
+	mStore mKind = iota
+	// mSync: a synchronization point (fence or atomic); the whole sync
+	// group commits at one instant.
+	mSync
+	// mBoundary: a region boundary crossing (OpBoundary, or a call, whose
+	// callee transition closes the region). Consecutive boundaries with no
+	// intervening event are merged: they close the same region.
+	mBoundary
+)
+
+// mEvent is one event of a core's extracted model.
+type mEvent struct {
+	kind mKind
+	k    int   // tracked word (mStore; mSync with hasStore)
+	v    int64 // stored value (mStore; mSync with hasStore)
+	mc   int   // memory controller of the tracked word (mStore)
+
+	hasStore bool // mSync: an atomic carries a store; a fence does not
+
+	// coalesced marks a DedupLines store absorbed into an already-buffered
+	// redo line of the same region: it updates NVM directly with no journal
+	// record and no WPQ traversal. Only set when the scheme dedups.
+	coalesced bool
+
+	// seg is the region ordinal the event executes in. A boundary belongs
+	// to the region it closes.
+	seg int
+}
+
+// coreModel is one core's extracted event sequence.
+type coreModel struct {
+	events []mEvent
+	nSegs  int // total region count (trailing region included)
+}
+
+// Axioms are the scheme-derived ordering rules the derivation enforces.
+// Each maps to one CWSP1xx code: relaxing exactly one axiom and re-deriving
+// classifies which rule an observed violation broke.
+type Axioms struct {
+	// Persist: stores reach NVM at all. Without it the crash image is the
+	// initial image (base, region-formation, psp-ideal).
+	Persist bool
+	// DrainAtSync (CWSP101): a committed synchronization point implies
+	// every earlier store of its core was admitted and can no longer roll
+	// back (handleSyncGroup drains the RBT and the open region's
+	// persistMax). Holds for UseRBT and BoundaryStall schemes; Capri's
+	// battery-backed buffers give sync points no persist-ordering role.
+	DrainAtSync bool
+	// BoundaryOrder (CWSP103): once execution proceeds past a region
+	// boundary, the closed region's stores are durable (closeRegion stalls
+	// to persistMax). BoundaryStall schemes only.
+	BoundaryOrder bool
+	// Rollback: speculative stores of unretired regions may be undone via
+	// the MC undo logs (MCSpec schemes). Regions retire in order.
+	Rollback bool
+	// Dedup: repeated stores to a line within one region coalesce into the
+	// buffered redo line — NVM is updated with no journal record, so a
+	// coalesced store is visible iff executed and its line's journaled
+	// predecessor survives (DedupLines / Capri).
+	Dedup bool
+	// NumMCs: tracked word k lives on controller k%NumMCs; persist FIFO
+	// (CWSP102) holds per (core, controller) stream.
+	NumMCs int
+}
+
+// axiomsFor derives the axiom set from the scheme and config under test.
+func axiomsFor(sch sim.Scheme, cfg sim.Config) Axioms {
+	return Axioms{
+		Persist:       sch.Persist,
+		DrainAtSync:   sch.Persist && (sch.UseRBT || sch.BoundaryStall),
+		BoundaryOrder: sch.Persist && sch.BoundaryStall,
+		Rollback:      sch.Persist && sch.MCSpec,
+		Dedup:         sch.Persist && sch.DedupLines,
+		NumMCs:        cfg.NumMCs,
+	}
+}
+
+// Model is the extracted program model plus the axioms: everything the
+// outcome derivation needs.
+type Model struct {
+	Cores []coreModel
+	Ax    Axioms
+
+	// writers[k] lists the cores that ever write tracked word k (plain or
+	// atomic). Single-writer words get the exact per-core chain semantics;
+	// multi-writer words get a sound cross-core over-approximation.
+	writers [NumTracked][]int
+	// values[k] is every value the program can ever write to word k — the
+	// phantom check (CWSP104): an observed value outside values[k] ∪ {0}
+	// was written by no store at all.
+	values [NumTracked]map[int64]bool
+}
+
+// trackedIndex maps an address to its tracked-word index, or -1.
+func trackedIndex(addr int64) int {
+	if addr < TrackBase {
+		return -1
+	}
+	d := addr - TrackBase
+	if d%0x1000 != 0 || d/0x1000 >= NumTracked {
+		return -1
+	}
+	return int(d / 0x1000)
+}
+
+// Extract builds the model from a prepared litmus: it walks each thread
+// function's straight-line block chain in the (possibly compiled) program,
+// resolving constant address and value operands, and classifies every
+// instruction the persist path sees. Litmus programs are branch-free by
+// construction; an OpBr is a hard error.
+func Extract(p *Prepared) (*Model, error) {
+	m := &Model{Ax: axiomsFor(p.Sch, p.Cfg)}
+	for k := range m.values {
+		m.values[k] = map[int64]bool{}
+	}
+	for ti := range p.Spec.Threads {
+		fn := p.Prog.Funcs[threadName(ti)]
+		if fn == nil {
+			return nil, fmt.Errorf("litmus: extract: no function %s", threadName(ti))
+		}
+		cm, err := extractFunc(fn, m.Ax)
+		if err != nil {
+			return nil, err
+		}
+		m.Cores = append(m.Cores, cm)
+		for _, ev := range cm.events {
+			if ev.kind == mStore || (ev.kind == mSync && ev.hasStore) {
+				m.values[ev.k][ev.v] = true
+				found := false
+				for _, c := range m.writers[ev.k] {
+					if c == ti {
+						found = true
+					}
+				}
+				if !found {
+					m.writers[ev.k] = append(m.writers[ev.k], ti)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+func extractFunc(fn *ir.Function, ax Axioms) (coreModel, error) {
+	cm := coreModel{}
+	consts := map[ir.Reg]int64{}
+	resolve := func(o ir.Operand) (int64, bool) {
+		switch o.Kind {
+		case ir.OperandImm:
+			return o.Imm, true
+		case ir.OperandReg:
+			v, ok := consts[o.Reg]
+			return v, ok
+		}
+		return 0, false
+	}
+
+	seg := 0
+	// linesInSeg tracks which tracked words already journaled a store in
+	// the current region — the dedup predicate (tracked words are on
+	// distinct cache lines, so line identity is word identity).
+	linesInSeg := map[int]bool{}
+	emit := func(ev mEvent) {
+		ev.seg = seg
+		cm.events = append(cm.events, ev)
+	}
+	boundary := func() {
+		// Merge consecutive boundaries: with no event between them they
+		// close empty regions, which cannot change any outcome.
+		if n := len(cm.events); n > 0 && cm.events[n-1].kind == mBoundary {
+			return
+		}
+		emit(mEvent{kind: mBoundary})
+		seg++
+		linesInSeg = map[int]bool{}
+	}
+
+	bi := 0
+	seen := map[int]bool{}
+	for {
+		if bi < 0 || bi >= len(fn.Blocks) || seen[bi] {
+			return cm, fmt.Errorf("litmus: extract: %s block chain malformed at b%d", fn.Name, bi)
+		}
+		seen[bi] = true
+		blk := fn.Blocks[bi]
+		next := -1
+		done := false
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			switch in.Op {
+			case ir.OpConst:
+				consts[in.Dst] = in.A.Imm
+			case ir.OpMov:
+				if v, ok := resolve(in.A); ok {
+					consts[in.Dst] = v
+				} else {
+					delete(consts, in.Dst)
+				}
+			case ir.OpStore:
+				addr, aok := resolve(in.B)
+				if !aok {
+					return cm, fmt.Errorf("litmus: extract: %s b%d[%d]: unresolvable store address", fn.Name, bi, ii)
+				}
+				k := trackedIndex(addr + in.Off)
+				if k < 0 {
+					continue // checkpoint/stack traffic: not a tracked word
+				}
+				v, vok := resolve(in.A)
+				if !vok {
+					return cm, fmt.Errorf("litmus: extract: %s b%d[%d]: unresolvable store value", fn.Name, bi, ii)
+				}
+				ev := mEvent{kind: mStore, k: k, v: v, mc: k % ax.NumMCs}
+				if ax.Dedup {
+					ev.coalesced = linesInSeg[k]
+					linesInSeg[k] = true
+				}
+				emit(ev)
+			case ir.OpAtomicXchg:
+				addr, aok := resolve(in.A)
+				if !aok {
+					return cm, fmt.Errorf("litmus: extract: %s b%d[%d]: unresolvable atomic address", fn.Name, bi, ii)
+				}
+				k := trackedIndex(addr + in.Off)
+				ev := mEvent{kind: mSync}
+				if k >= 0 {
+					v, vok := resolve(in.B)
+					if !vok {
+						return cm, fmt.Errorf("litmus: extract: %s b%d[%d]: unresolvable atomic value", fn.Name, bi, ii)
+					}
+					ev.hasStore, ev.k, ev.v = true, k, v
+				}
+				emit(ev)
+				delete(consts, in.Dst)
+			case ir.OpAtomicCAS, ir.OpAtomicAdd, ir.OpAlloc, ir.OpEmit:
+				// Sync-path ops litmus programs never contain; treat as
+				// plain sync points if a transform ever introduces one.
+				emit(mEvent{kind: mSync})
+				delete(consts, in.Dst)
+			case ir.OpFence:
+				emit(mEvent{kind: mSync})
+			case ir.OpCall:
+				boundary()
+				delete(consts, in.Dst)
+			case ir.OpBoundary:
+				boundary()
+			case ir.OpCkpt:
+				// Checkpoint-area traffic; never a tracked word.
+			case ir.OpLoad:
+				delete(consts, in.Dst)
+			case ir.OpJmp:
+				next = in.Then
+			case ir.OpRet:
+				done = true
+			case ir.OpBr:
+				return cm, fmt.Errorf("litmus: extract: %s b%d[%d]: litmus programs are branch-free", fn.Name, bi, ii)
+			default:
+				delete(consts, in.Dst)
+			}
+		}
+		if done {
+			break
+		}
+		bi = next
+	}
+	// Drop a trailing boundary event: nothing executes after it, so it can
+	// close nothing observably (the final region closes at return instead).
+	if n := len(cm.events); n > 0 && cm.events[n-1].kind == mBoundary {
+		cm.events = cm.events[:n-1]
+		seg--
+	}
+	cm.nSegs = seg + 1
+	return cm, nil
+}

@@ -1,0 +1,42 @@
+package litmus
+
+import "cwsp/internal/faults"
+
+// FromFaultPlan converts a torture-campaign fault plan into an equivalent
+// litmus spec, when the plan is litmus-shaped: exactly one crash, and only
+// persist-path fault kinds (torn-log, drop-wpq, reorder-wpq — checkpoint
+// corruption targets register reconstruction, which litmus does not
+// observe). The program is the canonical message-passing shape — a data
+// store, a second-controller store, a fence, a flag atomic on one core and
+// an independent store on the other — so the same crash schedule and fault
+// points replay against the litmus checker's derived outcome set with one
+// flag. Returns ok=false for plans litmus cannot express.
+func FromFaultPlan(plan *faults.Plan, scheme, kernel string) (*Spec, bool) {
+	if plan == nil || plan.Depth() != 1 {
+		return nil, false
+	}
+	for _, pt := range plan.Points {
+		if !litmusKind(pt.Kind) || pt.Crash != 0 {
+			return nil, false
+		}
+	}
+	p := plan.Clone()
+	p.Seed = 0 // the plan is explicit; litmus seeds are provenance only
+	s := &Spec{
+		Threads: []Thread{
+			{
+				{Kind: EvStore, K: 0, V: 1},
+				{Kind: EvStore, K: 1, V: 2},
+				{Kind: EvFence},
+				{Kind: EvAtomic, K: 2, V: 3},
+			},
+			{
+				{Kind: EvStore, K: 3, V: 4},
+			},
+		},
+		Scheme: scheme,
+		Kernel: kernel,
+		Plan:   p,
+	}
+	return s, true
+}

@@ -1,0 +1,31 @@
+package litmus
+
+import "testing"
+
+// FuzzLitmusSpec round-trips the spec grammar: any string Parse accepts
+// must render canonically, re-parse, and render to the same bytes — and
+// the embedded fault plan must survive the trip. Run via `make fuzz-smoke`.
+func FuzzLitmusSpec(f *testing.F) {
+	f.Add("t0=S0.1;sch=cwsp;kern=fast;crashes=350")
+	f.Add("seed=7;t0=S0.1,F,A2.3,C;t1=S1.9;sch=capri;kern=ref;crashes=500")
+	f.Add("t0=;t1=S1.1,A3.3;sch=cwsp;kern=fast;crashes=666;drop-wpq@0:1925955:2bb793591a43f1ae")
+	f.Add("t0=S3.12,S3.13;sch=ido;kern=fast;crashes=10;torn-log@0:3:55aa;reorder-wpq@0:0:1")
+	f.Add("t0=A0.5;t1=F;t2=C;sch=base;kern=fast;crashes=999")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return // rejection is fine; acceptance must round-trip
+		}
+		out := s.Render()
+		s2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Parse(Render(%q)) = %q failed: %v", in, out, err)
+		}
+		if got := s2.Render(); got != out {
+			t.Fatalf("render not a fixed point: %q -> %q -> %q", in, out, got)
+		}
+		if s.Plan.Spec() != s2.Plan.Spec() {
+			t.Fatalf("fault plan changed across round-trip: %q vs %q", s.Plan.Spec(), s2.Plan.Spec())
+		}
+	})
+}

@@ -1,0 +1,431 @@
+package litmus
+
+import (
+	"fmt"
+
+	"cwsp/internal/check"
+)
+
+// The outcome derivation: from the extracted model and the scheme's axioms,
+// enumerate every post-crash NVM image of the tracked words the persist
+// semantics allow. The enumeration mirrors the machine's reconstruction
+// exactly (sim.Machine.reconstruct): the journal is unwound newest-first,
+// a record that never drained (or rolled back via an MC undo log) restores
+// its pre-store value — so for each word the surviving value is the value
+// written *immediately before the oldest bad record*, not the newest good
+// record's. Coalesced (DedupLines) stores and synchronous group commits
+// thread through that chain without records of their own.
+//
+// Per core the derivation is exact for words only that core writes; words
+// written by several cores get a sound cross-core over-approximation (any
+// written value or the initial value), since the global journal interleaving
+// is timing-dependent. Soundness direction matters: the derived set may be
+// larger than reachable, never smaller, so a flagged outcome is always a
+// real violation of the axioms as stated.
+
+// Outcome is one post-crash image of the tracked words (0 = initial value;
+// store values are strictly positive, so the encoding is unambiguous).
+type Outcome [NumTracked]int64
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("[%d %d %d %d]", o[0], o[1], o[2], o[3])
+}
+
+// relax names the axiom the derivation drops when classifying a violation:
+// the first single relaxation that re-admits an observed outcome is the
+// axiom it broke.
+type relax uint8
+
+const (
+	relaxNone relax = iota
+	relaxDrain      // drop DrainAtSync      -> CWSP101
+	relaxFIFO       // drop per-(core,MC) FIFO -> CWSP102
+	relaxBoundary   // drop BoundaryOrder    -> CWSP103
+	relaxSyncAtomic // drop group atomicity  -> CWSP105
+)
+
+// deriveBudget caps scenario evaluations per core. Litmus programs are
+// tiny (<= ~8 events per thread), so real derivations stay far below it; a
+// capped derivation refuses to judge (CWSP190) rather than misjudge.
+const deriveBudget = 2_000_000
+
+// Derived is the allowed outcome set, factored per core: a full outcome is
+// allowed iff each core's projection onto the words it exclusively writes
+// is reachable in that core's scenario enumeration, and every shared or
+// unwritten word holds a legitimately written value (or the initial one).
+type Derived struct {
+	m  *Model
+	rx relax
+
+	// coreVals[c] holds core c's reachable projections (non-owned
+	// components zeroed).
+	coreVals []map[Outcome]bool
+	// Capped: the enumeration hit deriveBudget; the set is incomplete and
+	// must not be used to flag violations.
+	Capped bool
+}
+
+// Derive enumerates the allowed outcome set under the model's full axioms.
+func Derive(m *Model) *Derived { return deriveRelax(m, relaxNone) }
+
+func deriveRelax(m *Model, rx relax) *Derived {
+	d := &Derived{m: m, rx: rx}
+	if !m.Ax.Persist {
+		// No persist path: the crash image is the initial image.
+		return d
+	}
+	for c := range m.Cores {
+		budget := deriveBudget
+		vals, capped := deriveCore(m, c, rx, &budget)
+		d.coreVals = append(d.coreVals, vals)
+		if capped {
+			d.Capped = true
+		}
+	}
+	return d
+}
+
+// Count returns the size of the derived set's per-core factorization: the
+// product of per-core projection counts (shared-word slack not included).
+func (d *Derived) Count() int {
+	if !d.m.Ax.Persist {
+		return 1
+	}
+	n := 1
+	for _, vs := range d.coreVals {
+		if len(vs) > 0 {
+			n *= len(vs)
+		}
+	}
+	return n
+}
+
+// owned reports whether exactly one core ever writes word k (and which).
+func (m *Model) owned(k int) (int, bool) {
+	if len(m.writers[k]) == 1 {
+		return m.writers[k][0], true
+	}
+	return -1, false
+}
+
+// Phantom reports a word whose observed value was written by no store at
+// all — torn or corrupt data, never a mere ordering anomaly.
+func (m *Model) Phantom(o Outcome) (int, bool) {
+	for k := 0; k < NumTracked; k++ {
+		if o[k] != 0 && !m.values[k][o[k]] {
+			return k, true
+		}
+	}
+	return -1, false
+}
+
+// Allows reports whether the observed outcome is inside the derived set.
+// Callers must treat Capped derivations as non-judging.
+func (d *Derived) Allows(o Outcome) bool {
+	m := d.m
+	if !m.Ax.Persist {
+		return o == Outcome{}
+	}
+	for k := 0; k < NumTracked; k++ {
+		if _, ok := m.owned(k); ok {
+			continue // judged via the owner's projection below
+		}
+		if len(m.writers[k]) == 0 {
+			if o[k] != 0 {
+				return false
+			}
+			continue
+		}
+		// Shared word: sound cross-core over-approximation.
+		if o[k] != 0 && !m.values[k][o[k]] {
+			return false
+		}
+	}
+	for c := range m.Cores {
+		var proj Outcome
+		for k := 0; k < NumTracked; k++ {
+			if oc, ok := m.owned(k); ok && oc == c {
+				proj[k] = o[k]
+			}
+		}
+		if !d.coreVals[c][proj] {
+			return false
+		}
+	}
+	return true
+}
+
+// Classify names the axiom an out-of-set outcome broke: the first single
+// relaxation whose re-derivation admits the outcome. The probe order is
+// fixed (drain, FIFO, boundary, group atomicity) so reports are stable.
+func Classify(m *Model, o Outcome) (string, string) {
+	if k, ok := m.Phantom(o); ok {
+		return check.CodeLitmusPhantom,
+			fmt.Sprintf("word %d holds %d, a value no store ever wrote", k, o[k])
+	}
+	probes := []struct {
+		rx   relax
+		on   bool
+		code string
+		msg  string
+	}{
+		{relaxDrain, m.Ax.DrainAtSync, check.CodeLitmusSyncOrder,
+			"a synchronization point committed while an earlier store of its core was lost"},
+		{relaxFIFO, true, check.CodeLitmusFIFO,
+			"same-core same-controller persist FIFO inverted (later store durable, earlier lost)"},
+		{relaxBoundary, m.Ax.BoundaryOrder, check.CodeLitmusBoundary,
+			"execution crossed a region boundary while the closed region's store was lost"},
+		{relaxSyncAtomic, true, check.CodeLitmusSyncAtomic,
+			"a synchronization group persisted partially"},
+	}
+	for _, p := range probes {
+		if !p.on {
+			continue
+		}
+		dr := deriveRelax(m, p.rx)
+		if !dr.Capped && dr.Allows(o) {
+			return p.code, p.msg
+		}
+	}
+	return check.CodeLitmusOutcome, "outcome outside the derived allowed set (no single axiom relaxation explains it)"
+}
+
+// deriveCore enumerates core c's reachable projections. The scenario space:
+//
+//   - an execution cut x: events[0:x] executed, the rest not (the crash
+//     struck mid-program);
+//   - for a synchronization point that is the last executed event, whether
+//     its group commit beat the crash (its drain stall can overshoot the
+//     crash cycle, leaving the whole group un-admitted);
+//   - per (core, MC): how deep the persist FIFO drained — not-yet-admitted
+//     records form a suffix of each controller's admit stream;
+//   - under MCSpec: any subset of admitted, unforced records rolled back
+//     via the MC undo logs (a store is rolled back iff its region had not
+//     retired AND it was logged, both timing-dependent; the subset choice
+//     over-approximates both, and taking zero retired regions subsumes
+//     every retired-prefix choice).
+//
+// Constraints (the axioms under test): a committed sync point forces every
+// earlier record of the core admitted and rollback-proof (DrainAtSync);
+// executing anything after a region boundary forces the closed regions'
+// records durable (BoundaryOrder — the boundary stall precedes the next
+// event); a record behind an un-admitted one on the same controller cannot
+// itself be admitted (FIFO).
+func deriveCore(m *Model, c int, rx relax, budget *int) (map[Outcome]bool, bool) {
+	cm := m.Cores[c]
+	ax := m.Ax
+	out := map[Outcome]bool{}
+	capped := false
+	n := len(cm.events)
+
+	for x := 0; x <= n; x++ {
+		commitChoices := []bool{true}
+		if x > 0 && cm.events[x-1].kind == mSync {
+			commitChoices = []bool{true, false}
+		}
+		for _, commitLast := range commitChoices {
+			committed := func(i int) bool { // i: an executed sync event
+				return i < x-1 || commitLast
+			}
+			lastCommittedSync := -1
+			lastCrossedBoundary := -1
+			for i := 0; i < x; i++ {
+				switch cm.events[i].kind {
+				case mSync:
+					if committed(i) {
+						lastCommittedSync = i
+					}
+				case mBoundary:
+					if i <= x-2 {
+						lastCrossedBoundary = i
+					}
+				}
+			}
+
+			// Records: executed plain stores that traverse the persist path.
+			var recs []int
+			for i := 0; i < x; i++ {
+				ev := cm.events[i]
+				if ev.kind == mStore && !ev.coalesced {
+					recs = append(recs, i)
+				}
+			}
+			forced := map[int]bool{}
+			for _, i := range recs {
+				if ax.DrainAtSync && rx != relaxDrain && i < lastCommittedSync {
+					forced[i] = true
+				}
+				if ax.BoundaryOrder && rx != relaxBoundary && i < lastCrossedBoundary {
+					forced[i] = true
+				}
+			}
+
+			// Sync-store goodness: tied to the group commit, unless probing
+			// broken group atomicity.
+			var syncStores []int
+			for i := 0; i < x; i++ {
+				if ev := cm.events[i]; ev.kind == mSync && ev.hasStore {
+					syncStores = append(syncStores, i)
+				}
+			}
+			syncAssigns := 1
+			if rx == relaxSyncAtomic {
+				syncAssigns = 1 << len(syncStores)
+			}
+
+			for sa := 0; sa < syncAssigns; sa++ {
+				syncGood := map[int]bool{}
+				for si, i := range syncStores {
+					if rx == relaxSyncAtomic {
+						syncGood[i] = sa&(1<<si) != 0
+					} else {
+						syncGood[i] = committed(i)
+					}
+				}
+				for _, notAdm := range fifoBadSets(cm, recs, forced, ax, rx) {
+					// Rollback: any subset of admitted, unforced records.
+					var rollable []int
+					if ax.Rollback {
+						for _, i := range recs {
+							if !notAdm[i] && !forced[i] {
+								rollable = append(rollable, i)
+							}
+						}
+					}
+					for rs := 0; rs < 1<<len(rollable); rs++ {
+						*budget--
+						if *budget < 0 {
+							return out, true
+						}
+						bad := map[int]bool{}
+						for i := range notAdm {
+							bad[i] = true
+						}
+						for ri, i := range rollable {
+							if rs&(1<<ri) != 0 {
+								bad[i] = true
+							}
+						}
+						out[coreOutcome(m, c, x, bad, syncGood)] = true
+					}
+				}
+			}
+		}
+	}
+	return out, capped
+}
+
+// fifoBadSets enumerates the not-admitted record sets: per controller a
+// suffix of that controller's admit stream (admits are monotone per
+// persist path), never including a forced record. Relaxing FIFO frees the
+// per-record choice entirely.
+func fifoBadSets(cm coreModel, recs []int, forced map[int]bool, ax Axioms, rx relax) []map[int]bool {
+	if rx == relaxFIFO {
+		var free []int
+		for _, i := range recs {
+			if !forced[i] {
+				free = append(free, i)
+			}
+		}
+		sets := make([]map[int]bool, 0, 1<<len(free))
+		for s := 0; s < 1<<len(free); s++ {
+			set := map[int]bool{}
+			for fi, i := range free {
+				if s&(1<<fi) != 0 {
+					set[i] = true
+				}
+			}
+			sets = append(sets, set)
+		}
+		return sets
+	}
+
+	streams := make([][]int, ax.NumMCs)
+	for _, i := range recs {
+		mc := cm.events[i].mc
+		streams[mc] = append(streams[mc], i)
+	}
+	// Per controller: cut positions after the last forced record.
+	cuts := make([][]int, ax.NumMCs) // valid suffix starts per mc
+	for mc, st := range streams {
+		minCut := 0
+		for pos, i := range st {
+			if forced[i] {
+				minCut = pos + 1
+			}
+		}
+		for cut := minCut; cut <= len(st); cut++ {
+			cuts[mc] = append(cuts[mc], cut)
+		}
+		if len(st) == 0 {
+			cuts[mc] = []int{0}
+		}
+	}
+	sets := []map[int]bool{{}}
+	for mc, st := range streams {
+		if len(st) == 0 {
+			continue
+		}
+		var next []map[int]bool
+		for _, base := range sets {
+			for _, cut := range cuts[mc] {
+				set := map[int]bool{}
+				for i := range base {
+					set[i] = true
+				}
+				for _, i := range st[cut:] {
+					set[i] = true
+				}
+				next = append(next, set)
+			}
+		}
+		sets = next
+	}
+	return sets
+}
+
+// coreOutcome replays the journal-unwind chain for one scenario: for each
+// word, scan core c's executed writes in order; a bad record freezes the
+// word at the value written immediately before it (exactly what storing the
+// record's Old does during reconstruction — every later write's effect,
+// good or not, is erased by the unwind). Coalesced stores update the chain
+// value without being records.
+func coreOutcome(m *Model, c, x int, bad map[int]bool, syncGood map[int]bool) Outcome {
+	cm := m.Cores[c]
+	var vals Outcome
+	var frozen [NumTracked]bool
+	for i := 0; i < x; i++ {
+		ev := cm.events[i]
+		var k int
+		var v int64
+		isRecord := false
+		recBad := false
+		switch {
+		case ev.kind == mStore:
+			k, v = ev.k, ev.v
+			isRecord = !ev.coalesced
+			recBad = isRecord && bad[i]
+		case ev.kind == mSync && ev.hasStore:
+			k, v = ev.k, ev.v
+			isRecord = true
+			recBad = !syncGood[i]
+		default:
+			continue
+		}
+		if frozen[k] {
+			continue
+		}
+		if isRecord && recBad {
+			frozen[k] = true // vals[k] stays at the pre-record value
+			continue
+		}
+		vals[k] = v
+	}
+	// Project onto owned words: shared words are judged cross-core.
+	for k := 0; k < NumTracked; k++ {
+		if oc, ok := m.owned(k); !ok || oc != c {
+			vals[k] = 0
+		}
+	}
+	return vals
+}

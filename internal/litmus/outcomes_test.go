@@ -1,0 +1,260 @@
+package litmus
+
+import (
+	"testing"
+
+	"cwsp/internal/check"
+)
+
+// mustModel prepares and extracts the model for a spec string.
+func mustModel(t *testing.T, spec string) *Model {
+	t.Helper()
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDeriveBaseSchemeInitOnly(t *testing.T) {
+	m := mustModel(t, "t0=S0.1,A1.2;sch=base;kern=fast;crashes=500")
+	d := Derive(m)
+	if !d.Allows(Outcome{}) {
+		t.Error("base scheme must allow the initial image")
+	}
+	if d.Allows(Outcome{1, 0, 0, 0}) || d.Allows(Outcome{0, 2, 0, 0}) {
+		t.Error("base scheme persists nothing; no store may survive")
+	}
+}
+
+func TestDeriveSingleStore(t *testing.T) {
+	m := mustModel(t, "t0=S0.1;sch=cwsp;kern=fast;crashes=500")
+	d := Derive(m)
+	for _, o := range []Outcome{{}, {1, 0, 0, 0}} {
+		if !d.Allows(o) {
+			t.Errorf("outcome %s must be allowed", o)
+		}
+	}
+	if d.Allows(Outcome{2, 0, 0, 0}) {
+		t.Error("unwritten value allowed")
+	}
+	if d.Allows(Outcome{0, 1, 0, 0}) {
+		t.Error("value on the wrong word allowed")
+	}
+}
+
+func TestDeriveFIFOSameMC(t *testing.T) {
+	// k0 and k2 share controller 0: the persist FIFO forbids the later
+	// store surviving while the earlier is lost.
+	m := mustModel(t, "t0=S0.1,S2.2;sch=persist-path;kern=fast;crashes=500")
+	d := Derive(m)
+	for _, o := range []Outcome{{}, {1, 0, 0, 0}, {1, 0, 2, 0}} {
+		if !d.Allows(o) {
+			t.Errorf("outcome %s must be allowed", o)
+		}
+	}
+	inverted := Outcome{0, 0, 2, 0}
+	if d.Allows(inverted) {
+		t.Fatal("FIFO inversion allowed")
+	}
+	code, _ := Classify(m, inverted)
+	if code != check.CodeLitmusFIFO {
+		t.Errorf("FIFO inversion classified %s, want %s", code, check.CodeLitmusFIFO)
+	}
+}
+
+func TestDeriveCrossMCNoOrder(t *testing.T) {
+	// k0 (MC0) and k1 (MC1) are on different controllers: either order of
+	// durability is legal without a sync between them.
+	m := mustModel(t, "t0=S0.1,S1.2;sch=cwsp;kern=fast;crashes=500")
+	d := Derive(m)
+	for _, o := range []Outcome{{}, {1, 0, 0, 0}, {0, 2, 0, 0}, {1, 2, 0, 0}} {
+		if !d.Allows(o) {
+			t.Errorf("outcome %s must be allowed (cross-MC stores are unordered)", o)
+		}
+	}
+}
+
+func TestDeriveDrainAtSync(t *testing.T) {
+	// k1 (MC1) then an atomic on k2 (MC0): different controllers, so only
+	// the sync-drain axiom ties them. A committed atomic with the earlier
+	// store lost is the CWSP101 shape.
+	const spec = "t0=S1.1,A2.5;sch=%s;kern=fast;crashes=500"
+	violating := Outcome{0, 0, 5, 0}
+
+	m := mustModel(t, "t0=S1.1,A2.5;sch=cwsp;kern=fast;crashes=500")
+	d := Derive(m)
+	if d.Allows(violating) {
+		t.Fatal("cwsp: committed sync with earlier store lost allowed")
+	}
+	code, _ := Classify(m, violating)
+	if code != check.CodeLitmusSyncOrder {
+		t.Errorf("classified %s, want %s", code, check.CodeLitmusSyncOrder)
+	}
+	if !d.Allows(Outcome{0, 1, 5, 0}) {
+		t.Error("cwsp: fully persisted outcome must be allowed")
+	}
+	// An uncommitted sync (crash during its drain stall) legally loses both.
+	if !d.Allows(Outcome{0, 1, 0, 0}) || !d.Allows(Outcome{}) {
+		t.Error("cwsp: pre-commit outcomes must be allowed")
+	}
+
+	// Capri's battery-backed buffers give sync points no persist-ordering
+	// role: the same outcome is legal there.
+	mc := mustModel(t, "t0=S1.1,A2.5;sch=capri;kern=fast;crashes=500")
+	if !Derive(mc).Allows(violating) {
+		t.Errorf("capri: %s must be allowed (no drain axiom); spec %s", violating, spec)
+	}
+}
+
+func TestDeriveSyncGroupAtomicity(t *testing.T) {
+	// Two committed atomics: the second visible with the first's store
+	// lost breaks group atomicity (commit order is monotone per core).
+	m := mustModel(t, "t0=A1.1,A2.2;sch=cwsp;kern=fast;crashes=500")
+	d := Derive(m)
+	partial := Outcome{0, 0, 2, 0}
+	if d.Allows(partial) {
+		t.Fatal("partial sync-group persistence allowed")
+	}
+	code, _ := Classify(m, partial)
+	if code != check.CodeLitmusSyncAtomic {
+		t.Errorf("classified %s, want %s", code, check.CodeLitmusSyncAtomic)
+	}
+	for _, o := range []Outcome{{}, {0, 1, 0, 0}, {0, 1, 2, 0}} {
+		if !d.Allows(o) {
+			t.Errorf("outcome %s must be allowed", o)
+		}
+	}
+}
+
+func TestDeriveBoundaryOrder(t *testing.T) {
+	// BoundaryStall schemes: executing past a call boundary makes the
+	// closed region's stores durable. k1/k3 share MC1; use k1 then k3 so
+	// FIFO also binds — but a boundary between stores on DIFFERENT
+	// controllers is the pure CWSP103 shape.
+	m := mustModel(t, "t0=S1.1,C,S0.2,S0.3;sch=ido;kern=fast;crashes=500")
+	d := Derive(m)
+	// S0.3 durable means execution passed the boundary long before: S1.1
+	// must have persisted.
+	bad := Outcome{0, 0, 0, 0}
+	bad[0] = 3
+	if d.Allows(bad) {
+		t.Fatal("boundary-stall scheme lost a pre-boundary store after crossing")
+	}
+	code, _ := Classify(m, bad)
+	if code != check.CodeLitmusBoundary {
+		t.Errorf("classified %s, want %s", code, check.CodeLitmusBoundary)
+	}
+	// The same shape is legal under cwsp: RBT boundaries do not stall.
+	mr := mustModel(t, "t0=S1.1,C,S0.2,S0.3;sch=cwsp;kern=fast;crashes=500")
+	if !Derive(mr).Allows(bad) {
+		t.Error("cwsp: RBT boundaries do not stall; outcome must be allowed")
+	}
+}
+
+func TestDerivePhantom(t *testing.T) {
+	m := mustModel(t, "t0=S0.1;sch=cwsp;kern=fast;crashes=500")
+	code, _ := Classify(m, Outcome{99, 0, 0, 0})
+	if code != check.CodeLitmusPhantom {
+		t.Errorf("phantom value classified %s, want %s", code, check.CodeLitmusPhantom)
+	}
+}
+
+func TestExtractDedupCoalescing(t *testing.T) {
+	// Capri coalesces the second store to the same line within a region;
+	// a region boundary (call) resets the line set.
+	m := mustModel(t, "t0=S0.1,S0.2,C,S0.3;sch=capri;kern=fast;crashes=500")
+	var stores []mEvent
+	for _, ev := range m.Cores[0].events {
+		if ev.kind == mStore {
+			stores = append(stores, ev)
+		}
+	}
+	if len(stores) != 3 {
+		t.Fatalf("want 3 tracked stores, got %d", len(stores))
+	}
+	if stores[0].coalesced || stores[2].coalesced {
+		t.Error("first store of a region must journal (not coalesce)")
+	}
+	if !stores[1].coalesced {
+		t.Error("repeated same-line store within a region must coalesce")
+	}
+	// Non-dedup schemes never coalesce.
+	mn := mustModel(t, "t0=S0.1,S0.2;sch=cwsp;kern=fast;crashes=500")
+	for _, ev := range mn.Cores[0].events {
+		if ev.kind == mStore && ev.coalesced {
+			t.Error("cwsp must not coalesce stores")
+		}
+	}
+}
+
+func TestExtractCompiledBoundaries(t *testing.T) {
+	// The compiled program brackets calls with boundaries; the extraction
+	// reads them back from the IR the machine executes, not from the spec.
+	m := mustModel(t, "t0=S0.1,C,S1.2;sch=cwsp;kern=fast;crashes=500")
+	sawBoundary := false
+	for _, ev := range m.Cores[0].events {
+		if ev.kind == mBoundary {
+			sawBoundary = true
+		}
+	}
+	if !sawBoundary {
+		t.Fatal("compiled call produced no boundary event")
+	}
+	if m.Cores[0].nSegs < 2 {
+		t.Errorf("call must split regions: got %d segments", m.Cores[0].nSegs)
+	}
+}
+
+func TestDeriveMultiCoreOwnership(t *testing.T) {
+	// Distinct per-core words: each core's projection judged independently.
+	m := mustModel(t, "t0=S0.1;t1=S1.2;sch=cwsp;kern=fast;crashes=500")
+	d := Derive(m)
+	for _, o := range []Outcome{{}, {1, 0, 0, 0}, {0, 2, 0, 0}, {1, 2, 0, 0}} {
+		if !d.Allows(o) {
+			t.Errorf("outcome %s must be allowed", o)
+		}
+	}
+	if d.Allows(Outcome{2, 0, 0, 0}) {
+		t.Error("core 1's value on core 0's word allowed")
+	}
+	// Shared word: any written value or init is allowed (sound cross-core
+	// over-approximation), an unwritten value is not.
+	ms := mustModel(t, "t0=S0.1;t1=S0.2;sch=cwsp;kern=fast;crashes=500")
+	ds := Derive(ms)
+	for _, o := range []Outcome{{}, {1, 0, 0, 0}, {2, 0, 0, 0}} {
+		if !ds.Allows(o) {
+			t.Errorf("shared-word outcome %s must be allowed", o)
+		}
+	}
+	if ds.Allows(Outcome{3, 0, 0, 0}) {
+		t.Error("unwritten value on a shared word allowed")
+	}
+}
+
+func TestDeriveRollbackScheme(t *testing.T) {
+	// MCSpec schemes may roll back an admitted store of an unretired
+	// region — losing a store NOT behind any FIFO suffix — while
+	// persist-path (no MC speculation) cannot lose an isolated earlier
+	// store that a committed later one proves admitted... on the same
+	// controller. Same-MC pair, no sync: under mc-spec, "earlier lost,
+	// later kept" is reachable via rollback of only the earlier record.
+	m := mustModel(t, "t0=S0.1,S2.2;sch=mc-spec;kern=fast;crashes=500")
+	d := Derive(m)
+	if !d.Allows(Outcome{0, 0, 2, 0}) {
+		t.Error("mc-spec: undo-log rollback of the earlier store must be allowed")
+	}
+	// persist-path has no undo logs: the same outcome is a FIFO inversion.
+	mp := mustModel(t, "t0=S0.1,S2.2;sch=persist-path;kern=fast;crashes=500")
+	if Derive(mp).Allows(Outcome{0, 0, 2, 0}) {
+		t.Error("persist-path: FIFO inversion must not be allowed")
+	}
+}

@@ -1,0 +1,84 @@
+package litmus
+
+import "fmt"
+
+// Shrink reduces a violating litmus to a minimal reproducer, mirroring the
+// faults subsystem's greedy shrinker: drop events one at a time, drop
+// trailing empty threads, drop fault points, then halve the crash permille
+// — each step re-runs the litmus and keeps the mutation only if it still
+// violates. Deterministic; returns the shrunk spec and its result (and an
+// error if the input does not violate — e.g. a stale report entry from a
+// different code version).
+func Shrink(s *Spec, opt RunOptions) (*Spec, *Result, error) {
+	fails := func(c *Spec) (*Result, bool) {
+		r, err := RunSpec(c, opt)
+		if err != nil {
+			return nil, false
+		}
+		return r, r.Failed()
+	}
+	cur := s.Clone()
+	cur.Seed = 0 // shrunk specs are explicit, not RNG-derived
+	best, ok := fails(cur)
+	if !ok {
+		return s, best, fmt.Errorf("litmus: spec does not violate; nothing to shrink")
+	}
+
+	// 1. Fewest events: repeatedly try removing each event of each thread.
+	for changed := true; changed; {
+		changed = false
+	outer:
+		for ti := range cur.Threads {
+			for i := range cur.Threads[ti] {
+				cand := cur.Clone()
+				th := cand.Threads[ti]
+				cand.Threads[ti] = append(th[:i:i], th[i+1:]...)
+				if r, ok := fails(cand); ok {
+					cur, best, changed = cand, r, true
+					break outer
+				}
+			}
+		}
+	}
+
+	// 2. Fewest threads: drop empty trailing threads (indices stay dense).
+	for len(cur.Threads) > 1 && len(cur.Threads[len(cur.Threads)-1]) == 0 {
+		cand := cur.Clone()
+		cand.Threads = cand.Threads[:len(cand.Threads)-1]
+		r, ok := fails(cand)
+		if !ok {
+			break
+		}
+		cur, best = cand, r
+	}
+
+	// 3. Fewest fault points.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Plan.Points); i++ {
+			cand := cur.Clone()
+			cand.Plan.Points = append(cand.Plan.Points[:i:i], cand.Plan.Points[i+1:]...)
+			if r, ok := fails(cand); ok {
+				cur, best, changed = cand, r, true
+				break
+			}
+		}
+	}
+
+	// 4. Earliest crash: halve the crash permille while it still violates.
+	for cur.Plan.Crashes[0] > 1 {
+		cand := cur.Clone()
+		cand.Plan.Crashes[0] /= 2
+		r, ok := fails(cand)
+		if !ok {
+			break
+		}
+		cur, best = cand, r
+	}
+	return cur, best, nil
+}
+
+// ReplayCommand renders the one-flag reproducer for a spec.
+func ReplayCommand(s *Spec) string {
+	return fmt.Sprintf("cwsplitmus -replay '%s'", s.Render())
+}

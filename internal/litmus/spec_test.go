@@ -1,0 +1,154 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"cwsp/internal/faults"
+)
+
+func TestSpecRenderParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"t0=S0.1;sch=cwsp;kern=fast;crashes=350",
+		"seed=7;t0=S0.1,F,A2.3,C;t1=S1.9;sch=capri;kern=ref;crashes=500",
+		"t0=;t1=S1.1,A3.3;sch=cwsp;kern=fast;crashes=666;drop-wpq@0:1925955:2bb793591a43f1ae",
+		"t0=S3.12,S3.13;sch=ido;kern=fast;crashes=10;torn-log@0:3:55aa;reorder-wpq@0:0:1",
+	}
+	for _, in := range specs {
+		s, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		out := s.Render()
+		s2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Parse(Render(%q)) = %q: %v", in, out, err)
+		}
+		if got := s2.Render(); got != out {
+			t.Errorf("render not stable: %q -> %q -> %q", in, out, got)
+		}
+	}
+}
+
+func TestSpecRenderIsCanonical(t *testing.T) {
+	// Term order in the input must not matter; the render is canonical.
+	a, err := Parse("sch=cwsp;t1=S1.2;crashes=350;kern=fast;t0=F;seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("seed=9;t0=F;t1=S1.2;sch=cwsp;kern=fast;crashes=350")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Errorf("canonical renders differ: %q vs %q", a.Render(), b.Render())
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"sch=cwsp;kern=fast;crashes=350":                  "no thread",
+		"t0=S0.1;kern=fast;crashes=350":                   "no sch",
+		"t0=S0.1;sch=cwsp;crashes=350":                    "no kern",
+		"t0=S0.1;sch=cwsp;kern=slow;crashes=350":          "unknown kernel",
+		"t0=S0.1;t2=F;sch=cwsp;kern=fast;crashes=350":     "sparse threads",
+		"t0=S9.1;sch=cwsp;kern=fast;crashes=350":          "tracked index out of range",
+		"t0=S0.0;sch=cwsp;kern=fast;crashes=350":          "non-positive value",
+		"t0=X0.1;sch=cwsp;kern=fast;crashes=350":          "unknown event",
+		"t0=S0.1;t0=F;sch=cwsp;kern=fast;crashes=350":     "duplicate thread",
+		"t0=S0.1;sch=cwsp;kern=fast;crashes=350,700":      "two crashes",
+		"t0=S0.1;sch=cwsp;kern=fast;crashes=350;corrupt-ckpt@0:1:aa": "non-litmus fault kind",
+	}
+	for in, why := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail (%s)", in, why)
+		}
+	}
+}
+
+func TestNewSpecDeterministicAndUnique(t *testing.T) {
+	a := NewSpec(42, GenOptions{Cores: 3, Events: 6, Points: 3})
+	b := NewSpec(42, GenOptions{Cores: 3, Events: 6, Points: 3})
+	a.Scheme, a.Kernel = "cwsp", KernelFast
+	b.Scheme, b.Kernel = "cwsp", KernelFast
+	if a.Render() != b.Render() {
+		t.Fatalf("same seed, different specs:\n%s\n%s", a.Render(), b.Render())
+	}
+	// Store values are globally unique so a crash image identifies its
+	// writer exactly.
+	seen := map[int64]bool{}
+	for _, th := range a.Threads {
+		for _, ev := range th {
+			if ev.Kind == EvStore || ev.Kind == EvAtomic {
+				if seen[ev.V] {
+					t.Fatalf("duplicate store value %d in %s", ev.V, a.Render())
+				}
+				seen[ev.V] = true
+			}
+		}
+	}
+	if a.Plan.Depth() != 1 {
+		t.Fatalf("litmus plans crash once, got depth %d", a.Plan.Depth())
+	}
+	for _, pt := range a.Plan.Points {
+		if !litmusKind(pt.Kind) {
+			t.Fatalf("generator drew non-litmus kind %s", pt.Kind)
+		}
+	}
+}
+
+func TestSpecGrammarSupersetOfFaults(t *testing.T) {
+	// The litmus-specific terms removed, what remains parses as a faults
+	// plan — the grammars compose, they do not fork.
+	s, err := Parse("t0=S0.1;sch=cwsp;kern=fast;crashes=350;torn-log@0:3:55aa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faultTerms []string
+	for _, term := range strings.Split(s.Render(), ";") {
+		if strings.HasPrefix(term, "t0=") || strings.HasPrefix(term, "sch=") ||
+			strings.HasPrefix(term, "kern=") || strings.HasPrefix(term, "seed=") {
+			continue
+		}
+		faultTerms = append(faultTerms, term)
+	}
+	plan, err := faults.ParseSpec(strings.Join(faultTerms, ";"))
+	if err != nil {
+		t.Fatalf("residual terms are not a faults spec: %v", err)
+	}
+	if plan.Spec() != s.Plan.Spec() {
+		t.Errorf("plan mismatch: %q vs %q", plan.Spec(), s.Plan.Spec())
+	}
+}
+
+func TestFromFaultPlan(t *testing.T) {
+	plan, err := faults.ParseSpec("crashes=350;torn-log@0:3:55aa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := FromFaultPlan(plan, "cwsp", KernelFast)
+	if !ok {
+		t.Fatal("litmus-shaped plan rejected")
+	}
+	if _, err := Parse(s.Render()); err != nil {
+		t.Fatalf("FromFaultPlan spec does not round-trip: %v", err)
+	}
+	if _, err := RunSpec(s, RunOptions{}); err != nil {
+		t.Fatalf("FromFaultPlan spec does not run: %v", err)
+	}
+
+	deep, err := faults.ParseSpec("crashes=350,700;torn-log@1:3:55aa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := FromFaultPlan(deep, "cwsp", KernelFast); ok {
+		t.Error("nested-crash plan should not be litmus-shaped")
+	}
+	ckpt, err := faults.ParseSpec("crashes=350;corrupt-ckpt@0:1:aa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := FromFaultPlan(ckpt, "cwsp", KernelFast); ok {
+		t.Error("checkpoint-corruption plan should not be litmus-shaped")
+	}
+}
