@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-smoke bench-check bench-baseline bench-kernel fuzz-smoke torture-smoke torture litmus-smoke litmus lint repro repro-quick examples trace metrics clean
+.PHONY: all build test test-short bench bench-smoke bench-check bench-baseline bench-kernel fuzz-smoke torture-smoke torture litmus-smoke litmus cwspd-smoke service-load service-check service-baseline lint repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -81,6 +81,39 @@ litmus-smoke:
 # 1100 cells, every observed post-crash outcome inside the derived set.
 litmus:
 	$(GO) run ./cmd/cwsplitmus -seed 1 -n 50 -out litmus-report.json
+
+# End-to-end exercise of the experiment daemon as a real subprocess:
+# cwspload spawns a cwspd binary, submits a small sweep twice, asserts
+# the repeat is byte-identical and served >=99% from the shared
+# content-addressed cache, then SIGTERMs the daemon and requires a clean
+# drain.
+cwspd-smoke:
+	$(GO) build -o bin/cwspd ./cmd/cwspd
+	$(GO) build -o bin/cwspload ./cmd/cwspload
+	./bin/cwspload -spawn-bin ./bin/cwspd -smoke
+
+# Load-generate against an in-process daemon: 32 concurrent clients over
+# mixed cold/warm campaign traffic, zero dropped campaigns required. The
+# run emits the service bench trajectory record BENCH_service.json
+# (gitignored; gate it with `make service-check`, refresh the committed
+# baseline with `make service-baseline`).
+service-load:
+	$(GO) run ./cmd/cwspload -spawn -clients 32 -requests 2 -warm-seeds 2 -seed 1 -poll 5ms -q -bench-out BENCH_service.json
+
+# Gate the freshest BENCH_service.json against the committed baseline:
+# client count, dropped-campaign count, and warm cache-hit ratio enforced
+# anywhere; request latency, throughput, and queue depth are wall-clock
+# (queue-wait dominated) and advisory unless -bench-strict.
+service-check: BENCH_service.json
+	$(GO) run ./cmd/cwspload -bench-in BENCH_service.json -bench-check baselines/BENCH_service.json
+
+BENCH_service.json:
+	$(MAKE) service-load
+
+# Refresh the committed service baseline from a fresh run on this machine.
+service-baseline:
+	$(MAKE) service-load
+	cp BENCH_service.json baselines/BENCH_service.json
 
 # Static soundness verification: vet, staticcheck (when installed; CI pins
 # it), then the independent persistence checker over the checked-in

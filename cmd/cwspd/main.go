@@ -1,0 +1,100 @@
+// Command cwspd is the long-running experiment daemon: it accepts sweep,
+// torture, and litmus campaign specs over HTTP, runs them on a bounded
+// worker pool behind an admission queue with real backpressure (a full
+// queue answers 429 + Retry-After, never buffers unboundedly), and serves
+// every cell from a shared content-addressed cache — a campaign one
+// client paid to simulate is a cache hit for every later client.
+//
+// Usage:
+//
+//	cwspd -addr :8080 -cache-dir .cwspd-cache
+//	cwspd -addr :8080 -cache-dir .cwspd-cache -workers 4 -jobs 2 \
+//	      -max-store-bytes 268435456 -compact-every 32
+//
+// API (JSON over HTTP):
+//
+//	POST /api/v1/campaigns                submit a spec   → 202 view | 429 busy
+//	GET  /api/v1/campaigns                list campaigns
+//	GET  /api/v1/campaigns/{id}           one campaign's view
+//	GET  /api/v1/campaigns/{id}/progress  live pace snapshot
+//	GET  /api/v1/campaigns/{id}/result    payload (409 while running)
+//	GET  /api/v1/stats                    daemon digest (queue, store, EWMA)
+//
+// Everything else — /metrics, /progress, /events (SSE), /debug/pprof —
+// is the live observability endpoint shared with cwspbench -http.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops, queued
+// campaigns abort with a terminal state, running campaigns drain, the
+// store compacts and closes. A second signal exits immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cwsp/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		cacheDir   = flag.String("cache-dir", ".cwspd-cache", "shared content-addressed cell cache (created if missing)")
+		queue      = flag.Int("queue", 16, "admission-queue capacity; beyond it submissions get 429 + Retry-After")
+		workers    = flag.Int("workers", 2, "concurrent campaign-runner goroutine groups")
+		jobs       = flag.Int("jobs", 1, "simulation-cell pool width inside each campaign")
+		maxBytes   = flag.Int64("max-store-bytes", 0, "LRU-evict the shared cache beyond this size (0 = unbounded)")
+		compactEvy = flag.Int("compact-every", 0, "compact the store every N completed campaigns (0 = only at shutdown)")
+		quiet      = flag.Bool("q", false, "suppress per-campaign log lines")
+	)
+	flag.Parse()
+
+	opts := service.Options{
+		CacheDir:      *cacheDir,
+		MaxStoreBytes: *maxBytes,
+		CompactEvery:  *compactEvy,
+		Queue:         *queue,
+		Workers:       *workers,
+		Jobs:          *jobs,
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	svc, err := service.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	srv := service.NewServer(svc)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		svc.Close()
+		fatal(err)
+	}
+	// The listening line is a contract: cwspload -spawn-bin parses it to
+	// find the daemon it just started.
+	fmt.Printf("cwspd: listening on http://%s\n", bound)
+	os.Stdout.Sync()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Fprintf(os.Stderr, "cwspd: %v: draining (again to force exit)\n", sig)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "cwspd: forced exit")
+		os.Exit(1)
+	}()
+
+	srv.Close()
+	if err := svc.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "cwspd: clean shutdown")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cwspd:", err)
+	os.Exit(1)
+}

@@ -91,6 +91,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		defer st.Close()
 		st.SetBus(bus)
 		opts.Store = st
 	}

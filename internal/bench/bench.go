@@ -16,6 +16,7 @@ import (
 
 	"cwsp/internal/compiler"
 	"cwsp/internal/ir"
+	"cwsp/internal/runner"
 	"cwsp/internal/schemes"
 	"cwsp/internal/sim"
 	"cwsp/internal/stats"
@@ -38,12 +39,21 @@ type Options struct {
 	// internal/runner): repeated or interrupted sweeps are served from the
 	// store instead of re-simulating.
 	CacheDir string
+	// Store, when set, is used instead of opening CacheDir: the experiment
+	// service hands every campaign the daemon's shared store handle. The
+	// harness does not close an injected store (Close only releases stores
+	// the harness opened itself via CacheDir).
+	Store *runner.Store
 	// NoResume disables serving cells from an existing cache: everything is
 	// recomputed and the store refreshed in place.
 	NoResume bool
 	// Bus, when set, receives live cell/flush/sim-progress events for the
 	// -http observability endpoint (see internal/telemetry/live).
 	Bus *live.Bus
+	// Progress, when set, is shared with the pool (see
+	// runner.Options.Progress): the service reads per-campaign pace from it
+	// while the sweep runs.
+	Progress *runner.Progress
 }
 
 // DefaultOptions runs at quick scale, silently.
@@ -179,9 +189,10 @@ type Harness struct {
 
 	logMu sync.Mutex
 
-	poolOnce sync.Once
-	pool     simPool // built lazily by RunExperiment
-	poolErr  error
+	poolOnce   sync.Once
+	pool       simPool // built lazily by RunExperiment
+	poolErr    error
+	ownedStore *runner.Store // opened from CacheDir; closed by Close
 }
 
 type progKey struct {

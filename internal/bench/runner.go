@@ -62,22 +62,28 @@ func (h *Harness) cellKey(pc planCell) runner.Key {
 
 // parallel reports whether RunExperiment routes cells through the pool.
 func (h *Harness) parallel() bool {
-	return h.jobs() > 1 || h.Opt.CacheDir != ""
+	return h.jobs() > 1 || h.Opt.CacheDir != "" || h.Opt.Store != nil
 }
 
-// ensurePool lazily builds the shared pool (and opens the persistent store
-// when CacheDir is set). One pool serves every experiment of the harness,
+// ensurePool lazily builds the shared pool. An injected Options.Store is
+// used as-is (the experiment service shares one store across campaigns);
+// otherwise CacheDir, when set, is opened here and owned by the harness
+// (Close releases it). One pool serves every experiment of the harness,
 // so `cwspbench -exp all` shares workers, cache, and telemetry across the
 // whole evaluation.
 func (h *Harness) ensurePool() (simPool, error) {
 	h.poolOnce.Do(func() {
 		opts := runner.Options{
-			Jobs:  h.jobs(),
-			Reuse: !h.Opt.NoResume,
-			Log:   h.Opt.Log,
-			Bus:   h.Opt.Bus,
+			Jobs:     h.jobs(),
+			Reuse:    !h.Opt.NoResume,
+			Log:      h.Opt.Log,
+			Bus:      h.Opt.Bus,
+			Progress: h.Opt.Progress,
 		}
-		if h.Opt.CacheDir != "" {
+		switch {
+		case h.Opt.Store != nil:
+			opts.Store = h.Opt.Store
+		case h.Opt.CacheDir != "":
 			store, err := runner.OpenStore(h.Opt.CacheDir)
 			if err != nil {
 				h.poolErr = err
@@ -85,6 +91,7 @@ func (h *Harness) ensurePool() (simPool, error) {
 			}
 			store.SetBus(h.Opt.Bus)
 			opts.Store = store
+			h.ownedStore = store
 		}
 		pool := runner.NewPool[sim.Stats](opts)
 		h.mu.Lock()
@@ -179,11 +186,18 @@ func (h *Harness) RunnerSummary() *telemetry.RunnerInfo {
 	return &info
 }
 
-// Close flushes the persistent store (a no-op without one). Call after the
-// last experiment.
+// Close flushes the persistent store and, when the harness opened it
+// itself (CacheDir rather than an injected Options.Store), closes it and
+// releases its directory lock. Call after the last experiment.
 func (h *Harness) Close() error {
 	if h.pool == nil {
 		return nil
 	}
-	return h.pool.Close()
+	err := h.pool.Close()
+	if h.ownedStore != nil {
+		if cerr := h.ownedStore.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -40,6 +40,9 @@ type CampaignOptions struct {
 	Jobs  int
 	Store *runner.Store
 	Bus   *live.Bus
+	// Progress, when set, is shared with the campaign's pool so an
+	// embedding service can read per-campaign pace while it runs.
+	Progress *runner.Progress
 }
 
 // AllSchemes is the full scheme grid the acceptance campaign spans.
@@ -210,7 +213,8 @@ func RunCampaign(opts CampaignOptions) (*CampaignReport, *runner.Progress, error
 	}
 
 	pool := runner.NewPool[*CampaignCell](runner.Options{
-		Jobs: opts.Jobs, Store: opts.Store, Reuse: opts.Store != nil, Bus: opts.Bus,
+		Jobs: opts.Jobs, Store: opts.Store, Reuse: opts.Store != nil,
+		Bus: opts.Bus, Progress: opts.Progress,
 	})
 	results, err := pool.Run(cells)
 	if err != nil {

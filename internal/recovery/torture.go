@@ -50,6 +50,9 @@ type TortureOptions struct {
 	// RecoveryOutcome per completed cell (the -http endpoint and the
 	// progress ticker read from it). Nil disables at zero cost.
 	Bus *live.Bus
+	// Progress, when set, is shared with the campaign's pool so an
+	// embedding service can read per-campaign pace while it runs.
+	Progress *runner.Progress
 }
 
 // TortureCell is one campaign cell's deterministic record.
@@ -192,7 +195,10 @@ func RunTorture(targets []TortureTarget, opts TortureOptions) (*TortureReport, *
 		}
 	}
 
-	pool := runner.NewPool[*FaultResult](runner.Options{Jobs: opts.Jobs, Store: opts.Store, Reuse: opts.Store != nil, Bus: opts.Bus})
+	pool := runner.NewPool[*FaultResult](runner.Options{
+		Jobs: opts.Jobs, Store: opts.Store, Reuse: opts.Store != nil,
+		Bus: opts.Bus, Progress: opts.Progress,
+	})
 	results, err := pool.Run(cells)
 	if err != nil {
 		return nil, pool.Progress(), err

@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// lockFileName is the per-cache-directory lock marker. Exactly one live
+// Store handle — in this process or any other — may own a cache directory
+// at a time: the batch CLIs owned their shard implicitly by being the only
+// process for the life of a sweep, but a long-running daemon sharing a
+// cache with ad-hoc CLI runs needs the ownership made explicit, or two
+// writers would interleave rewrite-and-rename flushes and silently drop
+// each other's records.
+const lockFileName = "LOCK"
+
+// ErrLocked wraps every lock-acquisition conflict; test with
+// errors.Is(err, ErrLocked).
+var ErrLocked = errors.New("runner: store dir is locked")
+
+// LockError reports who owns a contended cache directory.
+type LockError struct {
+	Dir      string
+	OwnerPID int
+}
+
+func (e *LockError) Error() string {
+	return fmt.Sprintf("runner: store %s is locked by pid %d (stale locks from dead processes are reclaimed automatically)", e.Dir, e.OwnerPID)
+}
+
+// Unwrap makes errors.Is(err, ErrLocked) work.
+func (e *LockError) Unwrap() error { return ErrLocked }
+
+// acquireLock takes exclusive ownership of dir, returning the lock path to
+// remove on Close. A lock whose recorded owner is no longer alive is stale
+// (a crashed sweep, or any pre-Close CLI exit) and is reclaimed; a live
+// owner — including this very process holding another handle — is a
+// conflict surfaced as *LockError.
+func acquireLock(dir string) (string, error) {
+	path := filepath.Join(dir, lockFileName)
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d %s\n", os.Getpid(), time.Now().UTC().Format(time.RFC3339))
+			if cerr := f.Close(); cerr != nil {
+				os.Remove(path)
+				return "", fmt.Errorf("runner: write lock: %w", cerr)
+			}
+			return path, nil
+		}
+		if !os.IsExist(err) {
+			return "", fmt.Errorf("runner: lock store: %w", err)
+		}
+		pid := lockOwner(path)
+		if pid > 0 && pidAlive(pid) {
+			return "", &LockError{Dir: dir, OwnerPID: pid}
+		}
+		// Stale (owner dead or unreadable): reclaim and retry. Two racers
+		// both reclaiming lose to O_EXCL on the next attempt.
+		os.Remove(path)
+	}
+	return "", &LockError{Dir: dir, OwnerPID: lockOwner(path)}
+}
+
+// lockOwner parses the pid recorded in a lock file (0 when unreadable).
+func lockOwner(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) == 0 {
+		return 0
+	}
+	pid, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0
+	}
+	return pid
+}
+
+// pidAlive reports whether a process exists. Signal 0 probes without
+// delivering; EPERM means "exists but not ours", which still counts as
+// alive. Platforms without signal support report dead, degrading to
+// last-writer-wins — no worse than the pre-lock behavior there.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -33,7 +34,16 @@ type Options struct {
 	// behind the -http observability endpoint). A nil bus costs one
 	// predictable branch per cell transition.
 	Bus *live.Bus
+	// Progress, when set, is used instead of a fresh per-pool Progress —
+	// the experiment service hands each campaign its own Progress so
+	// per-campaign pace (done/total, ETA, hit ratio) stays readable over
+	// HTTP while the campaign's pools come and go.
+	Progress *Progress
 }
+
+// ErrCanceled marks a cell abandoned mid-retry because another cell's hard
+// error already canceled the batch; test with errors.Is.
+var ErrCanceled = errors.New("runner: canceled by an earlier failure")
 
 // Cell is one independent work unit: a content signature plus the function
 // that computes the result. R must round-trip through encoding/json when
@@ -61,7 +71,13 @@ func NewPool[R any](opts Options) *Pool[R] {
 	if opts.FlushEvery <= 0 {
 		opts.FlushEvery = 32
 	}
-	return &Pool[R]{opts: opts, jobs: jobs, prog: newProgress(opts.Log)}
+	prog := opts.Progress
+	if prog == nil {
+		prog = newProgress(opts.Log)
+	} else if opts.Log != nil {
+		prog.setLog(opts.Log)
+	}
+	return &Pool[R]{opts: opts, jobs: jobs, prog: prog}
 }
 
 // Jobs returns the effective worker count.
@@ -169,7 +185,7 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 						cellStart = time.Now()
 						bus.Publish(live.Event{Kind: live.CellStarted, Worker: worker, Cell: cells[i].Key.String()})
 					}
-					if err := p.runCell(&cells[i], &out[i]); err != nil {
+					if err := p.runCell(&cells[i], &out[i], stop); err != nil {
 						errs[i] = err
 						if bus != nil {
 							bus.Publish(live.Event{Kind: live.CellFinished, Worker: worker,
@@ -189,7 +205,11 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 							stopOnce.Do(func() { close(stop) })
 							continue
 						}
-						p.opts.Store.Put(cells[i].Key, raw)
+						if err := p.opts.Store.Put(cells[i].Key, raw); err != nil {
+							errs[i] = fmt.Errorf("runner: store %s: %w", cells[i].Key, err)
+							stopOnce.Do(func() { close(stop) })
+							continue
+						}
 						flushMu.Lock()
 						sinceFlush++
 						if sinceFlush >= p.opts.FlushEvery && flushErr == nil {
@@ -202,10 +222,23 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 			}(w)
 		}
 		wg.Wait()
+		// Report the earliest non-canceled error in input order: a cell
+		// abandoned mid-retry by the cancellation is a symptom, not the
+		// cause, so it only surfaces when nothing else failed.
+		var canceled error
 		for _, i := range leaders {
-			if errs[i] != nil {
+			if errs[i] == nil {
+				continue
+			}
+			if !errors.Is(errs[i], ErrCanceled) {
 				return nil, errs[i]
 			}
+			if canceled == nil {
+				canceled = errs[i]
+			}
+		}
+		if canceled != nil {
+			return nil, canceled
 		}
 		if flushErr != nil {
 			return nil, flushErr
@@ -230,11 +263,19 @@ func (p *Pool[R]) Run(cells []Cell[R]) ([]R, error) {
 	return out, nil
 }
 
-// runCell executes one cell with panic isolation and bounded retry.
-func (p *Pool[R]) runCell(c *Cell[R], out *R) error {
+// runCell executes one cell with panic isolation and bounded retry. A
+// batch-wide cancellation (another cell's hard error) aborts the retry
+// loop between attempts: once the batch is doomed, re-attempting a flaky
+// cell only delays the error the caller is waiting for.
+func (p *Pool[R]) runCell(c *Cell[R], out *R, stop <-chan struct{}) error {
 	var err error
 	for attempt := 0; attempt <= p.opts.Retries; attempt++ {
 		if attempt > 0 {
+			select {
+			case <-stop:
+				return fmt.Errorf("runner: cell %s abandoned during retry (%v): %w", c.Key, err, ErrCanceled)
+			default:
+			}
 			p.prog.addRetry()
 		}
 		err = p.attempt(c, out)

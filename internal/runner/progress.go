@@ -43,6 +43,17 @@ func newProgress(log io.Writer) *Progress {
 	}
 }
 
+// NewProgress builds a standalone Progress for injection via
+// Options.Progress (the experiment service allocates one per campaign so
+// per-campaign pace survives across the campaign's pools).
+func NewProgress() *Progress { return newProgress(nil) }
+
+func (p *Progress) setLog(w io.Writer) {
+	p.mu.Lock()
+	p.log = w
+	p.mu.Unlock()
+}
+
 func (p *Progress) sampleLocked() {
 	p.occ.Record(time.Since(p.start).Milliseconds(), float64(p.active), float64(p.hits+p.shared+p.exec))
 }
@@ -125,6 +136,69 @@ func (p *Progress) LatencySnapshot() *telemetry.Histogram {
 	defer p.mu.Unlock()
 	h := *p.lat
 	return &h
+}
+
+// ProgressSnapshot is a point-in-time pace digest: the per-campaign
+// /progress payload of the experiment service.
+type ProgressSnapshot struct {
+	Cells    int64 `json:"cells"`
+	Done     int64 `json:"done"` // hits + shared + executed
+	Active   int64 `json:"active"`
+	Hits     int64 `json:"hits"`
+	Shared   int64 `json:"shared,omitempty"`
+	Executed int64 `json:"executed"`
+	// HitRatio is (hits+shared)/done — the fraction of completed cells the
+	// content-addressed cache served without simulating.
+	HitRatio    float64 `json:"hit_ratio"`
+	ElapsedMS   int64   `json:"elapsed_ms"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// ETAMS extrapolates the remaining cells at the observed rate: 0 when
+	// done (never negative — cached cells completing faster than a tick
+	// window used to drive the extrapolation below zero), -1 while the
+	// denominator is unknown.
+	ETAMS int64 `json:"eta_ms"`
+}
+
+// maxETAMS caps the extrapolation (≈29 years) so the float→int conversion
+// can never overflow into a negative ETA when the observed rate is tiny
+// against a huge remaining count.
+const maxETAMS = int64(1) << 50
+
+// Snapshot digests the progress for live readers. Safe to call while
+// workers are running.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Cells: p.cells, Active: p.active,
+		Hits: p.hits, Shared: p.shared, Executed: p.exec,
+		ETAMS: -1,
+	}
+	s.Done = p.hits + p.shared + p.exec
+	if s.Done > 0 {
+		s.HitRatio = float64(p.hits+p.shared) / float64(s.Done)
+	}
+	s.ElapsedMS = time.Since(p.start).Milliseconds()
+	if s.ElapsedMS > 0 && s.Done > 0 {
+		s.CellsPerSec = float64(s.Done) / (float64(s.ElapsedMS) / 1000)
+	}
+	switch {
+	case s.Cells <= 0:
+		// Unknown denominator: keep -1.
+	case s.Done >= s.Cells:
+		s.ETAMS = 0
+	case s.CellsPerSec > 0:
+		eta := float64(s.Cells-s.Done) / s.CellsPerSec * 1000
+		switch {
+		case !(eta > 0): // non-positive or NaN
+			s.ETAMS = 0
+		case eta > float64(maxETAMS):
+			s.ETAMS = maxETAMS
+		default:
+			s.ETAMS = int64(eta)
+		}
+	}
+	return s
 }
 
 // Info digests the progress for a run manifest.

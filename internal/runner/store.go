@@ -2,19 +2,30 @@ package runner
 
 import (
 	"bufio"
+	"bytes"
+	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"cwsp/internal/telemetry/live"
 )
 
 // storeVersion is embedded in every shard filename; bumping it orphans (but
-// does not delete) caches written by incompatible record layouts.
+// does not delete) caches written by incompatible record layouts. Compact
+// removes orphaned generations.
 const storeVersion = 1
+
+// ErrClosed is returned by every mutating Store method after Close. The
+// pre-Close behavior was a silent race: a straggling pool worker could Put
+// into (or Flush) a store whose owner had already moved on, resurrecting a
+// shard file after the directory was supposedly quiescent.
+var ErrClosed = errors.New("runner: store is closed")
 
 // record is one JSONL line of a shard file. The key is stored alongside the
 // signature purely for human inspection of cache files; lookups go through
@@ -25,21 +36,52 @@ type record struct {
 	Val json.RawMessage `json:"val"`
 }
 
+// recSize approximates one record's on-disk footprint (JSONL line length)
+// for the eviction budget without marshaling on every Put.
+func recSize(r record) int64 {
+	k := r.Key
+	return int64(2*len(r.Sig)+len(r.Val)+
+		len(k.Kind)+len(k.Workload)+len(k.Scale)+len(k.Compile)+
+		len(k.Scheme)+len(k.CfgSig)+len(k.Salt)) + 96
+}
+
+// lruEntry is one cached record plus its budget charge; list order is
+// recency (front = most recently used).
+type lruEntry struct {
+	rec  record
+	size int64
+}
+
 // Store is the persistent result cache: a directory of 16 sharded JSONL
 // files, one record per completed cell, keyed by content signature. All
-// methods are safe for concurrent use. Writes accumulate in memory and
-// reach disk on Flush, which rewrites each dirty shard to a temp file and
-// atomically renames it into place — a crash mid-flush leaves either the
-// old or the new shard, never a torn one, so a partially completed sweep
-// always resumes from a consistent cache.
+// methods are safe for concurrent use, and exactly one live handle may own
+// a directory at a time (an advisory lock file with stale-owner reclaim
+// keeps a daemon and ad-hoc CLI runs from interleaving flushes). Writes
+// accumulate in memory and reach disk on Flush, which rewrites each dirty
+// shard to a temp file and atomically renames it into place — a crash
+// mid-flush leaves either the old or the new shard, never a torn one, so a
+// partially completed sweep always resumes from a consistent cache.
+//
+// For service life the store additionally supports log compaction
+// (Compact: rewrite every shard, dropping corrupt or superseded lines and
+// orphaned cache generations) and size-bounded LRU eviction keyed on the
+// content signature (SetMaxBytes): the shared cache of a long-running
+// daemon converges to the working set instead of growing without bound.
 type Store struct {
-	dir string
+	dir      string
+	lockPath string
 
-	mu      sync.Mutex
-	entries map[string]record   // signature → record (disk + pending)
-	dirty   map[string]struct{} // shards with unflushed entries
-	loaded  int                 // records read from disk at Open
-	bus     *live.Bus           // optional flush-event sink
+	mu        sync.Mutex
+	entries   map[string]*list.Element // signature → element (*lruEntry)
+	lru       *list.List               // front = most recently used
+	dirty     map[string]struct{}      // shards with unflushed entries
+	loaded    int                      // records read from disk at Open
+	diskLines int                      // JSONL lines scanned at Open (incl corrupt)
+	bytes     int64                    // approximate footprint of entries
+	maxBytes  int64                    // 0 = unbounded
+	evicted   int64
+	closed    bool
+	bus       *live.Bus // optional flush-event sink
 }
 
 // SetBus attaches a live event bus; every completed Flush publishes a
@@ -50,9 +92,12 @@ func (s *Store) SetBus(b *live.Bus) {
 	s.mu.Unlock()
 }
 
-// OpenStore opens (creating if needed) the cache directory and loads every
-// shard. Unparseable lines — a torn append from a pre-atomic-write tool, or
-// hand editing — are skipped rather than failing the whole cache.
+// OpenStore opens (creating if needed) the cache directory, acquires its
+// lock, and loads every shard. Unparseable lines — a torn append from a
+// pre-atomic-write tool, or hand editing — are skipped rather than failing
+// the whole cache; a later superseding line for the same signature wins.
+// A directory owned by another live Store handle fails with *LockError
+// (errors.Is ErrLocked); locks left by dead processes are reclaimed.
 func OpenStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("runner: empty store dir")
@@ -60,10 +105,16 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: create store: %w", err)
 	}
+	lockPath, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
+	}
 	s := &Store{
-		dir:     dir,
-		entries: map[string]record{},
-		dirty:   map[string]struct{}{},
+		dir:      dir,
+		lockPath: lockPath,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		dirty:    map[string]struct{}{},
 	}
 	for i := 0; i < 16; i++ {
 		shard := fmt.Sprintf("%x", i)
@@ -72,25 +123,73 @@ func OpenStore(dir string) (*Store, error) {
 			continue
 		}
 		if err != nil {
+			s.unlock()
 			return nil, fmt.Errorf("runner: open shard: %w", err)
 		}
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 		for sc.Scan() {
+			s.diskLines++
 			var r record
 			if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.Sig == "" {
 				continue
 			}
-			s.entries[r.Sig] = r
+			s.insertLocked(r)
 		}
 		err = sc.Err()
 		f.Close()
 		if err != nil {
+			s.unlock()
 			return nil, fmt.Errorf("runner: read shard: %w", err)
 		}
 	}
 	s.loaded = len(s.entries)
 	return s, nil
+}
+
+// insertLocked adds or supersedes one record at the MRU position.
+func (s *Store) insertLocked(r record) {
+	if el, ok := s.entries[r.Sig]; ok {
+		old := el.Value.(*lruEntry)
+		s.bytes -= old.size
+		old.rec = r
+		old.size = recSize(r)
+		s.bytes += old.size
+		s.lru.MoveToFront(el)
+		return
+	}
+	e := &lruEntry{rec: r, size: recSize(r)}
+	s.entries[r.Sig] = s.lru.PushFront(e)
+	s.bytes += e.size
+}
+
+// evictLocked drops least-recently-used records until the footprint fits
+// the budget (always retaining at least one record, so a single oversized
+// result cannot wedge the cache into thrashing). Evicted entries' shards
+// are marked dirty so the next Flush removes them from disk too.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
+		el := s.lru.Back()
+		e := el.Value.(*lruEntry)
+		s.lru.Remove(el)
+		delete(s.entries, e.rec.Sig)
+		s.bytes -= e.size
+		s.evicted++
+		s.dirty[e.rec.Sig[:1]] = struct{}{}
+	}
+}
+
+// SetMaxBytes bounds the cache's approximate in-memory/on-disk footprint;
+// 0 removes the bound. Shrinking below the current footprint evicts
+// immediately (least recently used first).
+func (s *Store) SetMaxBytes(n int64) {
+	s.mu.Lock()
+	s.maxBytes = n
+	s.evictLocked()
+	s.mu.Unlock()
 }
 
 func (s *Store) shardPath(shard string) string {
@@ -114,21 +213,70 @@ func (s *Store) Loaded() int {
 	return s.loaded
 }
 
-// Get returns the cached result for a signature.
+// Bytes returns the approximate footprint of the cached records.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Evicted returns how many records LRU eviction has dropped.
+func (s *Store) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// StoreStats digests the store for service endpoints and manifests.
+type StoreStats struct {
+	Dir      string `json:"dir"`
+	Records  int    `json:"records"`
+	Loaded   int    `json:"loaded"`
+	Bytes    int64  `json:"bytes"`
+	MaxBytes int64  `json:"max_bytes,omitempty"`
+	Evicted  int64  `json:"evicted,omitempty"`
+}
+
+// Stats returns a point-in-time digest.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Dir: s.dir, Records: len(s.entries), Loaded: s.loaded,
+		Bytes: s.bytes, MaxBytes: s.maxBytes, Evicted: s.evicted,
+	}
+}
+
+// Get returns the cached result for a signature (and refreshes its
+// recency). A closed store misses everything rather than erroring: reads
+// during teardown degrade to recomputes, not corruption.
 func (s *Store) Get(sig string) (json.RawMessage, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.entries[sig]
-	return r.Val, ok
+	if s.closed {
+		return nil, false
+	}
+	el, ok := s.entries[sig]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*lruEntry).rec.Val, true
 }
 
-// Put records a result; it reaches disk on the next Flush.
-func (s *Store) Put(key Key, val json.RawMessage) {
+// Put records a result; it reaches disk on the next Flush. Returns
+// ErrClosed after Close.
+func (s *Store) Put(key Key, val json.RawMessage) error {
 	sig := key.Signature()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.entries[sig] = record{Sig: sig, Key: key, Val: val}
+	if s.closed {
+		return ErrClosed
+	}
+	s.insertLocked(record{Sig: sig, Key: key, Val: val})
 	s.dirty[key.Shard()] = struct{}{}
+	s.evictLocked()
+	return nil
 }
 
 // Flush rewrites every dirty shard atomically (temp file + rename).
@@ -137,23 +285,39 @@ func (s *Store) Put(key Key, val json.RawMessage) {
 // rewrite: a Put racing a concurrent flush must not have its dirty mark
 // cleared without its record reaching disk, and shard files are small
 // enough (≤1/16th of the cache) that the stall is negligible next to the
-// simulations the pool is running.
+// simulations the pool is running. Returns ErrClosed after Close.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
 	shards := make([]string, 0, len(s.dirty))
 	for sh := range s.dirty {
 		shards = append(shards, sh)
 	}
 	sort.Strings(shards)
 	byShard := map[string][]record{}
-	for _, r := range s.entries {
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		r := el.Value.(*lruEntry).rec
 		sh := r.Sig[:1]
 		byShard[sh] = append(byShard[sh], r)
 	}
 
 	for _, sh := range shards {
 		recs := byShard[sh]
+		if len(recs) == 0 {
+			// Every record of this shard was evicted: drop the file.
+			if err := os.Remove(s.shardPath(sh)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("runner: flush: %w", err)
+			}
+			delete(s.dirty, sh)
+			continue
+		}
 		sort.Slice(recs, func(i, j int) bool { return recs[i].Sig < recs[j].Sig })
 		tmp, err := os.CreateTemp(s.dir, "cells-*.tmp")
 		if err != nil {
@@ -187,4 +351,117 @@ func (s *Store) Flush() error {
 		s.bus.Publish(live.Event{Kind: live.StoreFlush, Shards: len(shards), Records: len(s.entries)})
 	}
 	return nil
+}
+
+// CompactStats reports what one Compact pass rewrote.
+type CompactStats struct {
+	// LinesBefore is every JSONL line on disk before the pass, including
+	// corrupt lines, superseded duplicates, and orphaned generations.
+	LinesBefore int `json:"lines_before"`
+	// Records is the live record count after the pass.
+	Records int `json:"records"`
+	// Dropped is LinesBefore minus Records: the garbage reclaimed.
+	Dropped int `json:"dropped"`
+	// OrphanFiles counts removed shard files from other store versions.
+	OrphanFiles int `json:"orphan_files,omitempty"`
+}
+
+// Compact rewrites every shard from the live record set, dropping corrupt
+// lines, superseded duplicates, evicted records, and whole shard files left
+// by incompatible store versions (orphaned cache generations). A daemon
+// runs this periodically so a cache that has lived through many code-salt
+// bumps and evictions converges back to exactly its live records.
+func (s *Store) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st CompactStats
+	if s.closed {
+		return st, ErrClosed
+	}
+
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return st, fmt.Errorf("runner: compact: %w", err)
+	}
+	curPrefix := fmt.Sprintf("cells-v%d-", storeVersion)
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, "cells-") || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		n, err := countLines(path)
+		if err != nil {
+			return st, fmt.Errorf("runner: compact: %w", err)
+		}
+		st.LinesBefore += n
+		if !strings.HasPrefix(name, curPrefix) {
+			// A shard from another storeVersion: unreachable by this build,
+			// pure disk waste.
+			if err := os.Remove(path); err != nil {
+				return st, fmt.Errorf("runner: compact: %w", err)
+			}
+			st.OrphanFiles++
+		}
+	}
+
+	// Mark every current-generation shard dirty — existing files must be
+	// rewritten (or removed, when all their records were evicted or were
+	// corrupt) and pending records must reach disk.
+	for i := 0; i < 16; i++ {
+		sh := fmt.Sprintf("%x", i)
+		if _, err := os.Stat(s.shardPath(sh)); err == nil {
+			s.dirty[sh] = struct{}{}
+		}
+	}
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		s.dirty[el.Value.(*lruEntry).rec.Sig[:1]] = struct{}{}
+	}
+	if err := s.flushLocked(); err != nil {
+		return st, err
+	}
+	st.Records = len(s.entries)
+	st.Dropped = st.LinesBefore - st.Records
+	if st.Dropped < 0 {
+		st.Dropped = 0
+	}
+	return st, nil
+}
+
+// countLines counts newline-terminated lines (a trailing partial line — a
+// torn append — counts too: it is exactly the garbage compaction drops).
+func countLines(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	n := bytes.Count(b, []byte{'\n'})
+	if len(b) > 0 && b[len(b)-1] != '\n' {
+		n++
+	}
+	return n, nil
+}
+
+// Close flushes pending records, marks the store closed (subsequent Put
+// and Flush return ErrClosed, Get misses), and releases the directory
+// lock. Closing an already-closed store is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.flushLocked()
+	s.closed = true
+	s.mu.Unlock()
+	s.unlock()
+	return err
+}
+
+// unlock releases the directory lock (best effort; a leaked lock from a
+// dead process is reclaimed by the next OpenStore anyway).
+func (s *Store) unlock() {
+	if s.lockPath != "" {
+		os.Remove(s.lockPath)
+	}
 }

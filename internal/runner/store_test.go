@@ -2,6 +2,7 @@ package runner
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,8 +17,13 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := simKey(1)
-	s.Put(k, json.RawMessage(`{"cycles":123}`))
+	if err := s.Put(k, json.RawMessage(`{"cycles":123}`)); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -26,6 +32,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s2.Close()
 	if s2.Loaded() != 1 {
 		t.Fatalf("loaded %d records, want 1", s2.Loaded())
 	}
@@ -38,6 +45,9 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range ents {
+		if e.Name() == lockFileName {
+			continue
+		}
 		if strings.HasSuffix(e.Name(), ".tmp") {
 			t.Fatalf("leftover temp file %s", e.Name())
 		}
@@ -60,14 +70,24 @@ func TestStoreSharding(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	var shards int
 	ents, _ := os.ReadDir(dir)
-	if len(ents) < 2 {
-		t.Fatalf("expected multiple shard files, got %d", len(ents))
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "cells-v") {
+			shards++
+		}
+	}
+	if shards < 2 {
+		t.Fatalf("expected multiple shard files, got %d", shards)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
 	}
 	s2, err := OpenStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s2.Close()
 	if s2.Len() != 64 {
 		t.Fatalf("reloaded %d records, want 64", s2.Len())
 	}
@@ -80,11 +100,16 @@ func TestStoreSkipsCorruptLines(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
 	// Simulate a torn write at the end of a shard.
 	var shardFile string
 	ents, _ := os.ReadDir(dir)
 	for _, e := range ents {
-		shardFile = filepath.Join(dir, e.Name())
+		if strings.HasPrefix(e.Name(), "cells-v") {
+			shardFile = filepath.Join(dir, e.Name())
+		}
 	}
 	f, err := os.OpenFile(shardFile, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
@@ -97,6 +122,7 @@ func TestStoreSkipsCorruptLines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s2.Close()
 	if s2.Loaded() != 1 {
 		t.Fatalf("loaded %d, want 1 (corrupt tail skipped)", s2.Loaded())
 	}
@@ -129,6 +155,9 @@ func TestPoolServesFromStoreAcrossRuns(t *testing.T) {
 	if runs.Load() != 8 {
 		t.Fatalf("cold run executed %d, want 8", runs.Load())
 	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Fresh store handle, fresh pool: everything is a cache hit.
 	store2, err := OpenStore(dir)
@@ -152,8 +181,16 @@ func TestPoolServesFromStoreAcrossRuns(t *testing.T) {
 		}
 	}
 
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
 	// Reuse=false refreshes: every cell recomputes despite the warm store.
-	store3, _ := OpenStore(dir)
+	store3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store3.Close()
 	p3 := NewPool[int](Options{Jobs: 4, Store: store3, Reuse: false})
 	if _, err := p3.Run(mk()); err != nil {
 		t.Fatal(err)
@@ -179,11 +216,21 @@ func TestPoolFlushEveryPersistsPartialSweeps(t *testing.T) {
 	if _, err := p.Run(cells); err == nil {
 		t.Fatal("want error")
 	}
+	// Drop the handle without Close: the on-disk lock left behind belongs to
+	// this (live) process, so reopening must still conflict...
+	if _, err := OpenStore(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("reopen with live lock: err=%v, want ErrLocked", err)
+	}
+	// ...until the owner releases it.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	resumed, err := OpenStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer resumed.Close()
 	if resumed.Loaded() != 3 {
 		t.Fatalf("resumable store holds %d records, want 3", resumed.Loaded())
 	}

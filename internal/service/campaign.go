@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"cwsp/internal/runner"
+)
+
+// Campaign states. A campaign moves queued → running → done/failed; a
+// campaign still queued when the daemon shuts down is aborted (never
+// silently dropped — the terminal state records what happened).
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+	StateAborted = "aborted"
+)
+
+// Campaign is one admitted campaign: its spec, lifecycle, per-campaign
+// pace (a dedicated runner.Progress shared with every pool the campaign
+// builds), and — once done — its result payload.
+type Campaign struct {
+	ID       string
+	Spec     Spec
+	ClientID string
+
+	// Progress is the campaign's own pace: the service injects it into the
+	// campaign's pools, so done/total, hit ratio, and ETA stay readable at
+	// /api/v1/campaigns/{id}/progress while the campaign runs.
+	Progress *runner.Progress
+
+	mu        sync.Mutex
+	state     string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    json.RawMessage
+	errMsg    string
+
+	// done is closed on any terminal state (in-process waiters).
+	done chan struct{}
+}
+
+func newCampaign(id string, spec Spec, clientID string) *Campaign {
+	return &Campaign{
+		ID: id, Spec: spec, ClientID: clientID,
+		Progress:  runner.NewProgress(),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+}
+
+// State returns the current lifecycle state.
+func (c *Campaign) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Done returns a channel closed when the campaign reaches a terminal
+// state.
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Result returns the result payload and error message (result is nil
+// until StateDone).
+func (c *Campaign) Result() (json.RawMessage, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.result, c.errMsg
+}
+
+func (c *Campaign) setRunning() {
+	c.mu.Lock()
+	c.state = StateRunning
+	c.started = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *Campaign) finish(result json.RawMessage, err error) {
+	c.mu.Lock()
+	c.finished = time.Now()
+	if err != nil {
+		c.state = StateFailed
+		c.errMsg = err.Error()
+	} else {
+		c.state = StateDone
+		c.result = result
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+func (c *Campaign) abort(reason string) {
+	c.mu.Lock()
+	if c.state != StateQueued {
+		c.mu.Unlock()
+		return
+	}
+	c.state = StateAborted
+	c.finished = time.Now()
+	c.errMsg = reason
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// View is the wire form of a campaign (result payload served separately —
+// it can be large).
+type View struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	ClientID string `json:"client_id,omitempty"`
+	Spec     Spec   `json:"spec"`
+
+	SubmittedNS int64 `json:"submitted_ns"`
+	StartedNS   int64 `json:"started_ns,omitempty"`
+	FinishedNS  int64 `json:"finished_ns,omitempty"`
+
+	Progress runner.ProgressSnapshot `json:"progress"`
+	Error    string                  `json:"error,omitempty"`
+	// ResultBytes sizes the payload at /campaigns/{id}/result (0 until
+	// done).
+	ResultBytes int `json:"result_bytes,omitempty"`
+}
+
+// View snapshots the campaign for the HTTP API.
+func (c *Campaign) View() View {
+	c.mu.Lock()
+	v := View{
+		ID: c.ID, Kind: c.Spec.Kind, State: c.state, ClientID: c.ClientID,
+		Spec:        c.Spec,
+		SubmittedNS: c.submitted.UnixNano(),
+		Error:       c.errMsg,
+		ResultBytes: len(c.result),
+	}
+	if !c.started.IsZero() {
+		v.StartedNS = c.started.UnixNano()
+	}
+	if !c.finished.IsZero() {
+		v.FinishedNS = c.finished.UnixNano()
+	}
+	c.mu.Unlock()
+	v.Progress = c.Progress.Snapshot()
+	return v
+}
+
+// Terminal reports whether a state is terminal.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateAborted
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cwsp/internal/runner"
+)
+
+// BusyError is the client-side face of a 429: the daemon's admission
+// queue was full, retry after the hinted backoff.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("service: daemon busy (retry after %v)", e.RetryAfter)
+}
+
+// Client talks to a cwspd daemon.
+type Client struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// ID identifies this client on every request (X-CWSP-Client).
+	ID string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if c.ID != "" {
+		req.Header.Set(ClientHeader, c.ID)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := 2 * time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		io.Copy(io.Discard, resp.Body)
+		return &BusyError{RetryAfter: retry}
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("service: %s %s: %s", method, path, e.Error)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit admits one campaign (a full queue returns *BusyError).
+func (c *Client) Submit(ctx context.Context, spec Spec) (View, error) {
+	var v View
+	err := c.do(ctx, http.MethodPost, "/api/v1/campaigns", spec, &v)
+	return v, err
+}
+
+// Get fetches a campaign view.
+func (c *Client) Get(ctx context.Context, id string) (View, error) {
+	var v View
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id, nil, &v)
+	return v, err
+}
+
+// Progress fetches a campaign's live pace.
+func (c *Client) Progress(ctx context.Context, id string) (runner.ProgressSnapshot, error) {
+	var p runner.ProgressSnapshot
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id+"/progress", nil, &p)
+	return p, err
+}
+
+// Result fetches a done campaign's payload.
+func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id+"/result", nil, &raw)
+	return raw, err
+}
+
+// Stats fetches the daemon digest.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &st)
+	return st, err
+}
+
+// SubmitWait submits a campaign — absorbing backpressure by retrying
+// after the daemon's hinted backoff, so a patient client never drops work
+// — and polls until it reaches a terminal state.
+func (c *Client) SubmitWait(ctx context.Context, spec Spec, poll time.Duration) (View, int, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	var rejected int
+	var v View
+	for {
+		var err error
+		v, err = c.Submit(ctx, spec)
+		if err == nil {
+			break
+		}
+		var busy *BusyError
+		if !errors.As(err, &busy) {
+			return View{}, rejected, err
+		}
+		rejected++
+		// The hint is sized for the whole queue draining; a fraction of it
+		// is enough to reclaim the freed slot without a thundering herd.
+		backoff := busy.RetryAfter / 8
+		if backoff < 20*time.Millisecond {
+			backoff = 20 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return View{}, rejected, ctx.Err()
+		case <-time.After(backoff):
+		}
+	}
+	for !Terminal(v.State) {
+		select {
+		case <-ctx.Done():
+			return v, rejected, ctx.Err()
+		case <-time.After(poll):
+		}
+		var err error
+		v, err = c.Get(ctx, v.ID)
+		if err != nil {
+			return v, rejected, err
+		}
+	}
+	return v, rejected, nil
+}

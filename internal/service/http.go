@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cwsp/internal/telemetry/live"
+)
+
+// ClientHeader carries the submitting client's identity (load-generator
+// clients, CI jobs); recorded on the campaign and echoed in views.
+const ClientHeader = "X-CWSP-Client"
+
+// Server serves the daemon's HTTP API: the campaign endpoints under
+// /api/v1 plus the live observability endpoint (Prometheus /metrics, JSON
+// /progress, SSE /events, /debug/pprof) mounted unchanged from
+// internal/telemetry/live.
+type Server struct {
+	svc  *Service
+	live *live.Server
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer builds a server over a running service.
+func NewServer(svc *Service) *Server {
+	return &Server{svc: svc, live: live.NewServer(svc.Bus())}
+}
+
+// Live returns the embedded live endpoint (to register histogram
+// sources).
+func (s *Server) Live() *live.Server { return s.live }
+
+// Handler returns the daemon mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleGet)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	// Everything else — /metrics, /progress, /events, /debug/pprof, / —
+	// is the live observability endpoint.
+	mux.Handle("/", s.live.Handler())
+	return mux
+}
+
+// Start listens on addr (e.g. ":0") and serves in the background,
+// returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the HTTP listener (the service itself is closed
+// separately — shutdown order is: stop listening, then drain campaigns).
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parse spec: %w", err))
+		return
+	}
+	c, err := s.svc.Submit(spec, r.Header.Get(ClientHeader))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, c.View())
+	case err == ErrQueueFull:
+		// Backpressure: tell the client when capacity is likely.
+		retry := s.svc.RetryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+		httpError(w, http.StatusTooManyRequests, err)
+	case err == ErrClosing:
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.List())
+}
+
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) (*Campaign, bool) {
+	c, ok := s.svc.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if c, ok := s.campaign(w, r); ok {
+		writeJSON(w, http.StatusOK, c.View())
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if c, ok := s.campaign(w, r); ok {
+		writeJSON(w, http.StatusOK, c.Progress.Snapshot())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	result, errMsg := c.Result()
+	switch {
+	case result != nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(result)
+	case Terminal(c.State()):
+		httpError(w, http.StatusGone, fmt.Errorf("campaign %s %s: %s", c.ID, c.State(), errMsg))
+	default:
+		httpError(w, http.StatusConflict, fmt.Errorf("campaign %s still %s", c.ID, c.State()))
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The full acceptance path: 32 concurrent clients over mixed cold/warm
+// litmus traffic against a live daemon, zero dropped campaigns, warm
+// traffic served from the shared cache, backpressure absorbed by retry.
+func TestServiceLoadMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test (seconds of simulated campaigns)")
+	}
+	svc, base := startDaemon(t, Options{Queue: 8, Workers: 2})
+
+	rep, err := RunLoad(context.Background(), base, LoadOptions{
+		Clients:   32,
+		Requests:  2,
+		WarmFrac:  0.5,
+		WarmSeeds: 2,
+		Seed:      7,
+		Poll:      5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 64 {
+		t.Fatalf("requests=%d, want 64", rep.Requests)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("dropped %d campaigns under load", rep.Dropped)
+	}
+	if rep.WarmRequests > 0 && rep.WarmHitRatio < 0.99 {
+		t.Fatalf("warm hit ratio %.3f, want >= 0.99 (prewarmed pool)", rep.WarmHitRatio)
+	}
+	if rep.ReqLatencyUS.P50 <= 0 || rep.ReqLatencyUS.P99 < rep.ReqLatencyUS.P50 {
+		t.Fatalf("broken latency digest: %+v", rep.ReqLatencyUS)
+	}
+
+	// With 32 clients and 8 queue slots + 2 workers, admission must have
+	// pushed back at least once; nothing may be lost to it.
+	st := svc.Stats()
+	if st.Rejected == 0 {
+		t.Logf("note: no 429s observed (fast machine) — backpressure path covered by TestServiceBackpressure")
+	}
+	if st.Completed != 64+2 { // 64 storm campaigns + 2 prewarm
+		t.Fatalf("completed=%d, want 66: %+v", st.Completed, st)
+	}
+	if report := rep.Profile(); report.Clients != 32 || report.Dropped != 0 {
+		t.Fatalf("profile mangled the report: %+v", report)
+	}
+}

@@ -1,0 +1,469 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cwsp/internal/bench"
+	"cwsp/internal/compiler"
+	"cwsp/internal/litmus"
+	"cwsp/internal/recovery"
+	"cwsp/internal/runner"
+	"cwsp/internal/sim"
+	"cwsp/internal/telemetry/live"
+	"cwsp/internal/workloads"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity: the HTTP layer translates it to 429 + Retry-After, and clients
+// back off and retry instead of the daemon buffering unboundedly.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// ErrClosing is returned by Submit once shutdown has begun.
+var ErrClosing = errors.New("service: shutting down")
+
+// Options configure a daemon.
+type Options struct {
+	// Store is the shared content-addressed cache every campaign reads and
+	// writes. When nil, CacheDir is opened (and owned — Close releases it).
+	Store    *runner.Store
+	CacheDir string
+	// MaxStoreBytes bounds the shared cache (LRU eviction); 0 = unbounded.
+	MaxStoreBytes int64
+	// CompactEvery compacts the store after this many completed campaigns
+	// (0 = only at Close).
+	CompactEvery int
+
+	// Queue is the admission-queue capacity (campaigns waiting beyond the
+	// ones running); default 16. Workers is how many campaign-runner
+	// goroutine groups execute concurrently (default 2); Jobs is each
+	// campaign's pool width within its group (default 1 — campaigns are
+	// the unit of concurrency, cells the unit of work).
+	Queue   int
+	Workers int
+	Jobs    int
+
+	// Bus receives live events from every campaign's pools (the daemon's
+	// /metrics, /progress, /events come from it). Nil allocates one.
+	Bus *live.Bus
+	// Log, when set, receives one line per campaign transition.
+	Log io.Writer
+}
+
+// Stats is the daemon digest at /api/v1/stats.
+type Stats struct {
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	Workers    int `json:"workers"`
+	Jobs       int `json:"jobs"`
+
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"` // backpressured submissions (429)
+	Running   int64 `json:"running"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Aborted   int64 `json:"aborted"`
+
+	// AvgCampaignMS is the EWMA campaign duration behind Retry-After.
+	AvgCampaignMS int64 `json:"avg_campaign_ms"`
+	// RetryAfterMS is the current backoff hint handed to rejected clients.
+	RetryAfterMS int64 `json:"retry_after_ms"`
+
+	Store runner.StoreStats `json:"store"`
+}
+
+// Service is the campaign daemon: a bounded admission queue feeding a
+// fixed set of campaign-runner goroutine groups, all sharing one
+// content-addressed store and one live bus.
+type Service struct {
+	opts  Options
+	store *runner.Store
+	owned bool // store opened from CacheDir: Close releases it
+	bus   *live.Bus
+
+	queue chan *Campaign
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	closing   bool
+	campaigns map[string]*Campaign
+	order     []string
+	nextID    int
+	accepted  int64
+	rejected  int64
+	running   int64
+	completed int64
+	failed    int64
+	aborted   int64
+	avgDur    time.Duration
+	sinceComp int // completed campaigns since the last compaction
+
+	// testRun, when set, replaces the campaign engines (unit tests inject
+	// controllable work).
+	testRun func(c *Campaign) (json.RawMessage, error)
+}
+
+// New builds and starts a daemon (worker groups begin draining the queue
+// immediately).
+func New(opts Options) (*Service, error) {
+	if opts.Queue <= 0 {
+		opts.Queue = 16
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 1
+	}
+	bus := opts.Bus
+	if bus == nil {
+		bus = live.NewBus()
+	}
+	s := &Service{
+		opts:      opts,
+		bus:       bus,
+		queue:     make(chan *Campaign, opts.Queue),
+		campaigns: map[string]*Campaign{},
+	}
+	switch {
+	case opts.Store != nil:
+		s.store = opts.Store
+	case opts.CacheDir != "":
+		store, err := runner.OpenStore(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.owned = true
+	default:
+		return nil, fmt.Errorf("service: need Store or CacheDir (the shared cache is the point)")
+	}
+	s.store.SetBus(bus)
+	if opts.MaxStoreBytes > 0 {
+		s.store.SetMaxBytes(opts.MaxStoreBytes)
+	}
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Bus returns the daemon-wide live bus.
+func (s *Service) Bus() *live.Bus { return s.bus }
+
+// Store returns the shared store.
+func (s *Service) Store() *runner.Store { return s.store }
+
+// Submit admits one campaign. The spec is normalized and validated here —
+// an invalid spec is the submitter's error, not a failed campaign. A full
+// queue returns ErrQueueFull (the caller backs off by RetryAfter).
+func (s *Service) Submit(spec Spec, clientID string) (*Campaign, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return nil, ErrClosing
+	}
+	s.nextID++
+	c := newCampaign(fmt.Sprintf("c%06d", s.nextID), spec, clientID)
+	select {
+	case s.queue <- c:
+	default:
+		s.nextID--
+		s.rejected++
+		return nil, ErrQueueFull
+	}
+	s.accepted++
+	s.campaigns[c.ID] = c
+	s.order = append(s.order, c.ID)
+	s.logf("campaign %s queued (%s, client %s)", c.ID, spec.Kind, clientID)
+	return c, nil
+}
+
+// Get finds a campaign by ID.
+func (s *Service) Get(id string) (*Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// List snapshots every campaign in admission order.
+func (s *Service) List() []View {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	byID := s.campaigns
+	s.mu.Unlock()
+	views := make([]View, 0, len(ids))
+	for _, id := range ids {
+		views = append(views, byID[id].View())
+	}
+	return views
+}
+
+// RetryAfter estimates how long a rejected client should back off: the
+// queued work ahead of it at the observed campaign pace, spread across the
+// worker groups. Clamped to [1s, 120s].
+func (s *Service) RetryAfter() time.Duration {
+	s.mu.Lock()
+	avg := s.avgDur
+	s.mu.Unlock()
+	if avg <= 0 {
+		avg = time.Second
+	}
+	d := time.Duration(len(s.queue)+1) * avg / time.Duration(s.opts.Workers)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 2*time.Minute {
+		d = 2 * time.Minute
+	}
+	return d
+}
+
+// Stats digests the daemon.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		QueueDepth: len(s.queue), QueueCap: cap(s.queue),
+		Workers: s.opts.Workers, Jobs: s.opts.Jobs,
+		Accepted: s.accepted, Rejected: s.rejected, Running: s.running,
+		Completed: s.completed, Failed: s.failed, Aborted: s.aborted,
+		AvgCampaignMS: s.avgDur.Milliseconds(),
+	}
+	s.mu.Unlock()
+	st.RetryAfterMS = s.RetryAfter().Milliseconds()
+	st.Store = s.store.Stats()
+	return st
+}
+
+// Close drains the daemon: no new admissions, queued campaigns abort with
+// a terminal state (never silently dropped), running campaigns finish,
+// then the store is compacted and — when the daemon opened it — closed.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closing = true
+	s.mu.Unlock()
+
+	// Abort everything still queued; workers see closing and abort
+	// whatever they pull concurrently.
+	for {
+		select {
+		case c := <-s.queue:
+			s.abortCampaign(c)
+		default:
+			close(s.queue)
+			s.wg.Wait()
+			var err error
+			if _, cerr := s.store.Compact(); cerr != nil && !errors.Is(cerr, runner.ErrClosed) {
+				err = cerr
+			}
+			if s.owned {
+				if cerr := s.store.Close(); err == nil {
+					err = cerr
+				}
+			}
+			return err
+		}
+	}
+}
+
+func (s *Service) abortCampaign(c *Campaign) {
+	c.abort("daemon shutting down")
+	s.mu.Lock()
+	s.aborted++
+	s.mu.Unlock()
+	s.logf("campaign %s aborted (shutdown)", c.ID)
+}
+
+// worker is one campaign-runner goroutine group: it pulls admitted
+// campaigns and runs each to a terminal state. Campaign panics are
+// isolated to a failed campaign, not a dead worker.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for c := range s.queue {
+		s.mu.Lock()
+		closing := s.closing
+		s.mu.Unlock()
+		if closing {
+			s.abortCampaign(c)
+			continue
+		}
+		s.runCampaign(c)
+	}
+}
+
+func (s *Service) runCampaign(c *Campaign) {
+	c.setRunning()
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	s.logf("campaign %s running (%s)", c.ID, c.Spec.Kind)
+	start := time.Now()
+
+	result, err := s.runSpec(c)
+	dur := time.Since(start)
+	c.finish(result, err)
+
+	s.mu.Lock()
+	s.running--
+	if err != nil {
+		s.failed++
+	} else {
+		s.completed++
+	}
+	if s.avgDur == 0 {
+		s.avgDur = dur
+	} else {
+		s.avgDur = (4*s.avgDur + dur) / 5
+	}
+	s.sinceComp++
+	compact := s.opts.CompactEvery > 0 && s.sinceComp >= s.opts.CompactEvery
+	if compact {
+		s.sinceComp = 0
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		s.logf("campaign %s failed in %v: %v", c.ID, dur.Round(time.Millisecond), err)
+	} else {
+		s.logf("campaign %s done in %v", c.ID, dur.Round(time.Millisecond))
+	}
+	if compact {
+		if st, cerr := s.store.Compact(); cerr == nil {
+			s.logf("store compacted: %d lines -> %d records (%d dropped, %d orphan files)",
+				st.LinesBefore, st.Records, st.Dropped, st.OrphanFiles)
+		}
+	}
+}
+
+// runSpec dispatches to the campaign engine (isolating panics — a
+// panicking campaign fails; the worker group survives).
+func (s *Service) runSpec(c *Campaign) (result json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: campaign %s panicked: %v", c.ID, r)
+		}
+	}()
+	if s.testRun != nil {
+		return s.testRun(c)
+	}
+	switch c.Spec.Kind {
+	case KindSweep:
+		return s.runSweep(c)
+	case KindTorture:
+		return s.runTorture(c)
+	case KindLitmus:
+		return s.runLitmus(c)
+	}
+	return nil, fmt.Errorf("service: unknown campaign kind %q", c.Spec.Kind)
+}
+
+// SweepResult is a sweep campaign's payload: per-experiment CSV report
+// bytes. The CSV is assembled by the same serial code as a direct
+// `cwspbench -exp <id> -csv` run, so a service-run sweep is byte-identical
+// to a local one — the cache only changes how fast the bytes arrive.
+type SweepResult struct {
+	Experiments []string          `json:"experiments"`
+	Scale       string            `json:"scale"`
+	CSV         map[string]string `json:"csv"`
+}
+
+func (s *Service) runSweep(c *Campaign) (json.RawMessage, error) {
+	h := bench.NewHarness(bench.Options{
+		Scale:    c.Spec.ScaleOf(),
+		PerApp:   c.Spec.PerApp,
+		Jobs:     s.opts.Jobs,
+		Store:    s.store,
+		Bus:      s.bus,
+		Progress: c.Progress,
+	})
+	res := SweepResult{Experiments: c.Spec.Experiments, Scale: c.Spec.Scale, CSV: map[string]string{}}
+	for _, id := range c.Spec.Experiments {
+		e, err := bench.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := h.RunExperiment(e)
+		if err != nil {
+			return nil, err
+		}
+		res.CSV[id] = rep.CSV()
+	}
+	if err := h.Close(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+func (s *Service) runTorture(c *Campaign) (json.RawMessage, error) {
+	scale := c.Spec.ScaleOf()
+	var targets []recovery.TortureTarget
+	for _, name := range c.Spec.Workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prog, _, err := compiler.Compile(w.Build(scale), compiler.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("service: compile %s: %w", name, err)
+		}
+		targets = append(targets, recovery.TortureTarget{
+			Name: name, Prog: prog, Specs: []sim.ThreadSpec{{Fn: prog.Entry}},
+		})
+	}
+	rep, _, err := recovery.RunTorture(targets, recovery.TortureOptions{
+		Seed:           c.Spec.Seed,
+		CellsPerTarget: c.Spec.Cells,
+		Depth:          c.Spec.Depth,
+		Points:         c.Spec.Points,
+		Cfg:            sim.DefaultConfig(),
+		Sch:            sim.CWSP(),
+		Unsealed:       c.Spec.Unsealed,
+		Jobs:           s.opts.Jobs,
+		Store:          s.store,
+		Bus:            s.bus,
+		Progress:       c.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.WriteJSON()
+}
+
+func (s *Service) runLitmus(c *Campaign) (json.RawMessage, error) {
+	rep, _, err := litmus.RunCampaign(litmus.CampaignOptions{
+		Seed:     c.Spec.Seed,
+		Tests:    c.Spec.Cells,
+		Schemes:  c.Spec.Schemes,
+		Kernels:  c.Spec.Kernels,
+		Unsealed: c.Spec.Unsealed,
+		Jobs:     s.opts.Jobs,
+		Store:    s.store,
+		Bus:      s.bus,
+		Progress: c.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.WriteJSON()
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.opts.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.opts.Log, "cwspd: "+format+"\n", args...)
+}

@@ -110,6 +110,37 @@ type Record struct {
 	// PersistLatCycles digests the simulator's store→durable latency when
 	// a telemetry-enabled run contributed one (optional).
 	PersistLatCycles *Quantiles `json:"persist_lat_cycles,omitempty"`
+
+	// Service profiles a cwspload run against a cwspd daemon (optional;
+	// only trajectories produced by the load generator carry it).
+	Service *ServiceProfile `json:"service,omitempty"`
+}
+
+// ServiceProfile is the service-side view of one load-generator run: how
+// the daemon held up under concurrent campaign traffic.
+type ServiceProfile struct {
+	// Clients is the concurrent client count the generator sustained.
+	Clients int `json:"clients"`
+	// Requests counts campaigns submitted and completed; Dropped counts
+	// campaigns lost (a correct run has 0 — rejected submissions retry
+	// until accepted); Rejected429 counts backpressure rejections absorbed
+	// along the way.
+	Requests    int64 `json:"requests"`
+	Dropped     int64 `json:"dropped"`
+	Rejected429 int64 `json:"rejected_429,omitempty"`
+	// RequestsPerSec and CellsPerSec measure end-to-end throughput over
+	// the generator's wall time.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// WarmHitRatio is the cache-hit ratio over the warm fraction of the
+	// traffic (repeat campaigns must be served from the shared cache).
+	WarmHitRatio float64 `json:"warm_hit_ratio"`
+	// ReqLatencyUS digests end-to-end request latency (submit → campaign
+	// done), microseconds.
+	ReqLatencyUS Quantiles `json:"req_latency_us"`
+	// QueueDepthMax/Mean proxy admission-queue contention, sampled over
+	// the run.
+	QueueDepthMax  int64   `json:"queue_depth_max"`
+	QueueDepthMean float64 `json:"queue_depth_mean"`
 }
 
 // New builds a record stamped with the schema version and current host.

@@ -238,3 +238,128 @@ func TestFromRunner(t *testing.T) {
 		t.Fatal("nil RunnerInfo mutated the record")
 	}
 }
+
+// sampleService returns a plausible cwspload profile.
+func sampleService() *ServiceProfile {
+	return &ServiceProfile{
+		Clients: 32, Requests: 128, Dropped: 0, Rejected429: 12,
+		RequestsPerSec: 40, WarmHitRatio: 0.995,
+		ReqLatencyUS:  Quantiles{P50: 20_000, P95: 80_000, P99: 150_000},
+		QueueDepthMax: 9, QueueDepthMean: 3.5,
+	}
+}
+
+func TestCompareServiceCleanPass(t *testing.T) {
+	base, cur := sample(), sample()
+	base.Service, cur.Service = sampleService(), sampleService()
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		var sb strings.Builder
+		cmp.Write(&sb)
+		t.Fatalf("identical service records failed:\n%s", sb.String())
+	}
+}
+
+// Dropped campaigns and a collapsed warm-hit ratio are correctness bugs:
+// enforced even across host fingerprints.
+func TestCompareServiceCorrectnessGates(t *testing.T) {
+	base, cur := sample(), sample()
+	base.Service, cur.Service = sampleService(), sampleService()
+	cur.Host.CPU = "other-machine"
+	cur.Service.Dropped = 1
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() {
+		t.Fatal("dropped campaign did not fail the gate")
+	}
+
+	cur.Service.Dropped = 0
+	cur.Service.WarmHitRatio = 0.5 // warm traffic missing the shared cache
+	cmp, err = Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() {
+		t.Fatal("collapsed warm-hit ratio did not fail the gate")
+	}
+
+	cur.Service.WarmHitRatio = 0.995
+	cur.Service.Clients = 8 // different load shape: not the same trajectory
+	cmp, err = Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() {
+		t.Fatal("client-count change did not fail the gate")
+	}
+}
+
+// Request latency follows the host rules: enforced on a matching host,
+// advisory across machines; queue depth and requests/sec stay advisory.
+func TestCompareServiceLatencyAndNoise(t *testing.T) {
+	base, cur := sample(), sample()
+	base.Service, cur.Service = sampleService(), sampleService()
+	cur.Service.ReqLatencyUS.P50 = base.Service.ReqLatencyUS.P50 * 2 // +100%, +20ms
+	cmp, err := Compare(base, cur, CompareOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Failed() {
+		t.Fatal("2x request latency under -bench-strict did not fail")
+	}
+
+	// Request latency is end-to-end wall-clock (queue wait + poll
+	// quantization): advisory without Strict even on the same host.
+	cmp, err = Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		var sb strings.Builder
+		cmp.Write(&sb)
+		t.Fatalf("non-strict request-latency gate enforced:\n%s", sb.String())
+	}
+
+	base.Service, cur.Service = sampleService(), sampleService()
+	cur.Host = base.Host
+	cur.Service.QueueDepthMax = 40   // advisory contention growth
+	cur.Service.RequestsPerSec = 20  // advisory throughput drop (non-strict)
+	cur.Service.Rejected429 = 10_000 // absorbing backpressure is not an error
+	cmp, err = Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		var sb strings.Builder
+		cmp.Write(&sb)
+		t.Fatalf("advisory service metrics failed the gate:\n%s", sb.String())
+	}
+}
+
+// A service profile appearing or vanishing is surfaced (advisory), not
+// silently ignored.
+func TestCompareServicePresenceMismatch(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.Service = sampleService()
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagged bool
+	for _, d := range cmp.Deltas {
+		if d.Metric == "service" && d.Regressed && !d.Enforced {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatal("one-sided service profile not flagged")
+	}
+	if cmp.Failed() {
+		t.Fatal("one-sided service profile failed the enforced gate")
+	}
+}

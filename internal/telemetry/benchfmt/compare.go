@@ -182,5 +182,81 @@ func Compare(base, cur *Record, opt CompareOptions) (*Comparison, error) {
 	allocs.Regressed = ran && base.Allocs > 0 && float64(cur.Allocs) > float64(base.Allocs)*(1+opt.Tol)
 	c.Deltas = append(c.Deltas, allocs)
 
+	compareService(c, base.Service, cur.Service, opt)
+
 	return c, nil
+}
+
+// compareService gates the load-generator profile. Correctness metrics
+// (dropped campaigns, client count, warm hit ratio) are enforced
+// regardless of host: dropping campaigns or missing the shared cache is a
+// bug, not noise. Throughput and request latency are wall-clock — an
+// end-to-end request folds in queue wait and completion-poll
+// quantization, which jitter ±30% run to run even on one host — so like
+// wall_ms they are advisory unless Strict.
+func compareService(c *Comparison, base, cur *ServiceProfile, opt CompareOptions) {
+	if base == nil || cur == nil {
+		if base != nil || cur != nil {
+			c.Deltas = append(c.Deltas, Delta{
+				Metric: "service", Enforced: false, Regressed: true,
+				Note: "service profile present on only one record; refresh the baseline",
+			})
+		}
+		return
+	}
+
+	clients := Delta{Metric: "service.clients", Old: float64(base.Clients), New: float64(cur.Clients), Enforced: true}
+	if base.Clients > 0 {
+		clients.Ratio = float64(cur.Clients) / float64(base.Clients)
+	}
+	clients.Regressed = base.Clients != cur.Clients
+	if clients.Regressed {
+		clients.Note = "client count changed; refresh the baseline"
+	}
+	c.Deltas = append(c.Deltas, clients)
+
+	dropped := Delta{Metric: "service.dropped", Old: float64(base.Dropped), New: float64(cur.Dropped),
+		Enforced: true, Regressed: cur.Dropped > 0}
+	if dropped.Regressed {
+		dropped.Note = "campaigns were dropped under load"
+	}
+	c.Deltas = append(c.Deltas, dropped)
+
+	warm := Delta{Metric: "service.warm_hit_ratio", Old: base.WarmHitRatio, New: cur.WarmHitRatio, Enforced: true}
+	if base.WarmHitRatio > 0 {
+		warm.Ratio = base.WarmHitRatio / cur.WarmHitRatio // >1 = worse now
+	}
+	warm.Regressed = base.WarmHitRatio > 0 && cur.WarmHitRatio < base.WarmHitRatio*(1-opt.Tol)
+	if warm.Regressed {
+		warm.Note = "warm traffic is missing the shared cache"
+	}
+	c.Deltas = append(c.Deltas, warm)
+
+	rps := Delta{Metric: "service.requests_per_sec", Old: base.RequestsPerSec, New: cur.RequestsPerSec,
+		Enforced: opt.Strict}
+	if cur.RequestsPerSec > 0 {
+		rps.Ratio = base.RequestsPerSec / cur.RequestsPerSec
+	}
+	rps.Regressed = base.RequestsPerSec > 0 && cur.RequestsPerSec < base.RequestsPerSec/(1+opt.Tol)
+	c.Deltas = append(c.Deltas, rps)
+
+	lat := func(metric string, old, new float64, enforced bool, floorMul float64) {
+		d := Delta{Metric: metric, Old: old, New: new, Enforced: enforced}
+		if old > 0 {
+			d.Ratio = new / old
+		}
+		d.Regressed = old > 0 && new > old*(1+opt.Tol) && new-old > opt.MinLatencyUS*floorMul
+		c.Deltas = append(c.Deltas, d)
+	}
+	lat("service.req_latency_us.p50", base.ReqLatencyUS.P50, cur.ReqLatencyUS.P50, opt.Strict, 1)
+	lat("service.req_latency_us.p95", base.ReqLatencyUS.P95, cur.ReqLatencyUS.P95, opt.Strict, 2.5)
+	lat("service.req_latency_us.p99", base.ReqLatencyUS.P99, cur.ReqLatencyUS.P99, false, 1)
+
+	qd := Delta{Metric: "service.queue_depth_max", Old: float64(base.QueueDepthMax),
+		New: float64(cur.QueueDepthMax), Enforced: false}
+	if base.QueueDepthMax > 0 {
+		qd.Ratio = float64(cur.QueueDepthMax) / float64(base.QueueDepthMax)
+	}
+	qd.Regressed = base.QueueDepthMax > 0 && float64(cur.QueueDepthMax) > float64(base.QueueDepthMax)*(1+opt.Tol)
+	c.Deltas = append(c.Deltas, qd)
 }

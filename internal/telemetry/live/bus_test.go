@@ -276,3 +276,30 @@ func TestFormatProgress(t *testing.T) {
 		t.Fatalf("unknown-total line %q", line)
 	}
 }
+
+// TestSnapshotETANeverNegative pins the ETA clamp: a burst of cached cells
+// racing Done past Total inside one tick window, or a tiny rate against a
+// huge remainder overflowing the float→int conversion, must never surface
+// as a negative ETA.
+func TestSnapshotETANeverNegative(t *testing.T) {
+	b := NewBus()
+	b.AddTotal(1)
+	b.startNS.Store(time.Now().Add(-time.Hour).UnixNano())
+	b.done.Store(5) // cached burst overshot the submitted total
+	if s := b.Snapshot(); s.ETAMS != 0 {
+		t.Fatalf("overshoot ETA=%d, want 0", s.ETAMS)
+	}
+
+	b2 := NewBus()
+	b2.AddTotal(1)
+	b2.total.Store(int64(1) << 62) // huge remainder at ~1 cell/hour
+	b2.startNS.Store(time.Now().Add(-time.Hour).UnixNano())
+	b2.done.Store(1)
+	s := b2.Snapshot()
+	if s.ETAMS < 0 {
+		t.Fatalf("overflow ETA=%d, want clamped non-negative", s.ETAMS)
+	}
+	if s.ETAMS != int64(1)<<50 {
+		t.Fatalf("huge-remainder ETA=%d, want clamp ceiling %d", s.ETAMS, int64(1)<<50)
+	}
+}

@@ -95,7 +95,19 @@ func (b *Bus) Snapshot() Snapshot {
 	case s.Done >= s.Total:
 		s.ETAMS = 0
 	case s.CellsPerSec > 0:
-		s.ETAMS = int64(float64(s.Total-s.Done) / s.CellsPerSec * 1000)
+		// Clamp: a burst of cached cells completing inside one tick window
+		// can race Done past Total between the loads above, and a tiny
+		// observed rate against a huge remaining count overflows the
+		// float→int conversion — both used to surface as a negative ETA.
+		eta := float64(s.Total-s.Done) / s.CellsPerSec * 1000
+		switch {
+		case !(eta > 0):
+			s.ETAMS = 0
+		case eta > float64(int64(1)<<50):
+			s.ETAMS = int64(1) << 50
+		default:
+			s.ETAMS = int64(eta)
+		}
 	}
 
 	s.CrashesInjected = b.crashes.Load()

@@ -51,6 +51,23 @@ type FaultInfo struct {
 	Errors   int64 `json:"errors"`
 }
 
+// ServiceInfo records a run's relationship to the experiment service
+// (cwspd): which daemon served it, how contended the admission queue was,
+// and which client submitted it. Present on manifests produced by the
+// daemon's campaigns and on cwspload reports.
+type ServiceInfo struct {
+	// Addr is the daemon's listen address ("host:port").
+	Addr string `json:"addr,omitempty"`
+	// ClientID identifies the submitting client (X-CWSP-Client header).
+	ClientID string `json:"client_id,omitempty"`
+	// CampaignID is the daemon-assigned campaign identifier.
+	CampaignID string `json:"campaign_id,omitempty"`
+	// QueueDepth is the admission-queue depth observed at submit time;
+	// QueueCap is the queue's capacity (0 depth at cap 0 means unqueued).
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap,omitempty"`
+}
+
 // BenchRow is one labelled row of a benchmark report.
 type BenchRow struct {
 	Label string    `json:"label"`
@@ -102,6 +119,10 @@ type Manifest struct {
 
 	// Faults reports a fault-injection campaign (cwsptorture).
 	Faults *FaultInfo `json:"faults,omitempty"`
+
+	// Service reports the experiment-service context (cwspd/cwspload) when
+	// the run was submitted to or measured against a daemon.
+	Service *ServiceInfo `json:"service,omitempty"`
 }
 
 // NewManifest builds a manifest stamped with the current schema version.
