@@ -337,3 +337,62 @@ func TestProgressSnapshotETANeverNegative(t *testing.T) {
 		t.Fatalf("unknown ETA=%d, want -1", s.ETAMS)
 	}
 }
+
+// Restart re-stamps the pace clock: a service campaign's Progress exists
+// from submission, but elapsed/rate/ETA must measure execution, not time
+// spent waiting in the admission queue.
+func TestProgressRestartExcludesQueueWait(t *testing.T) {
+	p := NewProgress()
+	p.mu.Lock()
+	p.start = time.Now().Add(-time.Hour) // an hour stuck in the queue
+	p.mu.Unlock()
+	if s := p.Snapshot(); s.ElapsedMS < time.Hour.Milliseconds() {
+		t.Fatalf("queued elapsed=%dms, want >= 1h", s.ElapsedMS)
+	}
+	p.Restart()
+	if s := p.Snapshot(); s.ElapsedMS >= time.Minute.Milliseconds() {
+		t.Fatalf("post-restart elapsed=%dms still includes queue wait", s.ElapsedMS)
+	}
+}
+
+// Concurrent opens over a dead owner's lock: exactly one racer may
+// acquire. The old existence-based reclaim had a TOCTOU where one racer's
+// unconditional remove could delete another's freshly created lock and
+// leave two live owners; flock(2) has no reclaim step to race.
+func TestStoreLockConcurrentReclaim(t *testing.T) {
+	dir := t.TempDir()
+	lockPath := filepath.Join(dir, lockFileName)
+	// A dead owner: pid beyond the default pid_max.
+	if err := os.WriteFile(lockPath, []byte(fmt.Sprintf("%d\n", 1<<30)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const racers = 8
+	var (
+		won    atomic.Int32
+		wg     sync.WaitGroup
+		stores [racers]*Store
+	)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := OpenStore(dir)
+			switch {
+			case err == nil:
+				stores[i] = s
+				won.Add(1)
+			case !errors.Is(err, ErrLocked):
+				t.Errorf("racer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if won.Load() != 1 {
+		t.Fatalf("%d racers acquired the lock, want exactly 1", won.Load())
+	}
+	for _, s := range stores {
+		if s != nil {
+			s.Close()
+		}
+	}
+}

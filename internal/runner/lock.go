@@ -3,6 +3,7 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -31,41 +32,62 @@ type LockError struct {
 }
 
 func (e *LockError) Error() string {
-	return fmt.Sprintf("runner: store %s is locked by pid %d (stale locks from dead processes are reclaimed automatically)", e.Dir, e.OwnerPID)
+	return fmt.Sprintf("runner: store %s is locked by pid %d (locks from dead processes release automatically)", e.Dir, e.OwnerPID)
 }
 
 // Unwrap makes errors.Is(err, ErrLocked) work.
 func (e *LockError) Unwrap() error { return ErrLocked }
 
-// acquireLock takes exclusive ownership of dir, returning the lock path to
-// remove on Close. A lock whose recorded owner is no longer alive is stale
-// (a crashed sweep, or any pre-Close CLI exit) and is reclaimed; a live
-// owner — including this very process holding another handle — is a
-// conflict surfaced as *LockError.
-func acquireLock(dir string) (string, error) {
+// acquireLock takes exclusive ownership of dir via flock(2) on its lock
+// file, returning the held descriptor to release on Close. Ownership is
+// the kernel lock, not the file's existence: the kernel drops the lock
+// with the descriptor, so a crashed owner leaves nothing stale to reclaim,
+// and there is no check-then-remove window in which two racers can both
+// "reclaim" a dead owner's lock and end up interleaving flushes. A live
+// owner — including this very process holding another handle, since flock
+// locks conflict per open descriptor — surfaces as *LockError.
+func acquireLock(dir string) (*os.File, error) {
 	path := filepath.Join(dir, lockFileName)
-	for attempt := 0; attempt < 3; attempt++ {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err == nil {
-			fmt.Fprintf(f, "%d %s\n", os.Getpid(), time.Now().UTC().Format(time.RFC3339))
-			if cerr := f.Close(); cerr != nil {
-				os.Remove(path)
-				return "", fmt.Errorf("runner: write lock: %w", cerr)
-			}
-			return path, nil
-		}
-		if !os.IsExist(err) {
-			return "", fmt.Errorf("runner: lock store: %w", err)
-		}
-		pid := lockOwner(path)
-		if pid > 0 && pidAlive(pid) {
-			return "", &LockError{Dir: dir, OwnerPID: pid}
-		}
-		// Stale (owner dead or unreadable): reclaim and retry. Two racers
-		// both reclaiming lose to O_EXCL on the next attempt.
-		os.Remove(path)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: lock store: %w", err)
 	}
-	return "", &LockError{Dir: dir, OwnerPID: lockOwner(path)}
+	if err := flockNB(f); err != nil {
+		pid := lockOwner(path)
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, &LockError{Dir: dir, OwnerPID: pid}
+		}
+		return nil, fmt.Errorf("runner: lock store: %w", err)
+	}
+	// Record the owner purely for diagnostics (LockError reports it to the
+	// loser); exclusion never depends on the file content.
+	if err := f.Truncate(0); err == nil {
+		f.Seek(0, io.SeekStart)
+		fmt.Fprintf(f, "%d %s\n", os.Getpid(), time.Now().UTC().Format(time.RFC3339))
+	}
+	return f, nil
+}
+
+// flockNB grabs a non-blocking exclusive flock, retrying EINTR.
+func flockNB(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if !errors.Is(err, syscall.EINTR) {
+			return err
+		}
+	}
+}
+
+// releaseLock drops the lock by closing the descriptor. The lock file is
+// deliberately left in place: removing it would reopen a two-owner race —
+// a contender that already opened the old inode could flock it the moment
+// we release, while a third opener locks a fresh file at the same path.
+// An orphaned LOCK file carries no ownership, only the last owner's pid.
+func releaseLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
 }
 
 // lockOwner parses the pid recorded in a lock file (0 when unreadable).
@@ -83,20 +105,4 @@ func lockOwner(path string) int {
 		return 0
 	}
 	return pid
-}
-
-// pidAlive reports whether a process exists. Signal 0 probes without
-// delivering; EPERM means "exists but not ours", which still counts as
-// alive. Platforms without signal support report dead, degrading to
-// last-writer-wins — no worse than the pre-lock behavior there.
-func pidAlive(pid int) bool {
-	if pid <= 0 {
-		return false
-	}
-	p, err := os.FindProcess(pid)
-	if err != nil {
-		return false
-	}
-	err = p.Signal(syscall.Signal(0))
-	return err == nil || errors.Is(err, syscall.EPERM)
 }

@@ -48,6 +48,18 @@ func newProgress(log io.Writer) *Progress {
 // per-campaign pace survives across the campaign's pools).
 func NewProgress() *Progress { return newProgress(nil) }
 
+// Restart re-stamps the pace clock. The experiment service allocates a
+// campaign's Progress at submission so /progress is readable while the
+// campaign queues, but ElapsedMS/CellsPerSec/ETA must measure execution
+// pace, not admission-queue wait — under backpressure the queue wait
+// dominates and would skew the rate low and the ETA long. Call only
+// before any cell activity: the occupancy series is timed against start.
+func (p *Progress) Restart() {
+	p.mu.Lock()
+	p.start = time.Now()
+	p.mu.Unlock()
+}
+
 func (p *Progress) setLog(w io.Writer) {
 	p.mu.Lock()
 	p.log = w

@@ -55,8 +55,9 @@ type lruEntry struct {
 // Store is the persistent result cache: a directory of 16 sharded JSONL
 // files, one record per completed cell, keyed by content signature. All
 // methods are safe for concurrent use, and exactly one live handle may own
-// a directory at a time (an advisory lock file with stale-owner reclaim
-// keeps a daemon and ad-hoc CLI runs from interleaving flushes). Writes
+// a directory at a time (a flock(2)-held lock file keeps a daemon and
+// ad-hoc CLI runs from interleaving flushes; the kernel releases a dead
+// owner's lock automatically). Writes
 // accumulate in memory and reach disk on Flush, which rewrites each dirty
 // shard to a temp file and atomically renames it into place — a crash
 // mid-flush leaves either the old or the new shard, never a torn one, so a
@@ -69,7 +70,7 @@ type lruEntry struct {
 // daemon converges to the working set instead of growing without bound.
 type Store struct {
 	dir      string
-	lockPath string
+	lockFile *os.File // flock(2)-held LOCK descriptor; closed on Close
 
 	mu        sync.Mutex
 	entries   map[string]*list.Element // signature → element (*lruEntry)
@@ -97,7 +98,8 @@ func (s *Store) SetBus(b *live.Bus) {
 // pre-atomic-write tool, or hand editing — are skipped rather than failing
 // the whole cache; a later superseding line for the same signature wins.
 // A directory owned by another live Store handle fails with *LockError
-// (errors.Is ErrLocked); locks left by dead processes are reclaimed.
+// (errors.Is ErrLocked); the kernel releases a dead process's lock with
+// its descriptors, so crashed owners never wedge the directory.
 func OpenStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("runner: empty store dir")
@@ -105,13 +107,13 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: create store: %w", err)
 	}
-	lockPath, err := acquireLock(dir)
+	lockFile, err := acquireLock(dir)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
 		dir:      dir,
-		lockPath: lockPath,
+		lockFile: lockFile,
 		entries:  map[string]*list.Element{},
 		lru:      list.New(),
 		dirty:    map[string]struct{}{},
@@ -458,10 +460,8 @@ func (s *Store) Close() error {
 	return err
 }
 
-// unlock releases the directory lock (best effort; a leaked lock from a
-// dead process is reclaimed by the next OpenStore anyway).
+// unlock releases the directory lock (the flock drops with the
+// descriptor; the LOCK file itself stays behind as an inert marker).
 func (s *Store) unlock() {
-	if s.lockPath != "" {
-		os.Remove(s.lockPath)
-	}
+	releaseLock(s.lockFile)
 }

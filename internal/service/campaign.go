@@ -78,6 +78,8 @@ func (c *Campaign) setRunning() {
 	c.state = StateRunning
 	c.started = time.Now()
 	c.mu.Unlock()
+	// Pace and ETA measure execution, not time spent queued.
+	c.Progress.Restart()
 }
 
 func (c *Campaign) finish(result json.RawMessage, err error) {

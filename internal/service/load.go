@@ -210,7 +210,12 @@ func RunLoad(ctx context.Context, base string, opts LoadOptions) (*LoadReport, e
 				}
 				latUS = append(latUS, float64(lat.Microseconds()))
 				if v.State != StateDone {
+					// A failed/aborted campaign is lost work: record it so
+					// RunLoad returns an error even without -bench-check.
 					dropped++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("campaign %s ended %s: %s", v.ID, v.State, v.Error)
+					}
 				}
 				cellsDone += v.Progress.Done
 				if warm {

@@ -2,6 +2,8 @@ package service
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"testing"
 	"time"
 )
@@ -50,5 +52,29 @@ func TestServiceLoadMixedTraffic(t *testing.T) {
 	}
 	if report := rep.Profile(); report.Clients != 32 || report.Dropped != 0 {
 		t.Fatalf("profile mangled the report: %+v", report)
+	}
+}
+
+// A campaign that ends in a non-done terminal state is lost work: RunLoad
+// must return an error (cwspload exits non-zero) even without -bench-check,
+// not just count it in Dropped.
+func TestServiceLoadFailsOnDroppedCampaigns(t *testing.T) {
+	svc, base := startDaemon(t, Options{Queue: 8, Workers: 2})
+	svc.testRun = func(c *Campaign) (json.RawMessage, error) {
+		return nil, errors.New("injected campaign failure")
+	}
+
+	rep, err := RunLoad(context.Background(), base, LoadOptions{
+		Clients:   2,
+		Requests:  1,
+		NoPrewarm: true,
+		Seed:      3,
+		Poll:      2 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("RunLoad returned nil error despite failed campaigns")
+	}
+	if rep == nil || rep.Dropped != 2 {
+		t.Fatalf("report=%+v, want Dropped=2", rep)
 	}
 }

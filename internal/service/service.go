@@ -196,15 +196,20 @@ func (s *Service) Get(id string) (*Campaign, bool) {
 	return c, ok
 }
 
-// List snapshots every campaign in admission order.
+// List snapshots every campaign in admission order. The campaign pointers
+// are resolved while s.mu is held — Submit writes s.campaigns concurrently,
+// and an unlocked map read would be a fatal runtime race — but View() is
+// called after unlocking so slow snapshots never serialize admissions.
 func (s *Service) List() []View {
 	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	byID := s.campaigns
+	cs := make([]*Campaign, 0, len(s.order))
+	for _, id := range s.order {
+		cs = append(cs, s.campaigns[id])
+	}
 	s.mu.Unlock()
-	views := make([]View, 0, len(ids))
-	for _, id := range ids {
-		views = append(views, byID[id].View())
+	views := make([]View, 0, len(cs))
+	for _, c := range cs {
+		views = append(views, c.View())
 	}
 	return views
 }

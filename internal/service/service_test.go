@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -107,6 +108,45 @@ func TestServiceSweepByteIdentityAndWarmCache(t *testing.T) {
 	}
 	if got.CSV["fig06"] != rep.CSV() {
 		t.Fatalf("service CSV diverges from direct run:\n%q\nvs\n%q", got.CSV["fig06"], rep.CSV())
+	}
+}
+
+// List racing Submit must be a clean snapshot: the pre-fix List read the
+// campaigns map after releasing s.mu while Submit wrote it — a concurrent
+// map read/write the runtime kills as a fatal error (GET /campaigns racing
+// POST /campaigns crashed the daemon). Run under -race.
+func TestServiceListDuringSubmitRace(t *testing.T) {
+	svc, _ := startDaemon(t, Options{Queue: 256, Workers: 2})
+	svc.testRun = func(c *Campaign) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	}
+	litmus := Spec{Kind: KindLitmus, Cells: 1}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					svc.List()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := svc.Submit(litmus, "race"); err != nil && !errors.Is(err, ErrQueueFull) {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	if len(svc.List()) == 0 {
+		t.Fatal("List saw no campaigns")
 	}
 }
 
