@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-smoke bench-check bench-baseline bench-kernel fuzz-smoke torture-smoke torture litmus-smoke litmus cwspd-smoke service-load service-check service-baseline lint repro repro-quick examples trace metrics clean
+.PHONY: all build test test-short bench bench-smoke bench-check bench-baseline bench-kernel fuzz-smoke torture-smoke torture litmus-smoke litmus cwspd-smoke chaos-smoke service-load service-check service-baseline lint repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -53,11 +53,14 @@ bench-kernel:
 	$(GO) test ./internal/simtest -run xxx -bench RunUntil -benchmem -benchtime 10x
 
 # Short differential-fuzz passes: the kernel-equivalence target (progen
-# seed × scheme × crash point, both kernels must agree byte-for-byte) and
-# the litmus spec grammar round-trip (spec string → plan → spec).
+# seed × scheme × crash point, both kernels must agree byte-for-byte), the
+# litmus spec grammar round-trip (spec string → plan → spec), and the
+# campaign-journal decoder (arbitrary bytes → longest verifiable prefix,
+# re-decode stable, fold never panics).
 fuzz-smoke:
 	$(GO) test ./internal/simtest -run xxx -fuzz FuzzKernelEquivalence -fuzztime 20s
 	$(GO) test ./internal/litmus -run xxx -fuzz FuzzLitmusSpec -fuzztime 10s
+	$(GO) test ./internal/service -run xxx -fuzz FuzzJournalDecode -fuzztime 10s
 
 # Small seeded fault-injection campaign with nested crash-during-recovery
 # (depth 2). A failure prints the shrunk `cwsprecover -faults '<spec>'`
@@ -91,6 +94,16 @@ cwspd-smoke:
 	$(GO) build -o bin/cwspd ./cmd/cwspd
 	$(GO) build -o bin/cwspload ./cmd/cwspload
 	./bin/cwspload -spawn-bin ./bin/cwspd -smoke
+
+# Seeded crash-recovery campaign against a real journaled daemon: 20
+# SIGKILLs at seeded points cycling the queue/run/flush phases, a restart
+# after each, then the durability contract — zero accepted-but-lost
+# campaigns, idempotent replay of journaled results on resubmit, and a
+# final report byte-identical to an uninterrupted run.
+chaos-smoke:
+	$(GO) build -o bin/cwspd ./cmd/cwspd
+	$(GO) build -o bin/cwspload ./cmd/cwspload
+	./bin/cwspload -spawn-bin ./bin/cwspd -chaos -chaos-kills 20 -chaos-campaigns 6 -seed 1 -q
 
 # Load-generate against an in-process daemon: 32 concurrent clients over
 # mixed cold/warm campaign traffic, zero dropped campaigns required. The

@@ -10,6 +10,8 @@
 //	cwspd -addr :8080 -cache-dir .cwspd-cache
 //	cwspd -addr :8080 -cache-dir .cwspd-cache -workers 4 -jobs 2 \
 //	      -max-store-bytes 268435456 -compact-every 32
+//	cwspd -addr :8080 -cache-dir .cwspd-cache -journal-dir .cwspd-journal \
+//	      -lock-wait 10s                       # crash-recoverable daemon
 //
 // API (JSON over HTTP):
 //
@@ -26,6 +28,13 @@
 // SIGINT/SIGTERM shut down gracefully: the listener stops, queued
 // campaigns abort with a terminal state, running campaigns drain, the
 // store compacts and closes. A second signal exits immediately.
+//
+// With -journal-dir, every admission is fsynced to a write-ahead log
+// before the client sees 202, and a restarted daemon replays the journal:
+// terminal campaigns come back with their results, anything that never
+// finished is re-admitted and re-run against the warm cache. SIGKILL is
+// survivable; client-supplied idempotency keys (spec "key") make retried
+// submissions land on the recovered campaign instead of duplicating it.
 package main
 
 import (
@@ -47,6 +56,8 @@ func main() {
 		jobs       = flag.Int("jobs", 1, "simulation-cell pool width inside each campaign")
 		maxBytes   = flag.Int64("max-store-bytes", 0, "LRU-evict the shared cache beyond this size (0 = unbounded)")
 		compactEvy = flag.Int("compact-every", 0, "compact the store every N completed campaigns (0 = only at shutdown)")
+		journalDir = flag.String("journal-dir", "", "durable campaign journal: fsync admissions to a WAL here and replay it on boot (empty = no durability)")
+		lockWait   = flag.Duration("lock-wait", 0, "wait up to this long for cache/journal locks still held by a dying previous daemon (0 = fail fast)")
 		quiet      = flag.Bool("q", false, "suppress per-campaign log lines")
 	)
 	flag.Parse()
@@ -58,6 +69,8 @@ func main() {
 		Queue:         *queue,
 		Workers:       *workers,
 		Jobs:          *jobs,
+		JournalDir:    *journalDir,
+		LockWait:      *lockWait,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
@@ -65,6 +78,10 @@ func main() {
 	svc, err := service.New(opts)
 	if err != nil {
 		fatal(err)
+	}
+	if st := svc.Stats(); st.Recovered > 0 {
+		fmt.Fprintf(os.Stderr, "cwspd: recovered %d journaled campaigns (%d re-admitted)\n",
+			st.Recovered, st.Requeued)
 	}
 	srv := service.NewServer(svc)
 	bound, err := srv.Start(*addr)

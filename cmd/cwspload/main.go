@@ -16,6 +16,14 @@
 //
 //	cwspload -spawn-bin ./bin/cwspd -smoke
 //
+// -chaos runs the seeded crash-recovery campaign: spawn a real cwspd with
+// a durable journal, SIGKILL it at seeded points (mid-queue, mid-campaign,
+// mid-flush), restart it each time, and assert zero accepted-but-lost
+// campaigns, idempotent replay of journaled results, and a final report
+// byte-identical to an uninterrupted run.
+//
+//	cwspload -spawn-bin ./bin/cwspd -chaos -chaos-kills 20 -seed 1
+//
 // The run's profile lands on the bench trajectory like any other sweep:
 //
 //	cwspload -spawn -bench-out BENCH_service.json
@@ -47,11 +55,16 @@ func main() {
 		spawn    = flag.Bool("spawn", false, "run an in-process daemon on a loopback port for the duration")
 		spawnBin = flag.String("spawn-bin", "", "spawn this cwspd binary as a subprocess (SIGTERM shutdown) instead of -spawn")
 		cacheDir = flag.String("cache-dir", "", "spawned daemon's cache dir (default: a temp dir, removed after)")
+		jourDir  = flag.String("journal-dir", "", "spawned daemon's durable campaign journal dir (empty = no durability)")
 		queue    = flag.Int("queue", 16, "spawned daemon's admission-queue capacity")
 		workers  = flag.Int("workers", 2, "spawned daemon's campaign worker groups")
 		jobs     = flag.Int("jobs", 1, "spawned daemon's per-campaign pool width")
 
 		smoke    = flag.Bool("smoke", false, "acceptance mode: sweep twice, assert byte-identity + warm cache, clean shutdown")
+		chaos    = flag.Bool("chaos", false, "crash-recovery mode: SIGKILL/restart a journaled daemon at seeded points (needs -spawn-bin)")
+		chaosKls = flag.Int("chaos-kills", 20, "seeded SIGKILL points across the queue/run/flush phases")
+		chaosCmp = flag.Int("chaos-campaigns", 6, "base keyed campaigns in the chaos workload (each kill adds one more)")
+		chaosDir = flag.String("chaos-dir", "", "chaos daemon's cache+journal root (default: a temp dir, removed after)")
 		clients  = flag.Int("clients", 32, "concurrent load clients")
 		requests = flag.Int("requests", 4, "campaigns per client")
 		warmFrac = flag.Float64("warm-frac", 0.5, "fraction of traffic drawn from the shared warm seed pool")
@@ -86,18 +99,42 @@ func main() {
 		log = os.Stderr
 	}
 
+	// Chaos mode manages its own daemon lifecycle (it kills and restarts
+	// the binary repeatedly), so it bypasses the spawn plumbing below.
+	if *chaos {
+		if *spawnBin == "" {
+			fatal(fmt.Errorf("-chaos needs -spawn-bin <cwspd> (the harness SIGKILLs and restarts a real daemon)"))
+		}
+		rep, err := service.RunChaos(context.Background(), service.ChaosOptions{
+			Bin: *spawnBin, Dir: *chaosDir,
+			Campaigns: *chaosCmp, Kills: *chaosKls, Seed: *seed,
+			Queue: *queue, Workers: *workers, Jobs: *jobs,
+			Poll: *poll, Log: log,
+		})
+		if rep != nil {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(rep)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("cwspload: chaos ok (0 lost campaigns, idempotent replay, byte-identical results)")
+		return
+	}
+
 	base := *addr
 	var stop func() error
 	switch {
 	case *spawnBin != "":
 		var err error
-		base, stop, err = spawnSubprocess(*spawnBin, *cacheDir, *queue, *workers, *jobs, log)
+		base, stop, err = spawnSubprocess(*spawnBin, *cacheDir, *jourDir, *queue, *workers, *jobs, log)
 		if err != nil {
 			fatal(err)
 		}
 	case *spawn:
 		var err error
-		base, stop, err = spawnInProcess(*cacheDir, *queue, *workers, *jobs, log)
+		base, stop, err = spawnInProcess(*cacheDir, *jourDir, *queue, *workers, *jobs, log)
 		if err != nil {
 			fatal(err)
 		}
@@ -153,6 +190,12 @@ func main() {
 		}
 		if statsErr == nil {
 			man.Service.QueueCap = stats.QueueCap
+			man.Service.Recovered = stats.Recovered
+			man.Service.Requeued = stats.Requeued
+			if stats.Journal != nil {
+				man.Service.JournalRecords = stats.Journal.Appended
+				man.Service.JournalTornBytes = stats.Journal.TornBytes
+			}
 		}
 		raw, _ := json.Marshal(rep)
 		man.Stats = raw
@@ -237,13 +280,14 @@ func runSmoke(ctx context.Context, base string, poll time.Duration, log io.Write
 }
 
 // spawnInProcess runs a daemon inside this process on a loopback port.
-func spawnInProcess(cacheDir string, queue, workers, jobs int, log io.Writer) (string, func() error, error) {
+func spawnInProcess(cacheDir, journalDir string, queue, workers, jobs int, log io.Writer) (string, func() error, error) {
 	dir, cleanup, err := ensureCacheDir(cacheDir)
 	if err != nil {
 		return "", nil, err
 	}
 	svc, err := service.New(service.Options{
-		CacheDir: dir, Queue: queue, Workers: workers, Jobs: jobs, Log: log,
+		CacheDir: dir, JournalDir: journalDir,
+		Queue: queue, Workers: workers, Jobs: jobs, Log: log,
 	})
 	if err != nil {
 		cleanup()
@@ -270,18 +314,22 @@ func spawnInProcess(cacheDir string, queue, workers, jobs int, log io.Writer) (s
 
 // spawnSubprocess execs a cwspd binary on a free port, parses its
 // listening line for the address, and shuts it down with SIGTERM.
-func spawnSubprocess(bin, cacheDir string, queue, workers, jobs int, log io.Writer) (string, func() error, error) {
+func spawnSubprocess(bin, cacheDir, journalDir string, queue, workers, jobs int, log io.Writer) (string, func() error, error) {
 	dir, cleanup, err := ensureCacheDir(cacheDir)
 	if err != nil {
 		return "", nil, err
 	}
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-cache-dir", dir,
 		"-queue", fmt.Sprint(queue),
 		"-workers", fmt.Sprint(workers),
 		"-jobs", fmt.Sprint(jobs),
-	)
+	}
+	if journalDir != "" {
+		args = append(args, "-journal-dir", journalDir)
+	}
+	cmd := exec.Command(bin, args...)
 	if log != nil {
 		cmd.Stderr = log
 	}

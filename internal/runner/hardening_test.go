@@ -396,3 +396,32 @@ func TestStoreLockConcurrentReclaim(t *testing.T) {
 		}
 	}
 }
+
+// OpenStoreWait outlives a lock holder that releases within the wait
+// budget — the restart-after-SIGKILL path, where a successor daemon races
+// the kernel reaping its predecessor.
+func TestOpenStoreWait(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero wait fails fast while the owner lives.
+	if _, err := OpenStoreWait(dir, 0); !errors.Is(err, ErrLocked) {
+		t.Fatalf("zero-wait open under live lock: err=%v, want ErrLocked", err)
+	}
+
+	// Release mid-wait: the waiter acquires instead of failing.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		s.Close()
+	}()
+	s2, err := OpenStoreWait(dir, 5*time.Second)
+	if err != nil {
+		t.Fatalf("waited open: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

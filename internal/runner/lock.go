@@ -38,14 +38,24 @@ func (e *LockError) Error() string {
 // Unwrap makes errors.Is(err, ErrLocked) work.
 func (e *LockError) Unwrap() error { return ErrLocked }
 
-// acquireLock takes exclusive ownership of dir via flock(2) on its lock
-// file, returning the held descriptor to release on Close. Ownership is
-// the kernel lock, not the file's existence: the kernel drops the lock
-// with the descriptor, so a crashed owner leaves nothing stale to reclaim,
-// and there is no check-then-remove window in which two racers can both
-// "reclaim" a dead owner's lock and end up interleaving flushes. A live
-// owner — including this very process holding another handle, since flock
-// locks conflict per open descriptor — surfaces as *LockError.
+// LockDir takes exclusive ownership of a directory via flock(2) on its
+// LOCK file, returning the held descriptor to release with UnlockDir.
+// Ownership is the kernel lock, not the file's existence: the kernel
+// drops the lock with the descriptor, so a crashed owner leaves nothing
+// stale to reclaim, and there is no check-then-remove window in which two
+// racers can both "reclaim" a dead owner's lock. A live owner —
+// including this very process holding another handle, since flock locks
+// conflict per open descriptor — surfaces as *LockError. The store locks
+// its cache directory with it; the experiment service reuses it for the
+// campaign journal directory (both need the same one-live-owner
+// discipline across daemon crashes).
+func LockDir(dir string) (*os.File, error) { return acquireLock(dir) }
+
+// UnlockDir releases a LockDir descriptor (see releaseLock for why the
+// LOCK file itself is left in place).
+func UnlockDir(f *os.File) { releaseLock(f) }
+
+// acquireLock implements LockDir.
 func acquireLock(dir string) (*os.File, error) {
 	path := filepath.Join(dir, lockFileName)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cwsp/internal/telemetry/live"
 )
@@ -147,6 +148,23 @@ func OpenStore(dir string) (*Store, error) {
 	}
 	s.loaded = len(s.entries)
 	return s, nil
+}
+
+// OpenStoreWait is OpenStore with patience for a dying previous owner:
+// while the directory is still flocked it retries until wait elapses. A
+// daemon restarting after a SIGKILL races the kernel reaping its
+// predecessor — the flock releases with the dead process's descriptors,
+// so the successor only needs to outwait the reaping, never to reclaim
+// anything. wait <= 0 degenerates to a single OpenStore attempt.
+func OpenStoreWait(dir string, wait time.Duration) (*Store, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		s, err := OpenStore(dir)
+		if err == nil || !errors.Is(err, ErrLocked) || !time.Now().Before(deadline) {
+			return s, err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 // insertLocked adds or supersedes one record at the MRU position.

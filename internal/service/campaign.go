@@ -32,6 +32,11 @@ type Campaign struct {
 	// /api/v1/campaigns/{id}/progress while the campaign runs.
 	Progress *runner.Progress
 
+	// recovered marks a campaign restored from the durable journal at boot
+	// (terminal ones come back with their results; non-terminal ones are
+	// re-admitted and re-run against the warm cache).
+	recovered bool
+
 	mu        sync.Mutex
 	state     string
 	submitted time.Time
@@ -54,6 +59,36 @@ func newCampaign(id string, spec Spec, clientID string) *Campaign {
 	}
 }
 
+// campaignFromEntry rebuilds a campaign from its folded journal entry:
+// terminal entries come back terminal (done channel closed, result
+// attached); non-terminal entries come back queued for re-admission.
+func campaignFromEntry(e JournalEntry) *Campaign {
+	c := &Campaign{
+		ID: e.ID, Spec: e.Spec, ClientID: e.ClientID,
+		Progress:  runner.NewProgress(),
+		state:     StateQueued,
+		recovered: true,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	if e.SubmittedNS != 0 {
+		c.submitted = time.Unix(0, e.SubmittedNS)
+	}
+	if e.StartedNS != 0 {
+		c.started = time.Unix(0, e.StartedNS)
+	}
+	if Terminal(e.State) {
+		c.state = e.State
+		c.errMsg = e.Err
+		c.result = e.Result
+		if e.FinishedNS != 0 {
+			c.finished = time.Unix(0, e.FinishedNS)
+		}
+		close(c.done)
+	}
+	return c
+}
+
 // State returns the current lifecycle state.
 func (c *Campaign) State() string {
 	c.mu.Lock()
@@ -73,18 +108,21 @@ func (c *Campaign) Result() (json.RawMessage, string) {
 	return c.result, c.errMsg
 }
 
-func (c *Campaign) setRunning() {
+func (c *Campaign) setRunning() time.Time {
 	c.mu.Lock()
 	c.state = StateRunning
 	c.started = time.Now()
+	started := c.started
 	c.mu.Unlock()
 	// Pace and ETA measure execution, not time spent queued.
 	c.Progress.Restart()
+	return started
 }
 
-func (c *Campaign) finish(result json.RawMessage, err error) {
+func (c *Campaign) finish(result json.RawMessage, err error) time.Time {
 	c.mu.Lock()
 	c.finished = time.Now()
+	finished := c.finished
 	if err != nil {
 		c.state = StateFailed
 		c.errMsg = err.Error()
@@ -94,19 +132,25 @@ func (c *Campaign) finish(result json.RawMessage, err error) {
 	}
 	c.mu.Unlock()
 	close(c.done)
+	return finished
 }
 
-func (c *Campaign) abort(reason string) {
+// abort moves a still-queued campaign to StateAborted; it reports whether
+// the transition happened (false: the campaign already left the queue, and
+// the caller must not count or journal a second terminal state for it).
+func (c *Campaign) abort(reason string) (time.Time, bool) {
 	c.mu.Lock()
 	if c.state != StateQueued {
 		c.mu.Unlock()
-		return
+		return time.Time{}, false
 	}
 	c.state = StateAborted
 	c.finished = time.Now()
+	finished := c.finished
 	c.errMsg = reason
 	c.mu.Unlock()
 	close(c.done)
+	return finished, true
 }
 
 // View is the wire form of a campaign (result payload served separately —
@@ -117,6 +161,9 @@ type View struct {
 	State    string `json:"state"`
 	ClientID string `json:"client_id,omitempty"`
 	Spec     Spec   `json:"spec"`
+	// Recovered marks a campaign restored from the durable journal after a
+	// daemon restart.
+	Recovered bool `json:"recovered,omitempty"`
 
 	SubmittedNS int64 `json:"submitted_ns"`
 	StartedNS   int64 `json:"started_ns,omitempty"`
@@ -135,6 +182,7 @@ func (c *Campaign) View() View {
 	v := View{
 		ID: c.ID, Kind: c.Spec.Kind, State: c.state, ClientID: c.ClientID,
 		Spec:        c.Spec,
+		Recovered:   c.recovered,
 		SubmittedNS: c.submitted.UnixNano(),
 		Error:       c.errMsg,
 		ResultBytes: len(c.result),

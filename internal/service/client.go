@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"cwsp/internal/runner"
@@ -24,7 +26,51 @@ func (e *BusyError) Error() string {
 	return fmt.Sprintf("service: daemon busy (retry after %v)", e.RetryAfter)
 }
 
-// Client talks to a cwspd daemon.
+// APIError is a non-2xx daemon response (other than 429, which is
+// *BusyError). Status classifies it: 5xx is transient — the daemon is
+// draining, restarting, or mid-recovery — and the client's retry budget
+// absorbs it; 4xx is the caller's problem and surfaces immediately.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// IsNotFound reports whether err is a daemon 404 (unknown campaign — the
+// daemon restarted without a journal, or the ID never existed).
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
+}
+
+// transient reports whether an error is worth retrying: transport
+// failures (connection refused while the daemon restarts, resets from a
+// SIGKILLed daemon, timeouts) and 5xx responses. Context cancellation,
+// 4xx, and backpressure (handled by its own loop) are not.
+func transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var busy *BusyError
+	if errors.As(err, &busy) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500
+	}
+	// Anything else from the transport layer (dial/read/reset errors).
+	return true
+}
+
+// Client talks to a cwspd daemon. The zero value plus Base works; the
+// retry knobs make it robust to a daemon restarting mid-conversation:
+// every request gets a per-request timeout, transient failures are
+// retried with jittered exponential backoff under a bounded budget, and
+// everything honors context cancellation.
 type Client struct {
 	// Base is the daemon root, e.g. "http://127.0.0.1:8080".
 	Base string
@@ -32,6 +78,20 @@ type Client struct {
 	ID string
 	// HTTP is the transport (http.DefaultClient when nil).
 	HTTP *http.Client
+
+	// Timeout bounds each individual HTTP request (default 30s; < 0
+	// disables the per-request deadline).
+	Timeout time.Duration
+	// Retries is the transient-failure budget per logical call: a request
+	// is attempted at most Retries+1 times (default 8; < 0 disables
+	// retry). 4xx responses and context cancellation never retry.
+	Retries int
+	// RetryBase and RetryCap bound the jittered exponential backoff
+	// between attempts (defaults 50ms and 2s).
+	RetryBase, RetryCap time.Duration
+
+	jmu sync.Mutex
+	jit *rand.Rand // lazily seeded jitter source
 }
 
 func (c *Client) http() *http.Client {
@@ -41,7 +101,58 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) timeout() time.Duration {
+	switch {
+	case c.Timeout < 0:
+		return 0
+	case c.Timeout == 0:
+		return 30 * time.Second
+	}
+	return c.Timeout
+}
+
+func (c *Client) retries() int {
+	switch {
+	case c.Retries < 0:
+		return 0
+	case c.Retries == 0:
+		return 8
+	}
+	return c.Retries
+}
+
+// backoff returns the jittered exponential delay before retry attempt n
+// (0-based): base·2ⁿ capped, scaled by a uniform [0.5, 1.0) factor so a
+// fleet of clients waiting out the same daemon restart does not stampede
+// the new listener in lockstep.
+func (c *Client) backoff(n int) time.Duration {
+	base, cap := c.RetryBase, c.RetryCap
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	d := base << uint(n)
+	if d <= 0 || d > cap {
+		d = cap
+	}
+	c.jmu.Lock()
+	if c.jit == nil {
+		c.jit = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	f := 0.5 + 0.5*c.jit.Float64()
+	c.jmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// do issues one request (no retry) with the per-request timeout applied.
 func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	if t := c.timeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -81,7 +192,7 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 		if e.Error == "" {
 			e.Error = resp.Status
 		}
-		return fmt.Errorf("service: %s %s: %s", method, path, e.Error)
+		return &APIError{Status: resp.StatusCode, Msg: fmt.Sprintf("%s %s: %s", method, path, e.Error)}
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -90,50 +201,79 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit admits one campaign (a full queue returns *BusyError).
+// doRetry is do with the transient-failure budget: up to Retries+1
+// attempts separated by jittered exponential backoff, every sleep
+// interruptible by ctx. Non-transient errors (4xx, 429 backpressure,
+// cancellation) return immediately.
+func (c *Client) doRetry(ctx context.Context, method, path string, body any, out any) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.do(ctx, method, path, body, out)
+		if !transient(err) || attempt >= c.retries() {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.backoff(attempt)):
+		}
+	}
+}
+
+// Submit admits one campaign (a full queue returns *BusyError). Transient
+// failures — including the window where the daemon is restarting — are
+// retried under the client's budget; with an idempotency key in the spec,
+// a retry that lands after the daemon already journaled the admission
+// maps onto the same campaign instead of duplicating it.
 func (c *Client) Submit(ctx context.Context, spec Spec) (View, error) {
 	var v View
-	err := c.do(ctx, http.MethodPost, "/api/v1/campaigns", spec, &v)
+	err := c.doRetry(ctx, http.MethodPost, "/api/v1/campaigns", spec, &v)
 	return v, err
 }
 
 // Get fetches a campaign view.
 func (c *Client) Get(ctx context.Context, id string) (View, error) {
 	var v View
-	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id, nil, &v)
+	err := c.doRetry(ctx, http.MethodGet, "/api/v1/campaigns/"+id, nil, &v)
 	return v, err
 }
 
 // Progress fetches a campaign's live pace.
 func (c *Client) Progress(ctx context.Context, id string) (runner.ProgressSnapshot, error) {
 	var p runner.ProgressSnapshot
-	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id+"/progress", nil, &p)
+	err := c.doRetry(ctx, http.MethodGet, "/api/v1/campaigns/"+id+"/progress", nil, &p)
 	return p, err
 }
 
 // Result fetches a done campaign's payload.
 func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error) {
 	var raw json.RawMessage
-	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id+"/result", nil, &raw)
+	err := c.doRetry(ctx, http.MethodGet, "/api/v1/campaigns/"+id+"/result", nil, &raw)
 	return raw, err
 }
 
 // Stats fetches the daemon digest.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats
-	err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &st)
+	err := c.doRetry(ctx, http.MethodGet, "/api/v1/stats", nil, &st)
 	return st, err
 }
 
-// SubmitWait submits a campaign — absorbing backpressure by retrying
-// after the daemon's hinted backoff, so a patient client never drops work
-// — and polls until it reaches a terminal state.
+// SubmitWait submits a campaign and polls until it reaches a terminal
+// state, surviving everything short of the caller's context expiring:
+// admission backpressure is absorbed by honoring the daemon's Retry-After
+// hint; transient failures ride the per-request retry budget; and a
+// daemon restart mid-wait is healed by re-polling the recovered campaign
+// — when the spec carries an idempotency key and the restarted daemon
+// does not know the campaign (journal disabled or wiped), SubmitWait
+// resubmits the spec under the same key rather than losing the work.
 func (c *Client) SubmitWait(ctx context.Context, spec Spec, poll time.Duration) (View, int, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
 	var rejected int
 	var v View
+submit:
 	for {
 		var err error
 		v, err = c.Submit(ctx, spec)
@@ -166,6 +306,11 @@ func (c *Client) SubmitWait(ctx context.Context, spec Spec, poll time.Duration) 
 		var err error
 		v, err = c.Get(ctx, v.ID)
 		if err != nil {
+			if IsNotFound(err) && spec.Key != "" {
+				// The daemon lost the campaign across a restart: the
+				// idempotency key makes resubmission safe.
+				goto submit
+			}
 			return v, rejected, err
 		}
 	}

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastClient(base string) *Client {
+	return &Client{
+		Base: base, ID: "test",
+		Timeout: 5 * time.Second, Retries: 3,
+		RetryBase: time.Millisecond, RetryCap: 5 * time.Millisecond,
+	}
+}
+
+func TestClientRetriesTransient(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(View{ID: "c000001", State: StateDone})
+	}))
+	defer ts.Close()
+
+	v, err := fastClient(ts.URL).Get(context.Background(), "c000001")
+	if err != nil {
+		t.Fatalf("get across 503s: %v", err)
+	}
+	if v.State != StateDone {
+		t.Fatalf("state = %s", v.State)
+	}
+	if n := atomic.LoadInt32(&calls); n != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 failures + success)", n)
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, `{"error":"down"}`, http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL).Get(context.Background(), "x")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadGateway {
+		t.Fatalf("err = %v, want APIError 502", err)
+	}
+	// Retries=3 → 4 attempts total.
+	if n := atomic.LoadInt32(&calls); n != 4 {
+		t.Fatalf("server saw %d calls, want 4", n)
+	}
+}
+
+func TestClientNoRetryOnCallerErrors(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, `{"error":"no such campaign"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL).Get(context.Background(), "nope")
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want 404", err)
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("client retried a 404 %d times", n-1)
+	}
+}
+
+func TestClientBusyNotRetriedByBudget(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL).Submit(context.Background(), litmusSpec("", 1))
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("err = %v, want BusyError", err)
+	}
+	if busy.RetryAfter != 7*time.Second {
+		t.Fatalf("retry-after = %v, want 7s", busy.RetryAfter)
+	}
+	// Backpressure is SubmitWait's loop, not the transient budget's.
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("429 was retried: %d calls", n)
+	}
+}
+
+func TestSubmitWaitContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Forever queued: SubmitWait can only end via its context.
+		json.NewEncoder(w).Encode(View{ID: "c000001", State: StateQueued})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := fastClient(ts.URL).SubmitWait(ctx, litmusSpec("", 1), 5*time.Millisecond)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+// TestSubmitWaitResubmitsAfterDaemonLoss scripts the restart-without-
+// journal story: the campaign vanishes mid-wait (404), and SubmitWait —
+// because the spec carries an idempotency key — resubmits instead of
+// failing the caller.
+func TestSubmitWaitResubmitsAfterDaemonLoss(t *testing.T) {
+	var submits int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			n := atomic.AddInt32(&submits, 1)
+			state := StateQueued
+			if n > 1 {
+				state = StateDone // the resubmitted campaign completes immediately
+			}
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(View{ID: "keyed-job", State: state})
+		default:
+			http.Error(w, `{"error":"unknown campaign"}`, http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	v, _, err := fastClient(ts.URL).SubmitWait(context.Background(), litmusSpec("keyed-job", 1), time.Millisecond)
+	if err != nil {
+		t.Fatalf("SubmitWait: %v", err)
+	}
+	if v.State != StateDone {
+		t.Fatalf("state = %s", v.State)
+	}
+	if n := atomic.LoadInt32(&submits); n != 2 {
+		t.Fatalf("submits = %d, want 2 (original + post-loss resubmit)", n)
+	}
+}
+
+func TestSubmitWaitKeylessLossIsTerminal(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(View{ID: "c000001", State: StateQueued})
+			return
+		}
+		http.Error(w, `{"error":"unknown campaign"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	// Without a key, resubmitting could duplicate work — the loss must
+	// surface instead.
+	_, _, err := fastClient(ts.URL).SubmitWait(context.Background(), litmusSpec("", 1), time.Millisecond)
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want 404 surfaced", err)
+	}
+}
+
+func TestClientPerRequestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hang until the client must have timed out
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	cli := &Client{Base: ts.URL, Timeout: 20 * time.Millisecond, Retries: -1}
+	start := time.Now()
+	_, err := cli.Get(context.Background(), "x")
+	if err == nil {
+		t.Fatal("hung request returned nil error")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("per-request timeout took %v", d)
+	}
+}
+
+func TestServerHardeningTimeouts(t *testing.T) {
+	svc, err := New(Options{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := NewServer(svc)
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.srv.ReadHeaderTimeout <= 0 || srv.srv.ReadTimeout <= 0 || srv.srv.IdleTimeout <= 0 {
+		t.Fatalf("listener missing slowloris timeouts: %+v", srv.srv)
+	}
+	if srv.srv.WriteTimeout != 0 {
+		t.Fatalf("WriteTimeout %v would kill the SSE /events stream", srv.srv.WriteTimeout)
+	}
+}

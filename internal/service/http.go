@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -59,7 +60,16 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", fmt.Errorf("service: listen %s: %w", addr, err)
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	// Slowloris hardening: a client that trickles headers, trickles a spec
+	// body, or parks idle keep-alive connections cannot pin the daemon's
+	// connections forever. WriteTimeout stays unset deliberately — the SSE
+	// /events stream is a legitimately unbounded response.
+	s.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }
@@ -83,13 +93,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, c.View())
-	case err == ErrQueueFull:
+	case errors.Is(err, ErrQueueFull):
 		// Backpressure: tell the client when capacity is likely.
 		retry := s.svc.RetryAfter()
 		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 		httpError(w, http.StatusTooManyRequests, err)
-	case err == ErrClosing:
+	case errors.Is(err, ErrClosing):
+		// 503: the client's retry loop treats it as transient and finds
+		// the restarted daemon.
 		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrKeyConflict):
+		httpError(w, http.StatusConflict, err)
 	default:
 		httpError(w, http.StatusBadRequest, err)
 	}

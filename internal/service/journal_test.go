@@ -1,0 +1,411 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func litmusSpec(key string, seed int64) Spec {
+	s := Spec{Kind: KindLitmus, Key: key, Cells: 1, Seed: seed}
+	s.Normalize()
+	return s
+}
+
+func journalPath(dir string) string { return filepath.Join(dir, journalFile) }
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indented on purpose: campaign engines emit indented JSON, and the
+	// journal must round-trip it byte-exact (a record format that compacts
+	// embedded JSON breaks the digest and recovery byte-identity).
+	result := json.RawMessage("{\n  \"cells\": 1,\n  \"ok\": true\n}")
+	if err := j.Accepted("a", "cli-1", litmusSpec("a", 7), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Running("a", 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Terminal("a", StateDone, "", result, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accepted("b", "cli-2", litmusSpec("b", 8), 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Running("b", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accepted("c", "cli-3", litmusSpec("c", 9), 600); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	entries := j2.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(entries))
+	}
+	a, b, c := entries[0], entries[1], entries[2]
+	if a.ID != "a" || a.State != StateDone || !bytes.Equal(a.Result, result) {
+		t.Fatalf("entry a = %+v, want done with result", a)
+	}
+	if a.SubmittedNS != 100 || a.StartedNS != 200 || a.FinishedNS != 300 {
+		t.Fatalf("entry a timeline = %d/%d/%d", a.SubmittedNS, a.StartedNS, a.FinishedNS)
+	}
+	if a.Digest != resultDigest(result) {
+		t.Fatalf("entry a digest = %q", a.Digest)
+	}
+	if b.ID != "b" || b.State != StateRunning {
+		t.Fatalf("entry b = %+v, want running", b)
+	}
+	if c.ID != "c" || c.State != StateQueued {
+		t.Fatalf("entry c = %+v, want queued", c)
+	}
+	if b.ClientID != "cli-2" || b.Spec.Seed != 8 {
+		t.Fatalf("entry b lost identity: %+v", b)
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accepted("a", "", litmusSpec("a", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Terminal("a", StateFailed, "boom", nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append: a full frame header promising more payload than
+	// the file holds.
+	torn := make([]byte, journalHeader+4)
+	binary.LittleEndian.PutUint32(torn[0:], journalMagic)
+	binary.LittleEndian.PutUint32(torn[4:], 4096)
+	if err := os.WriteFile(journalPath(dir), append(append([]byte{}, good...), torn...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := j2.Entries()
+	if len(entries) != 1 || entries[0].State != StateFailed || entries[0].Err != "boom" {
+		t.Fatalf("after torn tail: %+v", entries)
+	}
+	if st := j2.Stats(); st.TornBytes != int64(len(torn)) {
+		t.Fatalf("torn bytes = %d, want %d", st.TornBytes, len(torn))
+	}
+	// The tail is truncated, so new appends extend the trusted prefix.
+	if err := j2.Accepted("b", "", litmusSpec("b", 2), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if entries := j3.Entries(); len(entries) != 2 || entries[1].ID != "b" {
+		t.Fatalf("after truncate+append: %+v", entries)
+	}
+	if st := j3.Stats(); st.TornBytes != 0 {
+		t.Fatalf("reopened journal still torn: %d bytes", st.TornBytes)
+	}
+}
+
+func TestJournalBitFlipEndsTrustedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accepted("a", "", litmusSpec("a", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	end1 := j.Stats().SizeBytes
+	if err := j.Accepted("b", "", litmusSpec("b", 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accepted("c", "", litmusSpec("c", 3), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit inside the second record: it and everything
+	// after it — even the intact third record — leave the trusted prefix
+	// (the oldest-bad-record-onward discipline).
+	b[end1+journalHeader+2] ^= 0x40
+	if err := os.WriteFile(journalPath(dir), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	entries := j2.Entries()
+	if len(entries) != 1 || entries[0].ID != "a" {
+		t.Fatalf("after bit flip: %+v, want only campaign a", entries)
+	}
+	if st := j2.Stats(); st.TornBytes != int64(len(b))-end1 {
+		t.Fatalf("torn bytes = %d, want %d", st.TornBytes, int64(len(b))-end1)
+	}
+}
+
+func TestJournalDuplicateTerminalIgnored(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := json.RawMessage(`{"n":1}`)
+	if err := j.Accepted("a", "", litmusSpec("a", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Terminal("a", StateDone, "", result, 2); err != nil {
+		t.Fatal(err)
+	}
+	// A contradicting second terminal record (a crashed daemon replaying a
+	// partially folded log could produce one): first terminal wins.
+	if err := j.Terminal("a", StateFailed, "late duplicate", nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	entries := j2.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if e := entries[0]; e.State != StateDone || !bytes.Equal(e.Result, result) || e.FinishedNS != 2 {
+		t.Fatalf("duplicate terminal overwrote the first: %+v", e)
+	}
+}
+
+func TestJournalEmptyAndAbsent(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir) // no file at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries := j.Entries(); len(entries) != 0 {
+		t.Fatalf("absent log produced entries: %+v", entries)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journalPath(dir), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir) // empty file
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if entries := j2.Entries(); len(entries) != 0 {
+		t.Fatalf("empty log produced entries: %+v", entries)
+	}
+	if st := j2.Stats(); st.TornBytes != 0 || st.SizeBytes != 0 {
+		t.Fatalf("empty log stats: %+v", st)
+	}
+}
+
+func TestJournalDigestMismatchDowngradesToRerun(t *testing.T) {
+	dir := t.TempDir()
+	spec := litmusSpec("a", 1)
+	acc, err := encodeJournalRecord(journalRecord{Kind: "accepted", ID: "a", TimeNS: 1, Spec: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A done record whose payload does not match its digest: the frame
+	// seal is valid (this is exactly what compacting a log whose result
+	// bytes rotted in memory would write), so only the digest can catch it.
+	done, err := encodeJournalRecord(journalRecord{
+		Kind: StateDone, ID: "a", TimeNS: 2,
+		Result: []byte(`{"corrupt":true}`),
+		Digest: resultDigest([]byte(`{"original":true}`)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journalPath(dir), append(acc, done...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	entries := j.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if e := entries[0]; Terminal(e.State) || e.Result != nil {
+		t.Fatalf("digest-mismatched done record recovered terminally: %+v", e)
+	}
+}
+
+func TestJournalCompactIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := json.RawMessage(`{"n":42}`)
+	if err := j.Accepted("a", "cli", litmusSpec("a", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Running("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Terminal("a", StateDone, "", result, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accepted("b", "cli", litmusSpec("b", 2), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Running("b", 5); err != nil {
+		t.Fatal(err)
+	}
+	raw := j.Stats().SizeBytes
+
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	once, err := os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(once)) >= raw {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", raw, len(once))
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	twice, err := os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(once, twice) {
+		t.Fatalf("compaction is not idempotent: %d vs %d bytes", len(once), len(twice))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The folded log replays to the same state.
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	entries := j2.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries after compact = %+v", entries)
+	}
+	a, b := entries[0], entries[1]
+	if a.ID != "a" || a.State != StateDone || !bytes.Equal(a.Result, result) ||
+		a.SubmittedNS != 1 || a.StartedNS != 2 || a.FinishedNS != 3 {
+		t.Fatalf("compacted entry a = %+v", a)
+	}
+	// Non-terminal campaigns fold to bare admissions: queued and running
+	// recover identically.
+	if b.ID != "b" || b.State != StateQueued || b.SubmittedNS != 4 {
+		t.Fatalf("compacted entry b = %+v", b)
+	}
+}
+
+func TestJournalAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accepted("a", "", litmusSpec("a", 1), 1); err != ErrJournalClosed {
+		t.Fatalf("append after close = %v, want ErrJournalClosed", err)
+	}
+	if err := j.Compact(); err != ErrJournalClosed {
+		t.Fatalf("compact after close = %v, want ErrJournalClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func FuzzJournalDecode(f *testing.F) {
+	spec := litmusSpec("a", 1)
+	acc, _ := encodeJournalRecord(journalRecord{Kind: "accepted", ID: "a", TimeNS: 1, Spec: &spec})
+	res := []byte(`{"n":1}`)
+	done, _ := encodeJournalRecord(journalRecord{
+		Kind: StateDone, ID: "a", TimeNS: 2, Result: res, Digest: resultDigest(res),
+	})
+	f.Add([]byte{})
+	f.Add(acc)
+	f.Add(append(append([]byte{}, acc...), done...))
+	f.Add(append(append([]byte{}, acc...), done[:len(done)-3]...)) // torn tail
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		recs, valid := decodeJournal(b)
+		if valid < 0 || valid > len(b) {
+			t.Fatalf("valid prefix %d outside [0,%d]", valid, len(b))
+		}
+		// The trusted prefix must be exactly re-decodable: same records,
+		// nothing left over (truncation at open is safe).
+		recs2, valid2 := decodeJournal(b[:valid])
+		if valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("prefix re-decode: %d records/%d bytes, want %d/%d",
+				len(recs2), valid2, len(recs), valid)
+		}
+		// Folding any decoded sequence must not panic and must keep
+		// first-seen order consistent with the map.
+		entries, order := foldJournal(recs)
+		if len(entries) != len(order) {
+			t.Fatalf("fold: %d entries, %d order", len(entries), len(order))
+		}
+		for _, id := range order {
+			if entries[id] == nil {
+				t.Fatalf("fold: ordered id %q missing", id)
+			}
+		}
+	})
+}

@@ -1,0 +1,361 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// seedJournal writes a journal under dir containing the given entries
+// (terminal ones with results) and releases it, simulating what a killed
+// daemon leaves behind.
+func seedJournal(t *testing.T, dir string, seed func(j *Journal)) {
+	t.Helper()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(j)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitTerminal(t *testing.T, svc *Service, id string) *Campaign {
+	t.Helper()
+	c, ok := svc.Get(id)
+	if !ok {
+		t.Fatalf("campaign %s unknown", id)
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("campaign %s never reached a terminal state", id)
+	}
+	return c
+}
+
+func TestRecoveryRerunsUnfinishedOnce(t *testing.T) {
+	dir := t.TempDir()
+	jdir := t.TempDir()
+	seedJournal(t, jdir, func(j *Journal) {
+		// One campaign the dead daemon never started, one it was running:
+		// both must recover as re-admissions.
+		if err := j.Accepted("job-queued", "cli", litmusSpec("job-queued", 1), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Accepted("job-running", "cli", litmusSpec("job-running", 2), 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Running("job-running", 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var runs sync.Map // id -> *int64
+	svc, err := New(Options{
+		CacheDir: dir, JournalDir: jdir, Workers: 2,
+		testRun: func(c *Campaign) (json.RawMessage, error) {
+			n, _ := runs.LoadOrStore(c.ID, new(int64))
+			atomic.AddInt64(n.(*int64), 1)
+			return json.RawMessage(fmt.Sprintf(`{"id":%q}`, c.ID)), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	for _, id := range []string{"job-queued", "job-running"} {
+		c := waitTerminal(t, svc, id)
+		if c.State() != StateDone {
+			_, msg := c.Result()
+			t.Fatalf("recovered %s ended %s: %s", id, c.State(), msg)
+		}
+		if v := c.View(); !v.Recovered {
+			t.Fatalf("campaign %s not marked recovered", id)
+		}
+		n, ok := runs.Load(id)
+		if !ok || atomic.LoadInt64(n.(*int64)) != 1 {
+			t.Fatalf("campaign %s ran %v times, want exactly 1", id, n)
+		}
+	}
+	st := svc.Stats()
+	if st.Recovered != 2 || st.Requeued != 2 {
+		t.Fatalf("stats recovered/requeued = %d/%d, want 2/2", st.Recovered, st.Requeued)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The re-run reached the journal: a second restart restores both
+	// terminally without running anything.
+	var runs2 int64
+	svc2, err := New(Options{
+		CacheDir: dir, JournalDir: jdir,
+		testRun: func(c *Campaign) (json.RawMessage, error) {
+			atomic.AddInt64(&runs2, 1)
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	for _, id := range []string{"job-queued", "job-running"} {
+		c, ok := svc2.Get(id)
+		if !ok || c.State() != StateDone {
+			t.Fatalf("second restart lost %s", id)
+		}
+	}
+	if st := svc2.Stats(); st.Requeued != 0 {
+		t.Fatalf("second restart requeued %d campaigns, want 0", st.Requeued)
+	}
+	if n := atomic.LoadInt64(&runs2); n != 0 {
+		t.Fatalf("second restart re-ran %d terminal campaigns", n)
+	}
+}
+
+func TestRecoveryServesJournaledResultWithoutRerun(t *testing.T) {
+	jdir := t.TempDir()
+	result := json.RawMessage(`{"answer":42}`)
+	spec := litmusSpec("job-done", 1)
+	seedJournal(t, jdir, func(j *Journal) {
+		if err := j.Accepted("job-done", "cli", spec, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Terminal("job-done", StateDone, "", result, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var runs int64
+	svc, err := New(Options{
+		CacheDir: t.TempDir(), JournalDir: jdir,
+		testRun: func(c *Campaign) (json.RawMessage, error) {
+			atomic.AddInt64(&runs, 1)
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	c, ok := svc.Get("job-done")
+	if !ok || c.State() != StateDone {
+		t.Fatalf("journaled done campaign not restored")
+	}
+	if got, _ := c.Result(); !bytes.Equal(got, result) {
+		t.Fatalf("restored result = %s, want %s", got, result)
+	}
+
+	// Idempotent resubmit under the same key: the journaled result answers,
+	// nothing re-runs.
+	c2, err := svc.Submit(spec, "cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Fatalf("idempotent resubmit returned a different campaign")
+	}
+	if st := svc.Stats(); st.IdempotentHits != 1 {
+		t.Fatalf("idempotent hits = %d, want 1", st.IdempotentHits)
+	}
+
+	// Same key, different work: a conflict, not a silent overwrite.
+	other := litmusSpec("job-done", 999)
+	if _, err := svc.Submit(other, "cli"); !errors.Is(err, ErrKeyConflict) {
+		t.Fatalf("conflicting key submit = %v, want ErrKeyConflict", err)
+	}
+	if n := atomic.LoadInt64(&runs); n != 0 {
+		t.Fatalf("recovered terminal campaign re-ran %d times", n)
+	}
+}
+
+func TestRecoveryRerunIsWarmAndByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real litmus campaign")
+	}
+	cache := t.TempDir()
+	spec := litmusSpec("warm-job", 11)
+
+	// First life: run the campaign to completion against the shared cache.
+	j1 := t.TempDir()
+	svc, err := New(Options{CacheDir: cache, JournalDir: j1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(spec, "cli"); err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	c := waitTerminal(t, svc, "warm-job")
+	want, _ := c.Result()
+	if c.State() != StateDone || len(want) == 0 {
+		svc.Close()
+		t.Fatalf("first life ended %s", c.State())
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: a journal that only recorded the admission (the daemon
+	// died before any terminal record). Recovery re-runs it against the
+	// same store — warm, byte-identical.
+	j2 := t.TempDir()
+	seedJournal(t, j2, func(j *Journal) {
+		if err := j.Accepted("warm-job", "cli", spec, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	svc2, err := New(Options{CacheDir: cache, JournalDir: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	c2 := waitTerminal(t, svc2, "warm-job")
+	if c2.State() != StateDone {
+		_, msg := c2.Result()
+		t.Fatalf("recovered re-run ended %s: %s", c2.State(), msg)
+	}
+	got, _ := c2.Result()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("warm re-run changed bytes: %d vs %d", len(got), len(want))
+	}
+	if snap := c2.Progress.Snapshot(); snap.Executed != 0 {
+		t.Fatalf("warm re-run executed %d cells, want 0 (all cached)", snap.Executed)
+	}
+}
+
+// TestRaceCloseDuringJournalAppend drives Submit concurrently with Close
+// (run under -race): no append may land after the journal closes without
+// the campaign being aborted, and every campaign the service reports
+// terminal must have a matching terminal record on disk.
+func TestRaceCloseDuringJournalAppend(t *testing.T) {
+	jdir := t.TempDir()
+	svc, err := New(Options{
+		CacheDir: t.TempDir(), JournalDir: jdir, Queue: 64, Workers: 4,
+		testRun: func(c *Campaign) (json.RawMessage, error) {
+			return json.RawMessage(`{"ok":true}`), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := svc.Submit(litmusSpec(fmt.Sprintf("race-%d-%d", g, i), int64(i)), "race")
+				if errors.Is(err, ErrClosing) {
+					return
+				}
+				if err != nil && !errors.Is(err, ErrQueueFull) {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every terminal campaign in the service has a terminal journal record.
+	terminal := map[string]string{}
+	for _, v := range svc.List() {
+		if Terminal(v.State) {
+			terminal[v.ID] = v.State
+		} else {
+			t.Errorf("campaign %s left non-terminal (%s) by Close", v.ID, v.State)
+		}
+	}
+	j, err := OpenJournal(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	onDisk := map[string]string{}
+	for _, e := range j.Entries() {
+		onDisk[e.ID] = e.State
+	}
+	for id, state := range terminal {
+		if got, ok := onDisk[id]; !ok || got != state {
+			t.Errorf("campaign %s terminal %s in service but %q in journal", id, state, got)
+		}
+	}
+}
+
+// TestRaceRecoverySubmitClose replays a journal of unfinished campaigns
+// while clients resubmit the same keys and the daemon shuts down (run
+// under -race): no campaign may execute more than once.
+func TestRaceRecoverySubmitClose(t *testing.T) {
+	jdir := t.TempDir()
+	const n = 16
+	seedJournal(t, jdir, func(j *Journal) {
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("replay-%02d", i)
+			if err := j.Accepted(id, "cli", litmusSpec(id, int64(i)), int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+
+	var runs sync.Map
+	svc, err := New(Options{
+		CacheDir: t.TempDir(), JournalDir: jdir, Workers: 4,
+		testRun: func(c *Campaign) (json.RawMessage, error) {
+			v, _ := runs.LoadOrStore(c.ID, new(int64))
+			atomic.AddInt64(v.(*int64), 1)
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				id := fmt.Sprintf("replay-%02d", (i+g)%n)
+				_, err := svc.Submit(litmusSpec(id, int64((i+g)%n)), "cli")
+				if err != nil && !errors.Is(err, ErrClosing) && !errors.Is(err, ErrQueueFull) {
+					t.Errorf("resubmit %s: %v", id, err)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	runs.Range(func(k, v any) bool {
+		if got := atomic.LoadInt64(v.(*int64)); got > 1 {
+			t.Errorf("campaign %s executed %d times, want at most 1", k, got)
+		}
+		return true
+	})
+}

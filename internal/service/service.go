@@ -26,6 +26,22 @@ var ErrQueueFull = errors.New("service: admission queue full")
 // ErrClosing is returned by Submit once shutdown has begun.
 var ErrClosing = errors.New("service: shutting down")
 
+// ErrKeyConflict wraps every idempotency-key collision: the key is already
+// bound to a campaign with a different spec. Test with errors.Is.
+var ErrKeyConflict = errors.New("service: idempotency key bound to a different spec")
+
+// KeyConflictError reports which key collided.
+type KeyConflictError struct {
+	Key string
+}
+
+func (e *KeyConflictError) Error() string {
+	return fmt.Sprintf("service: idempotency key %q is bound to a campaign with a different spec", e.Key)
+}
+
+// Unwrap makes errors.Is(err, ErrKeyConflict) work.
+func (e *KeyConflictError) Unwrap() error { return ErrKeyConflict }
+
 // Options configure a daemon.
 type Options struct {
 	// Store is the shared content-addressed cache every campaign reads and
@@ -47,11 +63,27 @@ type Options struct {
 	Workers int
 	Jobs    int
 
+	// JournalDir enables the durable campaign journal: every admission is
+	// fsynced to a write-ahead log there before Submit acknowledges it, and
+	// on the next boot the journal is replayed — terminal campaigns are
+	// restored with their results, campaigns that never reached a terminal
+	// record are re-admitted and re-run against the warm content-addressed
+	// store. Empty disables durability (the pre-journal behavior).
+	JournalDir string
+	// LockWait bounds how long New waits for the store and journal
+	// directory flocks still held by a dying previous owner (a daemon
+	// restarting over its own SIGKILLed corpse). 0 = fail fast.
+	LockWait time.Duration
+
 	// Bus receives live events from every campaign's pools (the daemon's
 	// /metrics, /progress, /events come from it). Nil allocates one.
 	Bus *live.Bus
 	// Log, when set, receives one line per campaign transition.
 	Log io.Writer
+
+	// testRun, when set, replaces the campaign engines before the workers
+	// start (unit tests inject controllable work — unexported, tests only).
+	testRun func(c *Campaign) (json.RawMessage, error)
 }
 
 // Stats is the daemon digest at /api/v1/stats.
@@ -68,22 +100,33 @@ type Stats struct {
 	Failed    int64 `json:"failed"`
 	Aborted   int64 `json:"aborted"`
 
+	// Recovered counts campaigns restored from the journal at boot;
+	// Requeued of those were non-terminal and re-admitted. IdempotentHits
+	// counts submissions answered by an existing campaign via its key.
+	Recovered      int64 `json:"recovered,omitempty"`
+	Requeued       int64 `json:"requeued,omitempty"`
+	IdempotentHits int64 `json:"idempotent_hits,omitempty"`
+
 	// AvgCampaignMS is the EWMA campaign duration behind Retry-After.
 	AvgCampaignMS int64 `json:"avg_campaign_ms"`
 	// RetryAfterMS is the current backoff hint handed to rejected clients.
 	RetryAfterMS int64 `json:"retry_after_ms"`
 
 	Store runner.StoreStats `json:"store"`
+	// Journal digests the durable campaign journal (nil without
+	// -journal-dir).
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // Service is the campaign daemon: a bounded admission queue feeding a
 // fixed set of campaign-runner goroutine groups, all sharing one
 // content-addressed store and one live bus.
 type Service struct {
-	opts  Options
-	store *runner.Store
-	owned bool // store opened from CacheDir: Close releases it
-	bus   *live.Bus
+	opts    Options
+	store   *runner.Store
+	owned   bool // store opened from CacheDir: Close releases it
+	journal *Journal
+	bus     *live.Bus
 
 	queue chan *Campaign
 	wg    sync.WaitGroup
@@ -99,6 +142,9 @@ type Service struct {
 	completed int64
 	failed    int64
 	aborted   int64
+	recovered int64
+	requeued  int64
+	idemHits  int64
 	avgDur    time.Duration
 	sinceComp int // completed campaigns since the last compaction
 
@@ -126,14 +172,14 @@ func New(opts Options) (*Service, error) {
 	s := &Service{
 		opts:      opts,
 		bus:       bus,
-		queue:     make(chan *Campaign, opts.Queue),
 		campaigns: map[string]*Campaign{},
+		testRun:   opts.testRun,
 	}
 	switch {
 	case opts.Store != nil:
 		s.store = opts.Store
 	case opts.CacheDir != "":
-		store, err := runner.OpenStore(opts.CacheDir)
+		store, err := runner.OpenStoreWait(opts.CacheDir, opts.LockWait)
 		if err != nil {
 			return nil, err
 		}
@@ -146,11 +192,69 @@ func New(opts Options) (*Service, error) {
 	if opts.MaxStoreBytes > 0 {
 		s.store.SetMaxBytes(opts.MaxStoreBytes)
 	}
+
+	// Replay the durable journal before the workers start: terminal
+	// campaigns are restored with their results; non-terminal ones are
+	// re-admitted (the queue channel is widened so recovery can never
+	// deadlock against the configured admission bound — Submit enforces
+	// opts.Queue, not channel capacity).
+	var entries []JournalEntry
+	if opts.JournalDir != "" {
+		j, err := OpenJournalWait(opts.JournalDir, opts.LockWait)
+		if err != nil {
+			if s.owned {
+				s.store.Close()
+			}
+			return nil, err
+		}
+		s.journal = j
+		entries = j.Entries()
+	}
+	requeue := 0
+	for _, e := range entries {
+		if !Terminal(e.State) {
+			requeue++
+		}
+	}
+	s.queue = make(chan *Campaign, opts.Queue+requeue)
+	for _, e := range entries {
+		s.recoverEntry(e)
+	}
+
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// recoverEntry restores one journaled campaign at boot (campaign map,
+// counters, and — for non-terminal entries — re-admission). Called from
+// New before any worker or HTTP request exists, so no locking.
+func (s *Service) recoverEntry(e JournalEntry) {
+	c := campaignFromEntry(e)
+	s.campaigns[c.ID] = c
+	s.order = append(s.order, c.ID)
+	// Keep generated IDs collision-free across restarts.
+	var n int
+	if _, err := fmt.Sscanf(c.ID, "c%06d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+	s.accepted++
+	s.recovered++
+	s.bus.Publish(live.Event{Kind: live.CampaignRecovered, Cell: c.ID, Outcome: e.State})
+	switch e.State {
+	case StateDone:
+		s.completed++
+	case StateFailed:
+		s.failed++
+	case StateAborted:
+		s.aborted++
+	default:
+		s.requeued++
+		s.queue <- c
+	}
+	s.logf("campaign %s recovered from journal (%s)", c.ID, e.State)
 }
 
 // Bus returns the daemon-wide live bus.
@@ -161,7 +265,15 @@ func (s *Service) Store() *runner.Store { return s.store }
 
 // Submit admits one campaign. The spec is normalized and validated here —
 // an invalid spec is the submitter's error, not a failed campaign. A full
-// queue returns ErrQueueFull (the caller backs off by RetryAfter).
+// queue returns ErrQueueFull (the caller backs off by RetryAfter). A spec
+// carrying an idempotency key maps onto the existing campaign under that
+// key — including one recovered from the journal after a restart — and is
+// answered without re-admission; the same key with a different spec is
+// ErrKeyConflict. With a journal configured, the admission is fsynced to
+// the write-ahead log before this returns: an acknowledged campaign
+// survives SIGKILL. (The fsync happens under s.mu; admissions are rare
+// next to campaign runtimes, and serializing them keeps the
+// accept-then-journal order trivially crash-consistent.)
 func (s *Service) Submit(spec Spec, clientID string) (*Campaign, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
@@ -172,15 +284,40 @@ func (s *Service) Submit(spec Spec, clientID string) (*Campaign, error) {
 	if s.closing {
 		return nil, ErrClosing
 	}
-	s.nextID++
-	c := newCampaign(fmt.Sprintf("c%06d", s.nextID), spec, clientID)
-	select {
-	case s.queue <- c:
-	default:
-		s.nextID--
+	id := spec.Key
+	if id != "" {
+		if c, ok := s.campaigns[id]; ok {
+			if !equalSpec(c.Spec, spec) {
+				return nil, &KeyConflictError{Key: id}
+			}
+			s.idemHits++
+			s.logf("campaign %s resubmitted idempotently (client %s)", id, clientID)
+			return c, nil
+		}
+	}
+	// Admission bound is the configured queue depth, not the channel's
+	// capacity (recovery widens the channel to re-admit journaled work).
+	if len(s.queue) >= s.opts.Queue {
 		s.rejected++
 		return nil, ErrQueueFull
 	}
+	if id == "" {
+		for {
+			s.nextID++
+			id = fmt.Sprintf("c%06d", s.nextID)
+			if _, taken := s.campaigns[id]; !taken {
+				break
+			}
+		}
+	}
+	c := newCampaign(id, spec, clientID)
+	if s.journal != nil {
+		if err := s.journal.Accepted(c.ID, clientID, spec, c.submitted.UnixNano()); err != nil {
+			return nil, fmt.Errorf("service: journal admission: %w", err)
+		}
+	}
+	// Cannot block: every sender holds s.mu and len(queue) < Queue <= cap.
+	s.queue <- c
 	s.accepted++
 	s.campaigns[c.ID] = c
 	s.order = append(s.order, c.ID)
@@ -242,11 +379,16 @@ func (s *Service) Stats() Stats {
 		Workers: s.opts.Workers, Jobs: s.opts.Jobs,
 		Accepted: s.accepted, Rejected: s.rejected, Running: s.running,
 		Completed: s.completed, Failed: s.failed, Aborted: s.aborted,
+		Recovered: s.recovered, Requeued: s.requeued, IdempotentHits: s.idemHits,
 		AvgCampaignMS: s.avgDur.Milliseconds(),
 	}
 	s.mu.Unlock()
 	st.RetryAfterMS = s.RetryAfter().Milliseconds()
 	st.Store = s.store.Stats()
+	if s.journal != nil {
+		js := s.journal.Stats()
+		st.Journal = &js
+	}
 	return st
 }
 
@@ -272,7 +414,18 @@ func (s *Service) Close() error {
 			close(s.queue)
 			s.wg.Wait()
 			var err error
-			if _, cerr := s.store.Compact(); cerr != nil && !errors.Is(cerr, runner.ErrClosed) {
+			// Workers are drained: every terminal record has been appended.
+			// Fold the journal so the next boot replays one record per
+			// campaign, then release it before the store.
+			if s.journal != nil {
+				if cerr := s.journal.Compact(); cerr != nil && !errors.Is(cerr, ErrJournalClosed) {
+					err = cerr
+				}
+				if cerr := s.journal.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if _, cerr := s.store.Compact(); cerr != nil && !errors.Is(cerr, runner.ErrClosed) && err == nil {
 				err = cerr
 			}
 			if s.owned {
@@ -286,7 +439,15 @@ func (s *Service) Close() error {
 }
 
 func (s *Service) abortCampaign(c *Campaign) {
-	c.abort("daemon shutting down")
+	finished, ok := c.abort("daemon shutting down")
+	if !ok {
+		return
+	}
+	if s.journal != nil {
+		if err := s.journal.Terminal(c.ID, StateAborted, "daemon shutting down", nil, finished.UnixNano()); err != nil {
+			s.logf("campaign %s journal abort: %v", c.ID, err)
+		}
+	}
 	s.mu.Lock()
 	s.aborted++
 	s.mu.Unlock()
@@ -311,7 +472,14 @@ func (s *Service) worker() {
 }
 
 func (s *Service) runCampaign(c *Campaign) {
-	c.setRunning()
+	started := c.setRunning()
+	if s.journal != nil {
+		// Best-effort (unfsynced): a lost running record recovers as
+		// queued, which re-admits exactly like running.
+		if jerr := s.journal.Running(c.ID, started.UnixNano()); jerr != nil {
+			s.logf("campaign %s journal running: %v", c.ID, jerr)
+		}
+	}
 	s.mu.Lock()
 	s.running++
 	s.mu.Unlock()
@@ -320,7 +488,16 @@ func (s *Service) runCampaign(c *Campaign) {
 
 	result, err := s.runSpec(c)
 	dur := time.Since(start)
-	c.finish(result, err)
+	finished := c.finish(result, err)
+	if s.journal != nil {
+		state, msg := StateDone, ""
+		if err != nil {
+			state, msg = StateFailed, err.Error()
+		}
+		if jerr := s.journal.Terminal(c.ID, state, msg, result, finished.UnixNano()); jerr != nil {
+			s.logf("campaign %s journal terminal: %v", c.ID, jerr)
+		}
+	}
 
 	s.mu.Lock()
 	s.running--
@@ -350,6 +527,13 @@ func (s *Service) runCampaign(c *Campaign) {
 		if st, cerr := s.store.Compact(); cerr == nil {
 			s.logf("store compacted: %d lines -> %d records (%d dropped, %d orphan files)",
 				st.LinesBefore, st.Records, st.Dropped, st.OrphanFiles)
+		}
+		if s.journal != nil {
+			if cerr := s.journal.Compact(); cerr == nil {
+				js := s.journal.Stats()
+				s.logf("journal compacted: %d campaigns (%d terminal), %d bytes",
+					js.Campaigns, js.Terminal, js.SizeBytes)
+			}
 		}
 	}
 }

@@ -9,6 +9,7 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -34,6 +35,15 @@ type Spec struct {
 	// (persistency-model litmus campaign).
 	Kind string `json:"kind"`
 
+	// Key, when set, is a client-supplied idempotency key and becomes the
+	// campaign ID: resubmitting the same spec under the same key returns
+	// the existing — possibly journal-recovered — campaign instead of
+	// duplicating the work, which is how a client survives a daemon
+	// restart mid-wait without double-running anything. The same key with
+	// a different spec is a conflict (ErrKeyConflict, HTTP 409). Empty
+	// keys get daemon-generated IDs and no dedup.
+	Key string `json:"key,omitempty"`
+
 	// Sweep: experiment IDs (see cwspbench -list) at a workload scale.
 	Experiments []string `json:"experiments,omitempty"`
 	Scale       string   `json:"scale,omitempty"` // smoke (default), quick, full
@@ -58,6 +68,7 @@ type Spec struct {
 // Normalize fills defaults and canonicalizes list order in place.
 func (s *Spec) Normalize() {
 	s.Kind = strings.ToLower(strings.TrimSpace(s.Kind))
+	s.Key = strings.TrimSpace(s.Key)
 	switch s.Scale {
 	case "smoke", "quick", "full":
 	default:
@@ -132,7 +143,39 @@ func (s *Spec) Validate() error {
 	if s.Cells > 10_000 {
 		return fmt.Errorf("service: %d cells exceeds the per-campaign admission cap", s.Cells)
 	}
+	if err := validateKey(s.Key); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateKey bounds client-supplied idempotency keys: they become
+// campaign IDs and URL path segments, so the charset is conservative.
+func validateKey(key string) error {
+	if key == "" {
+		return nil
+	}
+	if len(key) > 64 {
+		return fmt.Errorf("service: idempotency key longer than 64 bytes")
+	}
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("service: idempotency key %q: only [a-zA-Z0-9._-] allowed", key)
+		}
+	}
+	return nil
+}
+
+// equalSpec reports whether two normalized specs describe the same work
+// (JSON form compared — Normalize canonicalizes list order, so equal
+// work marshals equal).
+func equalSpec(a, b Spec) bool {
+	ab, aerr := json.Marshal(a)
+	bb, berr := json.Marshal(b)
+	return aerr == nil && berr == nil && string(ab) == string(bb)
 }
 
 // ScaleOf maps the spec's scale name to a workload scale.

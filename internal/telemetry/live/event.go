@@ -44,6 +44,10 @@ const (
 	// SimProgress: a long-running simulation advanced (Instrs/Cycles are
 	// deltas since the machine's previous report).
 	SimProgress
+	// CampaignRecovered: the experiment daemon restored a journaled
+	// campaign at boot (Cell is the campaign ID, Outcome its recovered
+	// state).
+	CampaignRecovered
 
 	numKinds
 )
@@ -57,6 +61,8 @@ var kindNames = [numKinds]string{
 	PoolOccupancy:   "pool_occupancy",
 	StoreFlush:      "store_flush",
 	SimProgress:     "sim_progress",
+
+	CampaignRecovered: "campaign_recovered",
 }
 
 // String names the kind (snake_case, stable: it is the SSE event name and

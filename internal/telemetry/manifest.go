@@ -66,6 +66,14 @@ type ServiceInfo struct {
 	// QueueCap is the queue's capacity (0 depth at cap 0 means unqueued).
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap,omitempty"`
+	// Durability digest, present when the daemon runs a campaign journal:
+	// campaigns restored at its last boot (Requeued of them re-admitted),
+	// journal records appended this run, and torn bytes truncated from the
+	// WAL tail at open.
+	Recovered        int64 `json:"recovered,omitempty"`
+	Requeued         int64 `json:"requeued,omitempty"`
+	JournalRecords   int64 `json:"journal_records,omitempty"`
+	JournalTornBytes int64 `json:"journal_torn_bytes,omitempty"`
 }
 
 // BenchRow is one labelled row of a benchmark report.
