@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-smoke bench-check bench-baseline bench-kernel fuzz-smoke torture-smoke torture litmus-smoke litmus cwspd-smoke chaos-smoke service-load service-check service-baseline lint repro repro-quick examples trace metrics clean
+.PHONY: all build test test-short bench bench-smoke bench-check bench-baseline bench-kernel bench-kernel-check bench-kernel-baseline bench-kernel-gotest fuzz-smoke torture-smoke torture litmus-smoke litmus cwspd-smoke chaos-smoke service-load service-check service-baseline lint repro repro-quick examples trace metrics clean
 
 all: build test
 
@@ -46,19 +46,47 @@ bench-baseline:
 	$(MAKE) bench-smoke
 	cp BENCH_smoke.json baselines/BENCH_smoke.json
 
-# Simulation-kernel microbenchmarks (quick-scale workloads × schemes ×
-# core counts) with allocation counts; see EXPERIMENTS.md "Kernel
-# benchmarks" for the recorded before/after numbers.
+# Simulation-kernel comparison (quick-scale workloads × schemes × core
+# counts, batched vs threaded backend measured back to back): emits the
+# bench trajectory record BENCH_kernel.json (gitignored; gate it with
+# `make bench-kernel-check`, refresh the committed baseline with
+# `make bench-kernel-baseline`). See EXPERIMENTS.md "Kernel benchmarks"
+# for the recorded numbers and the per-cell Amdahl breakdown.
 bench-kernel:
+	$(GO) run ./cmd/cwspbench -bench-kernel -bench-out BENCH_kernel.json
+
+# Gate the freshest BENCH_kernel.json against the committed baseline:
+# simulated cycle/instruction counts enforced exactly (a drift means the
+# kernels are not running the same simulation), the dispatch-bound
+# cell's >= 2x threaded speedup enforced on any host, absolute Minstr/s
+# enforced only between matching host fingerprints.
+bench-kernel-check: BENCH_kernel.json
+	$(GO) run ./cmd/cwspbench -bench-in BENCH_kernel.json -bench-check baselines/BENCH_kernel.json
+
+BENCH_kernel.json:
+	$(MAKE) bench-kernel
+
+# Refresh the committed kernel baseline from a fresh run on this machine.
+bench-kernel-baseline:
+	$(MAKE) bench-kernel
+	cp BENCH_kernel.json baselines/BENCH_kernel.json
+
+# The same cells as go-test benchmarks with allocation counts
+# (per-kernel sub-benchmarks; slower, but -benchmem shows the threaded
+# backend's zero steady-state allocations).
+bench-kernel-gotest:
 	$(GO) test ./internal/simtest -run xxx -bench RunUntil -benchmem -benchtime 10x
 
 # Short differential-fuzz passes: the kernel-equivalence target (progen
-# seed × scheme × crash point, both kernels must agree byte-for-byte), the
-# litmus spec grammar round-trip (spec string → plan → spec), and the
-# campaign-journal decoder (arbitrary bytes → longest verifiable prefix,
-# re-decode stable, fold never panics).
+# seed × scheme × crash point, every kernel must agree byte-for-byte),
+# the threaded-backend 3-way differential (reference vs batched vs
+# threaded on the same fuzzed cell), the litmus spec grammar round-trip
+# (spec string → plan → spec), and the campaign-journal decoder
+# (arbitrary bytes → longest verifiable prefix, re-decode stable, fold
+# never panics).
 fuzz-smoke:
 	$(GO) test ./internal/simtest -run xxx -fuzz FuzzKernelEquivalence -fuzztime 20s
+	$(GO) test ./internal/simtest -run xxx -fuzz FuzzThreadedEquivalence -fuzztime 10s
 	$(GO) test ./internal/litmus -run xxx -fuzz FuzzLitmusSpec -fuzztime 10s
 	$(GO) test ./internal/service -run xxx -fuzz FuzzJournalDecode -fuzztime 10s
 

@@ -55,7 +55,9 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persistent per-cell result cache; repeated sweeps become cache hits")
 		resume   = flag.Bool("resume", true, "serve cells from an existing cache (false recomputes and refreshes it)")
 		httpAddr = flag.String("http", "", "serve the live observability endpoint (/metrics, /progress, /events, /debug/pprof) on this address")
-		benchOut = flag.String("bench-out", "", "emit a benchfmt trajectory record (BENCH_<name>.json) for this sweep")
+		benchOut    = flag.String("bench-out", "", "emit a benchfmt trajectory record (BENCH_<name>.json) for this sweep")
+		benchKernel = flag.Bool("bench-kernel", false, "measure the simulation-kernel comparison (batched vs threaded per cell) instead of running experiments")
+		kernelReps  = flag.Int("bench-kernel-reps", 3, "alternating measurement batches per kernel per cell")
 		benchIn  = flag.String("bench-in", "", "with -bench-check: compare this existing record instead of running experiments")
 		checkVs  = flag.String("bench-check", "", "gate the sweep's record against this baseline record; exit 1 on regression")
 		strict   = flag.Bool("bench-strict", false, "enforce wall-clock gates even across differing host fingerprints")
@@ -81,6 +83,34 @@ func main() {
 			fatal(err)
 		}
 		os.Exit(checkRecord(cur, *checkVs, *tol, *strict))
+	}
+
+	// Kernel-comparison mode: in-process measurement of every kernel
+	// matrix cell, emitted as a BENCH_kernel.json trajectory record.
+	if *benchKernel {
+		prof, err := bench.RunKernelBench(*kernelReps, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		name := "kernel"
+		if *benchOut != "" {
+			name = benchfmt.NameFromPath(*benchOut)
+		} else if *checkVs != "" {
+			name = benchfmt.NameFromPath(*checkVs)
+		}
+		rec := benchfmt.New(name, "cwspbench")
+		rec.Salt = bench.ResultsSalt
+		rec.Kernel = prof
+		if *benchOut != "" {
+			if err := rec.WriteFile(*benchOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "cwspbench: wrote trajectory record %s\n", *benchOut)
+		}
+		if *checkVs != "" {
+			os.Exit(checkRecord(rec, *checkVs, *tol, *strict))
+		}
+		return
 	}
 
 	opt := bench.Options{

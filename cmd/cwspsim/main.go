@@ -42,7 +42,7 @@ func main() {
 		metOut  = flag.String("metrics-out", "", "write a versioned run manifest (config, stats, histograms, series) to this JSON file")
 		tsOut   = flag.String("timeseries", "", "write the sampled telemetry time series as CSV to this file")
 		smplIv  = flag.Int64("sample-interval", 4096, "telemetry sampling interval in cycles (with -metrics-out/-timeseries)")
-		kernel  = flag.String("kernel", "fast", "simulation kernel: fast, or reference (the legacy per-cycle stepper; bit-identical, for cross-checking)")
+		kernel  = flag.String("kernel", "fast", "simulation kernel: fast (alias batched), threaded (translate-once closure arrays), or reference (the legacy per-cycle stepper); all bit-identical, for cross-checking")
 	)
 	flag.Parse()
 	if *wName == "" && *mt == 0 && *irFile == "" {
@@ -56,11 +56,14 @@ func main() {
 
 	cfg := sim.DefaultConfig().PersistPathGBs(*bw)
 	switch *kernel {
-	case "fast":
+	case "fast", "batched":
+		cfg.Kernel = sim.KernelBatched
+	case "threaded":
+		cfg.Kernel = sim.KernelThreaded
 	case "reference":
-		cfg.ReferenceKernel = true
+		cfg.Kernel = sim.KernelReference
 	default:
-		fatal(fmt.Errorf("unknown kernel %q (want fast or reference)", *kernel))
+		fatal(fmt.Errorf("unknown kernel %q (want fast, batched, threaded, or reference)", *kernel))
 	}
 	if t, ok := nvmtech.All[*tech]; ok {
 		cfg = cfg.WithNVM(t)

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cwsp/internal/compiler"
+	"cwsp/internal/ir"
+	"cwsp/internal/schemes"
+	"cwsp/internal/sim"
+	"cwsp/internal/telemetry/benchfmt"
+	"cwsp/internal/workloads"
+)
+
+// kernelBenchCase is one cell of the kernel comparison matrix `make
+// bench-kernel` measures: a workload at quick scale on one scheme and
+// core count, timed as a full machine build + run under each optimized
+// kernel. The list mirrors simtest's BenchmarkRunUntil so the go-test
+// benchmarks and the recorded trajectory describe the same cells.
+type kernelBenchCase struct {
+	name          string
+	scheme        string
+	cores         int
+	dispatchBound bool
+	build         func() (*ir.Program, error)
+}
+
+func quickKernelWorkload(name string, compile bool) func() (*ir.Program, error) {
+	return func() (*ir.Program, error) {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p := w.Build(workloads.Quick)
+		if compile {
+			p, _, err = compiler.Compile(p, compiler.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+}
+
+func kernelBenchCases() []kernelBenchCase {
+	compiled := func() (*ir.Program, error) {
+		p, _, err := compiler.Compile(workloads.BuildMTWorker(), compiler.DefaultOptions())
+		return p, err
+	}
+	return []kernelBenchCase{
+		{name: "tatp", scheme: "cwsp", cores: 1, build: quickKernelWorkload("tatp", true)},
+		{name: "lbm", scheme: "cwsp", cores: 1, build: quickKernelWorkload("lbm", true)},
+		{name: "sps", scheme: "cwsp", cores: 1, build: quickKernelWorkload("sps", true)},
+		{name: "kmeans", scheme: "cwsp", cores: 1, build: quickKernelWorkload("kmeans", true)},
+		{name: "xsbench", scheme: "base", cores: 1, build: quickKernelWorkload("xsbench", false)},
+		{name: "compute", scheme: "base", cores: 1, dispatchBound: true,
+			build: func() (*ir.Program, error) { return workloads.BuildComputeKernel(), nil }},
+		{name: "mt", scheme: "cwsp", cores: 2, build: compiled},
+		{name: "mt", scheme: "cwsp", cores: 4, build: compiled},
+	}
+}
+
+// kernelBatchTarget is the minimum wall time of one measurement batch;
+// short cells repeat within a batch so a single timer read covers many
+// runs.
+const kernelBatchTarget = 60 * time.Millisecond
+
+// RunKernelBench measures every kernel comparison cell and returns the
+// profile for the BENCH_kernel.json trajectory. Per cell it alternates
+// batched/threaded measurement batches `reps` times and keeps each
+// kernel's best batch — back-to-back alternation exposes both kernels to
+// the same machine noise, and best-of damps co-tenancy dips, so the
+// speedup column is as close to a pure dispatch comparison as a
+// wall-clock measurement gets. It also cross-checks the equivalence
+// contract cheaply: both kernels must report identical simulated cycle
+// and instruction counts for every cell.
+func RunKernelBench(reps int, log io.Writer) (*benchfmt.KernelProfile, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	prof := &benchfmt.KernelProfile{}
+	for _, bc := range kernelBenchCases() {
+		p, err := bc.build()
+		if err != nil {
+			return nil, fmt.Errorf("kernel bench %s: %w", bc.name, err)
+		}
+		sch, ok := schemes.ByName(bc.scheme)
+		if !ok {
+			return nil, fmt.Errorf("kernel bench %s: unknown scheme %s", bc.name, bc.scheme)
+		}
+		specs := []sim.ThreadSpec{{Fn: p.Entry}}
+		if bc.name == "mt" {
+			specs = nil
+			for i := 0; i < bc.cores; i++ {
+				specs = append(specs, sim.ThreadSpec{Fn: "worker", Args: []int64{int64(i), 600}})
+			}
+		}
+		run := func(kernel sim.KernelKind) (sim.Stats, error) {
+			cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
+			cfg.Kernel = kernel
+			m, err := sim.NewThreaded(p, cfg, sch, specs)
+			if err != nil {
+				return sim.Stats{}, err
+			}
+			res, err := m.Run()
+			if err != nil {
+				return sim.Stats{}, err
+			}
+			return res.Stats, nil
+		}
+		// Warm both kernels once: pools, paged memory, and (threaded) the
+		// translation cache all populate outside the timed batches.
+		bs, err := run(sim.KernelBatched)
+		if err != nil {
+			return nil, fmt.Errorf("kernel bench %s (batched): %w", bc.name, err)
+		}
+		ts, err := run(sim.KernelThreaded)
+		if err != nil {
+			return nil, fmt.Errorf("kernel bench %s (threaded): %w", bc.name, err)
+		}
+		if bs.Cycles != ts.Cycles || bs.Instrs != ts.Instrs {
+			return nil, fmt.Errorf("kernel bench %s: kernels diverged (batched %d cycles/%d instrs, threaded %d/%d)",
+				bc.name, bs.Cycles, bs.Instrs, ts.Cycles, ts.Instrs)
+		}
+		batch := func(kernel sim.KernelKind) (float64, error) {
+			var n int64
+			start := time.Now()
+			for elapsed := time.Duration(0); n == 0 || elapsed < kernelBatchTarget; {
+				if _, err := run(kernel); err != nil {
+					return 0, err
+				}
+				n++
+				elapsed = time.Since(start)
+			}
+			return float64(bs.Instrs*n) / float64(time.Since(start).Nanoseconds()) * 1e3, nil
+		}
+		var bestB, bestT float64
+		for r := 0; r < reps; r++ {
+			tb, err := batch(sim.KernelBatched)
+			if err != nil {
+				return nil, fmt.Errorf("kernel bench %s (batched): %w", bc.name, err)
+			}
+			tt, err := batch(sim.KernelThreaded)
+			if err != nil {
+				return nil, fmt.Errorf("kernel bench %s (threaded): %w", bc.name, err)
+			}
+			if tb > bestB {
+				bestB = tb
+			}
+			if tt > bestT {
+				bestT = tt
+			}
+		}
+		cell := benchfmt.KernelCell{
+			Name:            fmt.Sprintf("%s_%s_x%d", bc.name, bc.scheme, bc.cores),
+			Cycles:          bs.Cycles,
+			Instrs:          bs.Instrs,
+			BatchedMinstrS:  bestB,
+			ThreadedMinstrS: bestT,
+			DispatchBound:   bc.dispatchBound,
+		}
+		if bestB > 0 {
+			cell.Speedup = bestT / bestB
+		}
+		if log != nil {
+			fmt.Fprintf(log, "kernel %-18s batched %8.2f Minstr/s  threaded %8.2f Minstr/s  speedup %.2fx\n",
+				cell.Name, cell.BatchedMinstrS, cell.ThreadedMinstrS, cell.Speedup)
+		}
+		prof.Cells = append(prof.Cells, cell)
+	}
+	return prof, nil
+}

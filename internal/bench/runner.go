@@ -18,6 +18,10 @@ const ResultsSalt = "cwsp-sim-v1"
 
 const resultsSalt = ResultsSalt
 
+// The threaded kernel's translation cache is keyed by the same salt: a
+// bump that invalidates cached cells also drops compiled code.
+func init() { sim.SetCodeSalt(ResultsSalt) }
+
 // simPool is the cell executor every experiment of one harness shares.
 type simPool = *runner.Pool[sim.Stats]
 

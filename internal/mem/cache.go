@@ -17,6 +17,14 @@ type Cache struct {
 	// lru[set*ways+way] = recency counter; higher = more recent.
 	lru     []int64
 	lruTick int64
+	// setMask is sets-1 when sets is a power of two (index by mask, not
+	// modulo), else -1.
+	setMask int64
+	// mru[set] is the way of the set's last hit or fill — a lookup-order
+	// hint only (accesses revisit lines in bursts, so one predicted-way
+	// probe usually replaces the full scan); stale hints just miss the
+	// tag compare and fall back to the scan.
+	mru []int32
 
 	Hits      int64
 	Misses    int64
@@ -31,6 +39,10 @@ func NewCache(name string, sizeBytes, ways, lineBytes int) *Cache {
 	if sets < 1 {
 		sets = 1
 	}
+	setMask := int64(-1)
+	if sets&(sets-1) == 0 {
+		setMask = int64(sets - 1)
+	}
 	return &Cache{
 		name:      name,
 		lineShift: log2(lineBytes),
@@ -39,6 +51,8 @@ func NewCache(name string, sizeBytes, ways, lineBytes int) *Cache {
 		tags:      make([]int64, sets*ways),
 		dirty:     make([]bool, sets*ways),
 		lru:       make([]int64, sets*ways),
+		setMask:   setMask,
+		mru:       make([]int32, sets),
 	}
 }
 
@@ -53,7 +67,12 @@ func log2(v int) uint {
 // Line returns the line tag of a byte address.
 func (c *Cache) Line(addr int64) int64 { return addr >> c.lineShift }
 
-func (c *Cache) set(line int64) int { return int(uint64(line) % uint64(c.sets)) }
+func (c *Cache) set(line int64) int {
+	if c.setMask >= 0 {
+		return int(uint64(line) & uint64(c.setMask))
+	}
+	return int(uint64(line) % uint64(c.sets))
+}
 
 // Lookup probes for addr without modifying replacement state.
 func (c *Cache) Lookup(addr int64) bool {
@@ -79,15 +98,26 @@ type Evicted struct {
 // fill caused.
 func (c *Cache) Access(addr int64, write bool) (hit bool, ev Evicted) {
 	line := c.Line(addr)
-	base := c.set(line) * c.ways
+	set := c.set(line)
+	base := set * c.ways
 	c.lruTick++
+	tag := line + 1
+	if w := base + int(c.mru[set]); c.tags[w] == tag {
+		c.lru[w] = c.lruTick
+		if write {
+			c.dirty[w] = true
+		}
+		c.Hits++
+		return true, Evicted{}
+	}
 	tags := c.tags[base : base+c.ways]
 	for w, t := range tags {
-		if t == line+1 {
+		if t == tag {
 			c.lru[base+w] = c.lruTick
 			if write {
 				c.dirty[base+w] = true
 			}
+			c.mru[set] = int32(w)
 			c.Hits++
 			return true, Evicted{}
 		}
@@ -110,9 +140,10 @@ func (c *Cache) Access(addr int64, write bool) (hit bool, ev Evicted) {
 		c.Evictions++
 	}
 fill:
-	c.tags[victim] = line + 1
+	c.tags[victim] = tag
 	c.dirty[victim] = write
 	c.lru[victim] = c.lruTick
+	c.mru[set] = int32(victim - base)
 	return false, ev
 }
 
@@ -145,6 +176,7 @@ func (c *Cache) MissRate() float64 {
 type DRAMCache struct {
 	lineShift uint
 	sets      int
+	setMask   int64 // sets-1 when sets is a power of two, else -1
 	tags      []int64
 	dirty     []bool
 
@@ -158,9 +190,14 @@ func NewDRAMCache(sizeBytes, lineBytes int) *DRAMCache {
 	if sets < 1 {
 		sets = 1
 	}
+	setMask := int64(-1)
+	if sets&(sets-1) == 0 {
+		setMask = int64(sets - 1)
+	}
 	return &DRAMCache{
 		lineShift: log2(lineBytes),
 		sets:      sets,
+		setMask:   setMask,
 		tags:      make([]int64, sets),
 		dirty:     make([]bool, sets),
 	}
@@ -171,7 +208,12 @@ func NewDRAMCache(sizeBytes, lineBytes int) *DRAMCache {
 // is silently dropped — the persist path already carried the data).
 func (d *DRAMCache) Access(addr int64, write bool) (hit bool, victimDirty bool, victimLine int64) {
 	line := addr >> d.lineShift
-	set := int(uint64(line) % uint64(d.sets))
+	var set int
+	if d.setMask >= 0 {
+		set = int(uint64(line) & uint64(d.setMask))
+	} else {
+		set = int(uint64(line) % uint64(d.sets))
+	}
 	if d.tags[set] == line+1 {
 		d.Hits++
 		if write {

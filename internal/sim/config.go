@@ -74,14 +74,47 @@ type Config struct {
 	// silently diverges under injected corruption.
 	Unsealed bool
 
-	// ReferenceKernel forces the legacy one-instruction-per-scan stepper
-	// (reference.go) instead of the batched fast kernel. The two are
-	// behavior-identical (enforced by internal/simtest's differential
-	// harness and FuzzKernelEquivalence); the flag exists as an escape
-	// hatch and as the oracle the equivalence tests run against. Machines
-	// with telemetry or tracing attached take the reference path
-	// automatically, since only it carries the per-instruction probes.
+	// Kernel selects the RunUntil implementation; the zero value is the
+	// batched fast kernel. All kernels are behavior-identical (enforced
+	// by internal/simtest's N-way differential harness and the
+	// equivalence fuzz targets); they differ only in speed and in which
+	// probes they carry. Machines with telemetry or tracing attached take
+	// the reference path automatically regardless of this field, since
+	// only it has the per-instruction probes.
+	Kernel KernelKind
+
+	// ReferenceKernel forces the reference stepper; it predates Kernel
+	// and is kept as a working alias (`Kernel: KernelReference`) for
+	// existing callers (litmus specs, -kernel=reference flags).
 	ReferenceKernel bool
+}
+
+// KernelKind names a RunUntil implementation.
+type KernelKind string
+
+const (
+	// KernelBatched is the default: batched minimum-cycle scheduling with
+	// inlined switch dispatch (kernel.go).
+	KernelBatched KernelKind = "batched"
+	// KernelReference is the verbatim one-instruction-per-scan stepper
+	// carrying the telemetry/tracing probes (reference.go).
+	KernelReference KernelKind = "reference"
+	// KernelThreaded is the threaded-code backend: programs are
+	// translated once into flat arrays of specialized closures
+	// (threaded.go).
+	KernelThreaded KernelKind = "threaded"
+)
+
+// kernel resolves the effective kernel selection, folding the legacy
+// ReferenceKernel flag in.
+func (c Config) kernel() KernelKind {
+	if c.Kernel == "" {
+		if c.ReferenceKernel {
+			return KernelReference
+		}
+		return KernelBatched
+	}
+	return c.Kernel
 }
 
 // DefaultConfig is the scaled default machine: the paper's Skylake-class

@@ -145,6 +145,15 @@ type Machine struct {
 	// halted records that RunUntil drained every runnable core (all done
 	// or frozen at the crash cycle).
 	halted bool
+
+	// tc is this machine's resolved threaded-code translation (threaded
+	// kernel only; see threaded.go). tcCrash/tcBound/tcBoundID mirror the
+	// driver's active stop conditions so fused superinstructions can
+	// re-check them between their halves.
+	tc        *tProg
+	tcCrash   int64
+	tcBound   int64
+	tcBoundID int
 }
 
 // Result is what a completed run returns.
@@ -173,6 +182,12 @@ func New(prog *ir.Program, cfg Config, sch Scheme) (*Machine, error) {
 func NewThreaded(prog *ir.Program, cfg Config, sch Scheme, specs []ThreadSpec) (*Machine, error) {
 	if err := ir.VerifyProgram(prog); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
+	}
+	switch cfg.Kernel {
+	case "", KernelBatched, KernelReference, KernelThreaded:
+	default:
+		return nil, fmt.Errorf("sim: unknown kernel %q (want %s|%s|%s)",
+			cfg.Kernel, KernelReference, KernelBatched, KernelThreaded)
 	}
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("sim: no threads")
@@ -327,17 +342,25 @@ func (m *Machine) Run() (*Result, error) {
 
 // RunUntil executes until every core is done or frozen at the crash cycle.
 //
-// Two behavior-identical kernels implement it: the batched fast kernel
-// (kernel.go) and the legacy reference stepper (reference.go). The
-// reference path is taken when Config.ReferenceKernel is set or when
-// telemetry/tracing is attached — only it carries the per-instruction
-// probes. internal/simtest's differential harness and fuzz target hold
-// the two byte-identical.
+// Three behavior-identical kernels implement it — the batched fast
+// kernel (kernel.go), the threaded-code backend (threaded.go), and the
+// verbatim reference stepper (reference.go) — selected by Config.Kernel.
+// The reference path is always taken when telemetry/tracing is attached,
+// since only it carries the per-instruction probes. internal/simtest's
+// N-way differential harness and fuzz targets hold all of them
+// byte-identical.
 func (m *Machine) RunUntil(crash int64) error {
-	if m.Cfg.ReferenceKernel || m.tel != nil || m.tracer != nil {
+	if m.tel != nil || m.tracer != nil {
 		return m.runReference(crash)
 	}
-	return m.runFast(crash)
+	switch m.Cfg.kernel() {
+	case KernelReference:
+		return m.runReference(crash)
+	case KernelThreaded:
+		return m.runThreaded(crash)
+	default:
+		return m.runFast(crash)
+	}
 }
 
 // liveSimEvery is how many instructions the fast kernel executes between

@@ -84,3 +84,40 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 		t.Fatalf("machine stopped stepping during measurement (instrs %d -> %d)", before, after)
 	}
 }
+
+// TestThreadedSteadyStateZeroAllocs pins the same property for the
+// threaded-code backend: translation happens once during warmup (inside
+// the salt-keyed sync.Once cache), after which the flat closure loop must
+// not touch the heap — closures allocate at translation time, never at
+// run time.
+func TestThreadedSteadyStateZeroAllocs(t *testing.T) {
+	sch, ok := schemes.ByName("cwsp")
+	if !ok {
+		t.Fatal("cwsp scheme missing")
+	}
+	cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
+	cfg.Kernel = sim.KernelThreaded
+	p := buildSteadyLoop(t)
+	m, err := sim.NewThreaded(p, cfg, sch, []sim.ThreadSpec{{Fn: "steady", Args: []int64{50_000_000}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := int64(300_000)
+	if err := m.RunUntil(target); err != nil {
+		t.Fatal(err)
+	}
+	before := m.CollectStats().Instrs
+
+	avg := testing.AllocsPerRun(50, func() {
+		target += 2_000
+		if err := m.RunUntil(target); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("threaded steady-state RunUntil allocated %.1f times per 2k-cycle window, want 0", avg)
+	}
+	if after := m.CollectStats().Instrs; after <= before {
+		t.Fatalf("machine stopped stepping during measurement (instrs %d -> %d)", before, after)
+	}
+}

@@ -38,6 +38,18 @@ func quickWorkload(name string, compiled bool) func(b *testing.B) *ir.Program {
 	}
 }
 
+// computeKernel is the dispatch-bound extreme of the kernel matrix — on
+// the app workloads the memory system and persist path bound both
+// kernels, so this cell is where interpreter-dispatch cost itself (the
+// thing the threaded backend removes) is actually visible.
+func computeKernel(b *testing.B) *ir.Program {
+	p := workloads.BuildComputeKernel()
+	if err := ir.VerifyProgram(p); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
 func mtWorker(b *testing.B) *ir.Program {
 	p, _, err := compiler.Compile(workloads.BuildMTWorker(), compiler.DefaultOptions())
 	if err != nil {
@@ -53,43 +65,50 @@ func BenchmarkRunUntil(b *testing.B) {
 		{name: "sps", scheme: "cwsp", cores: 1, build: quickWorkload("sps", true)},
 		{name: "kmeans", scheme: "cwsp", cores: 1, build: quickWorkload("kmeans", true)},
 		{name: "xsbench", scheme: "base", cores: 1, build: quickWorkload("xsbench", false)},
+		{name: "compute", scheme: "base", cores: 1, build: computeKernel},
 		{name: "mt", scheme: "cwsp", cores: 2, build: mtWorker},
 		{name: "mt", scheme: "cwsp", cores: 4, build: mtWorker},
 	}
+	// Every cell runs once per optimized kernel: the batched/threaded
+	// sub-benchmark pairs are what `make bench-kernel` reports and what
+	// the BENCH_kernel.json trajectory gates.
 	for _, bc := range cases {
-		b.Run(fmt.Sprintf("%s_%s_x%d", bc.name, bc.scheme, bc.cores), func(b *testing.B) {
-			sch, ok := schemes.ByName(bc.scheme)
-			if !ok {
-				b.Fatalf("unknown scheme %s", bc.scheme)
-			}
-			cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
-			p := bc.build(b)
-			specs := []sim.ThreadSpec{{Fn: p.Entry}}
-			if bc.name == "mt" {
-				specs = nil
-				for i := 0; i < bc.cores; i++ {
-					specs = append(specs, sim.ThreadSpec{Fn: "worker", Args: []int64{int64(i), 600}})
+		for _, kernel := range []sim.KernelKind{sim.KernelBatched, sim.KernelThreaded} {
+			b.Run(fmt.Sprintf("%s_%s_x%d/%s", bc.name, bc.scheme, bc.cores, kernel), func(b *testing.B) {
+				sch, ok := schemes.ByName(bc.scheme)
+				if !ok {
+					b.Fatalf("unknown scheme %s", bc.scheme)
 				}
-			}
-			var cycles, instrs int64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				m, err := sim.NewThreaded(p, cfg, sch, specs)
-				if err != nil {
-					b.Fatal(err)
+				cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
+				cfg.Kernel = kernel
+				p := bc.build(b)
+				specs := []sim.ThreadSpec{{Fn: p.Entry}}
+				if bc.name == "mt" {
+					specs = nil
+					for i := 0; i < bc.cores; i++ {
+						specs = append(specs, sim.ThreadSpec{Fn: "worker", Args: []int64{int64(i), 600}})
+					}
 				}
-				res, err := m.Run()
-				if err != nil {
-					b.Fatal(err)
+				var cycles, instrs int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m, err := sim.NewThreaded(p, cfg, sch, specs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := m.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles, instrs = res.Stats.Cycles, res.Stats.Instrs
 				}
-				cycles, instrs = res.Stats.Cycles, res.Stats.Instrs
-			}
-			b.StopTimer()
-			if instrs > 0 {
-				ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
-				b.ReportMetric(float64(instrs)/ns*1e3, "Minstr/s")
-				b.ReportMetric(float64(cycles), "cycles")
-			}
-		})
+				b.StopTimer()
+				if instrs > 0 {
+					ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+					b.ReportMetric(float64(instrs)/ns*1e3, "Minstr/s")
+					b.ReportMetric(float64(cycles), "cycles")
+				}
+			})
+		}
 	}
 }

@@ -8,7 +8,7 @@ import (
 )
 
 // FuzzKernelEquivalence feeds arbitrary progen seeds, scheme picks, and
-// crash fractions to both kernels and requires byte-identical full-run
+// crash fractions to every kernel and requires byte-identical full-run
 // results and crash/recovery outcomes. It is the open-ended arm of the
 // differential harness: TestKernelEquivalence sweeps a fixed corpus, the
 // fuzzer walks whatever the mutator finds.
@@ -17,29 +17,50 @@ func FuzzKernelEquivalence(f *testing.F) {
 	f.Add(int64(7), uint8(3), uint8(1))
 	f.Add(int64(42), uint8(10), uint8(3))
 	f.Fuzz(func(t *testing.T, seed int64, schemePick, crashPick uint8) {
-		if seed < 0 {
-			seed = -seed
-		}
-		seed %= 1 << 20 // keep generated programs small
-		cp, err := GenProgram(seed)
-		if err != nil {
-			t.Skip(err) // a seed the generator rejects is not a kernel bug
-		}
-		all := AllSchemes(TestConfig())
-		sc := all[int(schemePick)%len(all)]
-		p := cp.ProgramFor(sc.Sch)
-		specs := []sim.ThreadSpec{{Fn: p.Entry}}
-
-		label := fmt.Sprintf("fuzz p%d/%s", seed, sc.Name)
-		full := runBoth(t, label, p, sc.Cfg, sc.Sch, specs)
-
-		// One mid-run crash point chosen by the fuzzer: frozen machine
-		// state (and recovery, when the scheme resumes) must match too.
-		frac := int64(crashPick%3) + 1
-		crash := full.Stats.Cycles * frac / 4
-		if crash == 0 {
-			return
-		}
-		crashBoth(t, label, cp, sc.Cfg, sc.Sch, specs, crash)
+		fuzzOneCell(t, seed, schemePick, crashPick, testKernels)
 	})
+}
+
+// FuzzThreadedEquivalence is the focused arm for the threaded-code
+// backend: the same cell construction, but only threaded-vs-reference,
+// so fuzz time concentrates on translation (operand-shape
+// specialization, compare+branch fusion, flat-pc writeback) instead of
+// re-proving the batched kernel.
+func FuzzThreadedEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(2))
+	f.Add(int64(7), uint8(3), uint8(1))
+	f.Add(int64(42), uint8(10), uint8(3))
+	f.Add(int64(9091), uint8(5), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, schemePick, crashPick uint8) {
+		fuzzOneCell(t, seed, schemePick, crashPick, []sim.KernelKind{sim.KernelThreaded})
+	})
+}
+
+// fuzzOneCell runs one fuzzer-chosen (seed, scheme, crash point) cell
+// through the given kernels against the reference stepper.
+func fuzzOneCell(t *testing.T, seed int64, schemePick, crashPick uint8, kernels []sim.KernelKind) {
+	if seed < 0 {
+		seed = -seed
+	}
+	seed %= 1 << 20 // keep generated programs small
+	cp, err := GenProgram(seed)
+	if err != nil {
+		t.Skip(err) // a seed the generator rejects is not a kernel bug
+	}
+	all := AllSchemes(TestConfig())
+	sc := all[int(schemePick)%len(all)]
+	p := cp.ProgramFor(sc.Sch)
+	specs := []sim.ThreadSpec{{Fn: p.Entry}}
+
+	label := fmt.Sprintf("fuzz p%d/%s", seed, sc.Name)
+	full := runKernels(t, label, p, sc.Cfg, sc.Sch, specs, kernels)
+
+	// One mid-run crash point chosen by the fuzzer: frozen machine
+	// state (and recovery, when the scheme resumes) must match too.
+	frac := int64(crashPick%3) + 1
+	crash := full.Stats.Cycles * frac / 4
+	if crash == 0 {
+		return
+	}
+	crashKernels(t, label, cp, sc.Cfg, sc.Sch, specs, crash, kernels)
 }

@@ -96,11 +96,14 @@ func TestGoldenWorkloads(t *testing.T) {
 					p = compiled
 				}
 				cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
-				rec, err := Run(p, cfg, sch, []sim.ThreadSpec{{Fn: p.Entry}})
-				if err != nil {
-					t.Fatal(err)
+				// Every kernel must reproduce the pinned golden bytes.
+				for _, k := range append([]sim.KernelKind{sim.KernelReference}, testKernels...) {
+					rec, err := Run(p, withKernel(cfg, k), sch, []sim.ThreadSpec{{Fn: p.Entry}})
+					if err != nil {
+						t.Fatalf("%s: %v", k, err)
+					}
+					checkGolden(t, "run_"+wn+"_"+sn+".json", Canon(rec))
 				}
-				checkGolden(t, "run_"+wn+"_"+sn+".json", Canon(rec))
 			})
 		}
 	}
@@ -120,11 +123,13 @@ func TestGoldenMultiCore(t *testing.T) {
 			for i := 0; i < cores; i++ {
 				specs = append(specs, sim.ThreadSpec{Fn: "worker", Args: []int64{int64(i), 8}})
 			}
-			rec, err := Run(p, cfg, sch, specs)
-			if err != nil {
-				t.Fatal(err)
+			for _, k := range append([]sim.KernelKind{sim.KernelReference}, testKernels...) {
+				rec, err := Run(p, withKernel(cfg, k), sch, specs)
+				if err != nil {
+					t.Fatalf("%s: %v", k, err)
+				}
+				checkGolden(t, fmt.Sprintf("run_mt%d_cwsp.json", cores), Canon(rec))
 			}
-			checkGolden(t, fmt.Sprintf("run_mt%d_cwsp.json", cores), Canon(rec))
 		})
 	}
 }
@@ -148,11 +153,13 @@ func TestGoldenCrash(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				rec, err := CrashRecover(p, cfg, sch, specs, full.Stats.Cycles/2)
-				if err != nil {
-					t.Fatal(err)
+				for _, k := range append([]sim.KernelKind{sim.KernelReference}, testKernels...) {
+					rec, err := CrashRecover(p, withKernel(cfg, k), sch, specs, full.Stats.Cycles/2)
+					if err != nil {
+						t.Fatalf("%s: %v", k, err)
+					}
+					checkGolden(t, fmt.Sprintf("crash_p%d_%s.json", seed, sn), Canon(rec))
 				}
-				checkGolden(t, fmt.Sprintf("crash_p%d_%s.json", seed, sn), Canon(rec))
 			})
 		}
 	}

@@ -2,6 +2,8 @@ package simtest
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"cwsp/internal/compiler"
@@ -11,42 +13,94 @@ import (
 	"cwsp/internal/workloads"
 )
 
-// The differential harness: every test in this file runs the same program
-// on the fast kernel and on the reference kernel and requires the
-// canonical records (stats, return values, output, memory and NVM
-// digests, crash states, recovery outcomes) to be byte-identical.
+// The N-way differential harness: every test in this file runs the same
+// program on every kernel under test and requires the canonical records
+// (stats, return values, output, memory and NVM digests, crash states,
+// recovery outcomes) to be byte-identical to the reference stepper's.
+// The reference kernel is the pinned truth; testKernels lists the
+// optimized kernels measured against it — a future kernel joins the
+// whole suite by adding one element.
 
 // corpusSeeds is the number of progen programs the full-run equivalence
 // sweep covers (ISSUE 5 acceptance floor: 200).
 const corpusSeeds = 200
 
+// testKernels are the optimized kernels the harness proves against the
+// reference stepper.
+var testKernels = []sim.KernelKind{sim.KernelBatched, sim.KernelThreaded}
+
 func refKernel(cfg sim.Config) sim.Config {
-	cfg.ReferenceKernel = true
+	cfg.Kernel = sim.KernelReference
 	return cfg
 }
 
-// requireEqual compares fast-vs-reference canonical JSON.
-func requireEqual(t *testing.T, label string, fast, ref interface{}) {
+func withKernel(cfg sim.Config, k sim.KernelKind) sim.Config {
+	cfg.Kernel = k
+	return cfg
+}
+
+// sampleEvery reads the CWSP_EQ_SAMPLE thinning factor: the sampled
+// simulation tier. CI's expensive configurations (-race -count=2) set it
+// to run a deterministic 1-in-k sample of the full seed × scheme × crash
+// cell grid; unset or <=1 runs every cell. Sampling is positional — cell
+// i runs iff i % k == 0 — so two invocations sample identical cells.
+func sampleEvery() int {
+	v := os.Getenv("CWSP_EQ_SAMPLE")
+	if v == "" {
+		return 1
+	}
+	k, err := strconv.Atoi(v)
+	if err != nil || k < 1 {
+		return 1
+	}
+	return k
+}
+
+// sampler deterministically thins a sweep's cell grid.
+type sampler struct{ every, n int }
+
+func newSampler() *sampler { return &sampler{every: sampleEvery()} }
+
+// take reports whether the next cell is in the sample.
+func (s *sampler) take() bool {
+	i := s.n
+	s.n++
+	return s.every <= 1 || i%s.every == 0
+}
+
+// requireEqual compares one kernel's canonical JSON against the
+// reference record.
+func requireEqual(t *testing.T, label string, kernel sim.KernelKind, got, ref interface{}) {
 	t.Helper()
-	fj, rj := Canon(fast), Canon(ref)
-	if fj != rj {
-		t.Errorf("%s: fast kernel diverged from reference\n%s", label, firstDiff(rj, fj))
+	gj, rj := Canon(got), Canon(ref)
+	if gj != rj {
+		t.Errorf("%s: %s kernel diverged from reference\n%s", label, kernel, firstDiff(rj, gj))
 	}
 }
 
-// runBoth runs one cell on both kernels and requires identical records.
-func runBoth(t *testing.T, label string, p *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec) *RunRecord {
+// runAll runs one cell on the reference kernel and on every kernel under
+// test, requiring identical records.
+func runAll(t *testing.T, label string, p *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec) *RunRecord {
 	t.Helper()
-	fast, err := Run(p, cfg, sch, specs)
-	if err != nil {
-		t.Fatalf("%s: fast: %v", label, err)
-	}
+	return runKernels(t, label, p, cfg, sch, specs, testKernels)
+}
+
+// runKernels is runAll over an explicit kernel list (the fuzz targets
+// narrow it to one kernel each).
+func runKernels(t *testing.T, label string, p *ir.Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, kernels []sim.KernelKind) *RunRecord {
+	t.Helper()
 	ref, err := Run(p, refKernel(cfg), sch, specs)
 	if err != nil {
 		t.Fatalf("%s: reference: %v", label, err)
 	}
-	requireEqual(t, label, fast, ref)
-	return fast
+	for _, k := range kernels {
+		got, err := Run(p, withKernel(cfg, k), sch, specs)
+		if err != nil {
+			t.Fatalf("%s: %s: %v", label, k, err)
+		}
+		requireEqual(t, label, k, got, ref)
+	}
+	return ref
 }
 
 // crashPoints returns the ≥3 mid-run crash cycles the harness probes:
@@ -55,12 +109,18 @@ func crashPoints(goldenCycles int64) []int64 {
 	return []int64{goldenCycles / 4, goldenCycles / 2, 3 * goldenCycles / 4}
 }
 
-// crashBoth crashes one cell at the given cycle on both kernels (resuming
-// when the scheme supports it) and requires identical crash records. A
-// resume that fails (some crash points land where the frame-record walk
-// cannot reconstruct a core — a pre-existing recovery limitation) must
-// fail identically on both kernels.
-func crashBoth(t *testing.T, label string, cp *Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, crash int64) {
+// crashAll crashes one cell at the given cycle on every kernel (resuming
+// when the scheme supports it) and requires crash records identical to
+// the reference kernel's. A resume that fails (some crash points land
+// where the frame-record walk cannot reconstruct a core — a pre-existing
+// recovery limitation) must fail identically on every kernel.
+func crashAll(t *testing.T, label string, cp *Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, crash int64) {
+	t.Helper()
+	crashKernels(t, label, cp, cfg, sch, specs, crash, testKernels)
+}
+
+// crashKernels is crashAll over an explicit kernel list.
+func crashKernels(t *testing.T, label string, cp *Program, cfg sim.Config, sch sim.Scheme, specs []sim.ThreadSpec, crash int64, kernels []sim.KernelKind) {
 	t.Helper()
 	p := cp.ProgramFor(sch)
 	resume := schemes.NeedsCompiledProgram(sch)
@@ -71,23 +131,26 @@ func crashBoth(t *testing.T, label string, cp *Program, cfg sim.Config, sch sim.
 		rec, _, err := Crash(p, c, sch, specs, crash)
 		return rec, err
 	}
-	fast, fastErr := one(cfg)
 	ref, refErr := one(refKernel(cfg))
 	lab := fmt.Sprintf("%s@%d", label, crash)
-	switch {
-	case fastErr == nil && refErr == nil:
-		requireEqual(t, lab, fast, ref)
-	case fastErr != nil && refErr != nil:
-		if fastErr.Error() != refErr.Error() {
-			t.Errorf("%s: kernels failed differently\n  fast: %v\n  ref:  %v", lab, fastErr, refErr)
+	for _, k := range kernels {
+		got, gotErr := one(withKernel(cfg, k))
+		switch {
+		case gotErr == nil && refErr == nil:
+			requireEqual(t, lab, k, got, ref)
+		case gotErr != nil && refErr != nil:
+			if gotErr.Error() != refErr.Error() {
+				t.Errorf("%s: %s kernel failed differently from reference\n  %s: %v\n  ref: %v",
+					lab, k, k, gotErr, refErr)
+			}
+		default:
+			t.Errorf("%s: only one kernel failed\n  %s: %v\n  ref: %v", lab, k, gotErr, refErr)
 		}
-	default:
-		t.Errorf("%s: one kernel failed\n  fast: %v\n  ref:  %v", lab, fastErr, refErr)
 	}
 }
 
 // TestKernelEquivalence is the headline sweep: corpusSeeds progen
-// programs × all 11 schemes, full-run records byte-identical between
+// programs × all 11 schemes, full-run records byte-identical across
 // kernels.
 func TestKernelEquivalence(t *testing.T) {
 	seeds := int64(corpusSeeds)
@@ -95,15 +158,19 @@ func TestKernelEquivalence(t *testing.T) {
 		seeds = 25
 	}
 	cases := AllSchemes(TestConfig())
+	smp := newSampler()
 	for seed := int64(0); seed < seeds; seed++ {
 		cp, err := GenProgram(seed)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, sc := range cases {
+			if !smp.take() {
+				continue
+			}
 			p := cp.ProgramFor(sc.Sch)
 			label := fmt.Sprintf("p%d/%s", seed, sc.Name)
-			runBoth(t, label, p, sc.Cfg, sc.Sch, []sim.ThreadSpec{{Fn: p.Entry}})
+			runAll(t, label, p, sc.Cfg, sc.Sch, []sim.ThreadSpec{{Fn: p.Entry}})
 		}
 	}
 }
@@ -117,12 +184,16 @@ func TestKernelEquivalenceCrash(t *testing.T) {
 		seeds = 10
 	}
 	cases := AllSchemes(TestConfig())
+	smp := newSampler()
 	for seed := int64(0); seed < seeds; seed++ {
 		cp, err := GenProgram(seed)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, sc := range cases {
+			if !smp.take() {
+				continue
+			}
 			p := cp.ProgramFor(sc.Sch)
 			specs := []sim.ThreadSpec{{Fn: p.Entry}}
 			cfg := sc.Cfg
@@ -135,7 +206,7 @@ func TestKernelEquivalenceCrash(t *testing.T) {
 				if crash == 0 {
 					continue
 				}
-				crashBoth(t, fmt.Sprintf("p%d/%s", seed, sc.Name), cp, sc.Cfg, sc.Sch, specs, crash)
+				crashAll(t, fmt.Sprintf("p%d/%s", seed, sc.Name), cp, sc.Cfg, sc.Sch, specs, crash)
 			}
 		}
 	}
@@ -150,15 +221,19 @@ func TestKernelEquivalenceMultiCore(t *testing.T) {
 		seeds = 8
 	}
 	cases := AllSchemes(TestConfig())
+	smp := newSampler()
 	for seed := int64(0); seed < seeds; seed++ {
 		cp, err := GenProgram(seed)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, sc := range cases {
+			if !smp.take() {
+				continue
+			}
 			p := cp.ProgramFor(sc.Sch)
 			specs := []sim.ThreadSpec{{Fn: p.Entry}, {Fn: p.Entry}}
-			runBoth(t, fmt.Sprintf("p%d/%s/x2", seed, sc.Name), p, sc.Cfg, sc.Sch, specs)
+			runAll(t, fmt.Sprintf("p%d/%s/x2", seed, sc.Name), p, sc.Cfg, sc.Sch, specs)
 		}
 	}
 
@@ -172,7 +247,7 @@ func TestKernelEquivalenceMultiCore(t *testing.T) {
 			specs = append(specs, sim.ThreadSpec{Fn: "worker", Args: []int64{int64(i), 6}})
 		}
 		for _, sc := range cases {
-			runBoth(t, fmt.Sprintf("mt/%s/x%d", sc.Name, cores), mt, sc.Cfg, sc.Sch, specs)
+			runAll(t, fmt.Sprintf("mt/%s/x%d", sc.Name, cores), mt, sc.Cfg, sc.Sch, specs)
 		}
 	}
 }
@@ -187,10 +262,14 @@ func TestKernelEquivalenceMultiCoreCrash(t *testing.T) {
 	}
 	sch, _ := schemes.ByName("cwsp")
 	cfg := schemes.ConfigFor(sch, TestConfig())
+	smp := newSampler()
 	for seed := int64(0); seed < seeds; seed++ {
 		cp, err := GenProgram(seed)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if !smp.take() {
+			continue
 		}
 		p := cp.Compiled
 		specs := []sim.ThreadSpec{{Fn: p.Entry}, {Fn: p.Entry}}
@@ -204,13 +283,13 @@ func TestKernelEquivalenceMultiCoreCrash(t *testing.T) {
 			if crash == 0 {
 				continue
 			}
-			crashBoth(t, fmt.Sprintf("p%d/cwsp/x2", seed), cp, cfg, sch, specs, crash)
+			crashAll(t, fmt.Sprintf("p%d/cwsp/x2", seed), cp, cfg, sch, specs, crash)
 		}
 	}
 }
 
 // TestKernelEquivalenceWorkloads runs real workloads (smoke scale)
-// through both kernels across the golden scheme set — a denser program
+// through every kernel across the golden scheme set — a denser program
 // mix than progen reaches.
 func TestKernelEquivalenceWorkloads(t *testing.T) {
 	if testing.Short() {
@@ -225,7 +304,7 @@ func TestKernelEquivalenceWorkloads(t *testing.T) {
 				p = compiled
 			}
 			cfg := schemes.ConfigFor(sch, sim.DefaultConfig())
-			runBoth(t, wn+"/"+sn, p, cfg, sch, []sim.ThreadSpec{{Fn: p.Entry}})
+			runAll(t, wn+"/"+sn, p, cfg, sch, []sim.ThreadSpec{{Fn: p.Entry}})
 		}
 	}
 }

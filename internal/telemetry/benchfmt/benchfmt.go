@@ -114,6 +114,56 @@ type Record struct {
 	// Service profiles a cwspload run against a cwspd daemon (optional;
 	// only trajectories produced by the load generator carry it).
 	Service *ServiceProfile `json:"service,omitempty"`
+
+	// Kernel profiles the simulation-kernel comparison `make bench-kernel`
+	// runs (optional; only kernel trajectories carry it).
+	Kernel *KernelProfile `json:"kernel,omitempty"`
+}
+
+// KernelProfile is one in-process comparison of the optimized simulation
+// kernels: per-cell instruction throughput for the batched and threaded
+// backends measured back to back in one process. The speedup column is a
+// same-run ratio — both kernels saw the same machine state — so it is
+// gated host-independently, while the absolute Minstr/s columns are only
+// enforced between matching host fingerprints.
+type KernelProfile struct {
+	Cells []KernelCell `json:"cells"`
+}
+
+// KernelCell is one workload × scheme × core-count point of the kernel
+// comparison.
+type KernelCell struct {
+	// Name is the cell label (workload_scheme_xCores, e.g. compute_base_x1).
+	Name string `json:"name"`
+	// Cycles is the simulated cycle count — identical across kernels by
+	// the equivalence contract, so a drift here is a correctness bug, not
+	// a performance change.
+	Cycles int64 `json:"cycles"`
+	// Instrs is the per-run instruction count throughput normalizes over.
+	Instrs int64 `json:"instrs"`
+	// BatchedMinstrS and ThreadedMinstrS are millions of simulated
+	// instructions per wall second for each kernel (best of the repeated
+	// measurement batches).
+	BatchedMinstrS  float64 `json:"batched_minstr_s"`
+	ThreadedMinstrS float64 `json:"threaded_minstr_s"`
+	// Speedup is ThreadedMinstrS / BatchedMinstrS.
+	Speedup float64 `json:"speedup"`
+	// DispatchBound marks the cell whose loop is register-resident: the
+	// one place dispatch overhead is the bottleneck and the threaded
+	// backend's floor (>= 2x) is enforced. On memory- or persist-bound
+	// cells the shared machinery caps the ratio (Amdahl), so their
+	// speedups are tracked but only gated against the baseline.
+	DispatchBound bool `json:"dispatch_bound,omitempty"`
+}
+
+// Cell returns the named cell, or nil.
+func (k *KernelProfile) Cell(name string) *KernelCell {
+	for i := range k.Cells {
+		if k.Cells[i].Name == name {
+			return &k.Cells[i]
+		}
+	}
+	return nil
 }
 
 // ServiceProfile is the service-side view of one load-generator run: how

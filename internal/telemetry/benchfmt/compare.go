@@ -183,8 +183,88 @@ func Compare(base, cur *Record, opt CompareOptions) (*Comparison, error) {
 	c.Deltas = append(c.Deltas, allocs)
 
 	compareService(c, base.Service, cur.Service, opt)
+	compareKernel(c, base.Kernel, cur.Kernel, opt, timed)
 
 	return c, nil
+}
+
+// KernelDispatchFloor is the minimum threaded/batched speedup the
+// dispatch-bound kernel cell must sustain. Unlike the baseline-relative
+// gates this is an absolute floor: the threaded backend's reason to
+// exist is removing dispatch overhead, and on a register-resident loop
+// that must be worth at least 2x regardless of which machine measures
+// it (the ratio is taken within one run, so host speed divides out).
+const KernelDispatchFloor = 2.0
+
+// compareKernel gates the kernel-comparison profile. Simulated cycle
+// counts are deterministic and enforced exactly (a drift means the
+// kernels are no longer running the same simulation). Absolute Minstr/s
+// is wall-clock and host-gated like the latency quantiles. Speedups are
+// same-run ratios: baseline-relative changes are advisory (they still
+// jitter with machine load), but the dispatch-bound cell is enforced
+// against the absolute KernelDispatchFloor on any host.
+func compareKernel(c *Comparison, base, cur *KernelProfile, opt CompareOptions, timed bool) {
+	if base == nil || cur == nil {
+		if base != nil || cur != nil {
+			c.Deltas = append(c.Deltas, Delta{
+				Metric: "kernel", Enforced: false, Regressed: true,
+				Note: "kernel profile present on only one record; refresh the baseline",
+			})
+		}
+		return
+	}
+	for _, bc := range base.Cells {
+		cc := cur.Cell(bc.Name)
+		if cc == nil {
+			c.Deltas = append(c.Deltas, Delta{
+				Metric: "kernel." + bc.Name, Enforced: true, Regressed: true,
+				Note: "cell missing from current record; refresh the baseline",
+			})
+			continue
+		}
+		cyc := Delta{Metric: "kernel." + bc.Name + ".cycles",
+			Old: float64(bc.Cycles), New: float64(cc.Cycles),
+			Enforced: true, Regressed: bc.Cycles != cc.Cycles}
+		if bc.Cycles > 0 {
+			cyc.Ratio = float64(cc.Cycles) / float64(bc.Cycles)
+		}
+		if cyc.Regressed {
+			cyc.Note = "simulated cycles drifted: not the same simulation anymore"
+		}
+		c.Deltas = append(c.Deltas, cyc)
+
+		thr := func(metric string, old, new float64) {
+			d := Delta{Metric: metric, Old: old, New: new, Enforced: timed}
+			if new > 0 {
+				d.Ratio = old / new // >1 = slower now
+			}
+			d.Regressed = old > 0 && new < old/(1+opt.Tol)
+			c.Deltas = append(c.Deltas, d)
+		}
+		thr("kernel."+bc.Name+".batched_minstr_s", bc.BatchedMinstrS, cc.BatchedMinstrS)
+		thr("kernel."+bc.Name+".threaded_minstr_s", bc.ThreadedMinstrS, cc.ThreadedMinstrS)
+
+		sp := Delta{Metric: "kernel." + bc.Name + ".speedup",
+			Old: bc.Speedup, New: cc.Speedup, Enforced: false}
+		if bc.Speedup > 0 {
+			sp.Ratio = bc.Speedup / cc.Speedup // >1 = smaller win now
+		}
+		sp.Regressed = bc.Speedup > 0 && cc.Speedup < bc.Speedup/(1+opt.Tol)
+		c.Deltas = append(c.Deltas, sp)
+
+		if bc.DispatchBound || cc.DispatchBound {
+			fl := Delta{Metric: "kernel." + bc.Name + ".speedup_floor",
+				Old: KernelDispatchFloor, New: cc.Speedup, Enforced: true,
+				Regressed: cc.Speedup < KernelDispatchFloor}
+			if KernelDispatchFloor > 0 {
+				fl.Ratio = KernelDispatchFloor / cc.Speedup
+			}
+			if fl.Regressed {
+				fl.Note = "threaded kernel below the 2x dispatch-bound floor"
+			}
+			c.Deltas = append(c.Deltas, fl)
+		}
+	}
 }
 
 // compareService gates the load-generator profile. Correctness metrics

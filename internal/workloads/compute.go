@@ -1,0 +1,66 @@
+package workloads
+
+import "cwsp/internal/ir"
+
+// BuildComputeKernel builds the register-resident arithmetic kernel the
+// kernel microbenchmarks use: ~60k iterations of two dozen dependent
+// ALU ops plus a compare+branch, with no memory traffic inside the
+// loop.
+// Like BuildMTWorker it is not in the registered workload set — it
+// exists to expose interpreter dispatch cost, which the app workloads
+// hide behind the memory system and persist path, so it anchors the
+// dispatch-bound end of the kernel comparison matrix (`make
+// bench-kernel`).
+func BuildComputeKernel() *ir.Program {
+	fb := ir.NewFunc("compute", 0)
+	fb.NewBlock("entry")
+	i := fb.Reg()
+	x := fb.Reg()
+	y := fb.Reg()
+	z := fb.Reg()
+	w := fb.Reg()
+	fb.ConstInto(i, 0)
+	fb.ConstInto(x, 0x9e3779b9)
+	fb.ConstInto(y, 12345)
+	fb.ConstInto(z, 0)
+	fb.ConstInto(w, 0x5bd1e995)
+	head := fb.AddBlock("head")
+	body := fb.AddBlock("body")
+	exit := fb.AddBlock("exit")
+	fb.Jmp(head)
+	fb.SetBlock(head)
+	c := fb.Bin(ir.OpCmpLT, ir.R(i), ir.Imm(60_000))
+	fb.Br(ir.R(c), body, exit)
+	fb.SetBlock(body)
+	fb.BinInto(ir.OpMul, x, ir.R(x), ir.Imm(6364136223846793005))
+	fb.BinInto(ir.OpAdd, x, ir.R(x), ir.R(i))
+	t1 := fb.Bin(ir.OpShr, ir.R(x), ir.Imm(29))
+	fb.BinInto(ir.OpXor, y, ir.R(y), ir.R(t1))
+	t2 := fb.Bin(ir.OpAnd, ir.R(y), ir.Imm(1023))
+	fb.BinInto(ir.OpAdd, z, ir.R(z), ir.R(t2))
+	t3 := fb.Bin(ir.OpCmpGT, ir.R(z), ir.Imm(1<<40))
+	zHalf := fb.Bin(ir.OpShr, ir.R(z), ir.Imm(1))
+	fb.Mov(z, ir.R(fb.Select(ir.R(t3), ir.R(zHalf), ir.R(z))))
+	fb.BinInto(ir.OpSub, y, ir.R(y), ir.Imm(7))
+	fb.BinInto(ir.OpOr, x, ir.R(x), ir.Imm(1))
+	t4 := fb.Bin(ir.OpXor, ir.R(x), ir.R(y))
+	fb.BinInto(ir.OpAdd, w, ir.R(w), ir.R(t4))
+	t5 := fb.Bin(ir.OpShl, ir.R(w), ir.Imm(13))
+	fb.BinInto(ir.OpXor, x, ir.R(x), ir.R(t5))
+	t6 := fb.Bin(ir.OpShr, ir.R(w), ir.Imm(11))
+	fb.BinInto(ir.OpAdd, y, ir.R(y), ir.R(t6))
+	t7 := fb.Bin(ir.OpCmpLT, ir.R(w), ir.R(x))
+	fb.BinInto(ir.OpAdd, z, ir.R(z), ir.R(t7))
+	fb.BinInto(ir.OpMul, w, ir.R(w), ir.Imm(2654435761))
+	t8 := fb.Bin(ir.OpAnd, ir.R(x), ir.Imm(0xffff))
+	fb.BinInto(ir.OpAdd, w, ir.R(w), ir.R(t8))
+	fb.BinInto(ir.OpAdd, i, ir.R(i), ir.Imm(1))
+	fb.Jmp(head)
+	fb.SetBlock(exit)
+	fb.Ret(ir.R(z))
+
+	p := ir.NewProgram("compute")
+	p.Add(fb.MustDone())
+	p.Entry = "compute"
+	return p
+}
